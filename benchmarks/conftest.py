@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark suite.
+
+Each module regenerates one figure/table of the paper's Section V as a
+set of pytest-benchmark measurements (see DESIGN.md §3 for the
+mapping).  Sizes are scaled down from the paper's 53,144-interval
+dataset so the whole suite runs in minutes; the experiment CLI
+(``python -m repro.experiments all``) runs the full-scale versions and
+prints the exact series the paper plots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import CPNNEngine, EngineConfig
+from repro.datasets.longbeach import long_beach_surrogate
+from repro.datasets.queries import random_query_points
+
+#: Dataset size used by the benchmark engines (paper: 53,144).
+BENCH_SIZE = 10_000
+
+#: Number of query points averaged per measurement (paper: 100).
+BENCH_QUERIES = 5
+
+
+@pytest.fixture(scope="session")
+def uniform_engine() -> CPNNEngine:
+    """Engine over the uniform-pdf Long Beach surrogate."""
+    return CPNNEngine(long_beach_surrogate(n=BENCH_SIZE))
+
+
+@pytest.fixture(scope="session")
+def gaussian_engine() -> CPNNEngine:
+    """Engine over the Gaussian-pdf surrogate (Figure 14's setting)."""
+    return CPNNEngine(long_beach_surrogate(n=4_000, pdf="gaussian", bars=300))
+
+
+@pytest.fixture(scope="session")
+def bench_queries() -> np.ndarray:
+    """Deterministic query points shared by every benchmark."""
+    rng = np.random.default_rng(20080407)
+    return random_query_points(BENCH_QUERIES, rng=rng)

@@ -1,0 +1,62 @@
+"""Ablation: subregion grid refinement (our extension).
+
+Splitting every subregion g-fold tightens the verifier bounds on
+average (the U-SR upper bound converges to the exact probability as
+g → ∞, though not monotonically step-by-step) at ~g× verification
+cost.  The bench measures the cost side; the companion assertions
+check the net tightening materialises."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import CPNNEngine, EngineConfig
+from repro.core.subregions import SubregionTable
+from repro.core.verifiers import LowerSubregionVerifier, UpperSubregionVerifier
+from repro.datasets.longbeach import long_beach_surrogate
+
+GRIDS = [1, 2, 4]
+
+_ENGINES = {}
+
+
+def engine_for(grid: int) -> CPNNEngine:
+    if grid not in _ENGINES:
+        objects = long_beach_surrogate(n=8_000)
+        _ENGINES[grid] = CPNNEngine(objects, EngineConfig(grid_refinement=grid))
+    return _ENGINES[grid]
+
+
+@pytest.mark.parametrize("grid", GRIDS)
+def test_vr_query_time_vs_grid(benchmark, bench_queries, grid):
+    engine = engine_for(grid)
+    benchmark.group = "ablation grid-refinement (VR time)"
+    benchmark.name = f"g={grid}"
+    benchmark(
+        lambda: [
+            engine.query(q, threshold=0.3, tolerance=0.01, strategy="vr")
+            for q in bench_queries
+        ]
+    )
+
+
+def test_bounds_tighten_with_grid(bench_queries, benchmark):
+    """Average bound width shrinks (net, averaged over queries) as g
+    grows — and the bounds remain sound at every refinement level."""
+    engine = engine_for(1)
+
+    def width_for(dists, grid: int) -> float:
+        table = SubregionTable(dists, grid_refinement=grid)
+        lower = LowerSubregionVerifier().compute(table).lower
+        upper = UpperSubregionVerifier().compute(table).upper
+        return float(np.mean(upper - lower))
+
+    cases = []
+    for q in bench_queries:
+        filtered = engine._filter(float(q))
+        cases.append([o.distance_distribution(float(q)) for o in filtered.candidates])
+
+    coarse = np.mean([width_for(dists, 1) for dists in cases])
+    fine = np.mean([width_for(dists, 8) for dists in cases])
+    benchmark.group = "ablation grid-refinement (tightness)"
+    benchmark(lambda: width_for(cases[0], 4))
+    assert fine <= coarse + 1e-9

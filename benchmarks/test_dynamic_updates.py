@@ -1,0 +1,54 @@
+"""Bench: dynamic update throughput (dead-reckoning churn).
+
+Location-based services replace uncertainty regions on every
+dead-reckoning report (Section I); this measures insert/remove/requery
+cost against the bulk-loaded R-tree without rebuilds."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import CPNNEngine
+from repro.datasets.longbeach import long_beach_surrogate
+from repro.uncertainty.objects import UncertainObject
+
+_ENGINE: list[CPNNEngine] = []
+
+
+def engine() -> CPNNEngine:
+    if not _ENGINE:
+        _ENGINE.append(CPNNEngine(long_beach_surrogate(n=10_000)))
+    return _ENGINE[0]
+
+
+def test_insert_remove_cycle(benchmark):
+    eng = engine()
+    rng = np.random.default_rng(5)
+
+    def churn():
+        keys = []
+        for i in range(50):
+            center = float(rng.uniform(0, 10_000))
+            obj = UncertainObject.uniform(("churn", i), center - 5, center + 5)
+            eng.insert(obj)
+            keys.append(obj.key)
+        for key in keys:
+            assert eng.remove(key)
+
+    benchmark.group = "dynamic updates"
+    benchmark.name = "50 insert + 50 remove"
+    benchmark(churn)
+
+
+def test_query_after_churn(benchmark):
+    eng = engine()
+    rng = np.random.default_rng(6)
+    # Steady-state churn, then measure query latency (should match the
+    # static engine's — see fig10 bench).
+    for i in range(200):
+        center = float(rng.uniform(0, 10_000))
+        eng.insert(UncertainObject.uniform(("steady", i), center - 5, center + 5))
+    benchmark.group = "dynamic updates"
+    benchmark.name = "query after churn"
+    benchmark(lambda: eng.query(5_000.0, threshold=0.3, tolerance=0.01))
+    for i in range(200):
+        eng.remove(("steady", i))

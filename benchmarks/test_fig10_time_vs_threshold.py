@@ -1,0 +1,26 @@
+"""Figure 10 bench: end-to-end query time for Basic / Refine / VR
+across thresholds on the uniform-pdf workload.
+
+Expected shape (paper): VR < Refine ≤ Basic at every threshold; the
+VR advantage widens with P as upper-bound verifiers fail objects
+without integration."""
+
+import pytest
+
+THRESHOLDS = [0.1, 0.3, 0.7]
+STRATEGIES = ["basic", "refine", "vr"]
+
+
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_query_time(benchmark, uniform_engine, bench_queries, strategy, threshold):
+    benchmark.group = f"fig10 P={threshold}"
+    benchmark.name = strategy
+    benchmark(
+        lambda: [
+            uniform_engine.query(
+                q, threshold=threshold, tolerance=0.01, strategy=strategy
+            )
+            for q in bench_queries
+        ]
+    )

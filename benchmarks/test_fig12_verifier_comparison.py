@@ -1,0 +1,56 @@
+"""Figure 12 / Table III bench: the cost of each verifier in the
+chain, measured on identical pre-built subregion tables.
+
+Expected shape: RS ≪ L-SR ≈ U-SR (Table III's O(|C|) vs O(|C|·M)),
+and U-SR ≈ L-SR because both reuse the cached exclusion products
+(Appendix I's observation)."""
+
+import pytest
+
+from repro.core.subregions import SubregionTable
+from repro.core.verifiers import (
+    LowerSubregionVerifier,
+    RightmostSubregionVerifier,
+    UpperSubregionVerifier,
+)
+
+VERIFIERS = {
+    "RS": RightmostSubregionVerifier(),
+    "L-SR": LowerSubregionVerifier(),
+    "U-SR": UpperSubregionVerifier(),
+}
+
+
+@pytest.fixture(scope="module")
+def tables(uniform_engine, bench_queries):
+    cases = []
+    for q in bench_queries:
+        result = uniform_engine._filter(q)
+        dists = [obj.distance_distribution(q) for obj in result.candidates]
+        cases.append(SubregionTable(dists))
+    return cases
+
+
+@pytest.mark.parametrize("name", list(VERIFIERS))
+def test_verifier_cost_on_fresh_tables(benchmark, tables, name):
+    """Rebuild the table each round: no shared Z-product cache."""
+    verifier = VERIFIERS[name]
+
+    def run():
+        return [
+            verifier.compute(SubregionTable(table.distributions))
+            for table in tables
+        ]
+
+    benchmark.group = "fig12 verifier (cold)"
+    benchmark(run)
+
+
+@pytest.mark.parametrize("name", list(VERIFIERS))
+def test_verifier_cost_with_shared_cache(benchmark, tables, name):
+    """Tables prebuilt once: measures the pure verifier arithmetic."""
+    verifier = VERIFIERS[name]
+    for table in tables:  # warm the cached products
+        table.Z
+    benchmark.group = "fig12 verifier (warm)"
+    benchmark(lambda: [verifier.compute(table) for table in tables])

@@ -1,0 +1,63 @@
+"""Bench: I/O profile of the disk-page subregion storage (§IV-D).
+
+Measures the page-fault count of one full verifier pass as the
+candidate-set size (and hence total entries O(|C|·M)) grows, and the
+wall-clock overhead of the paged path vs the in-memory verifiers."""
+
+import numpy as np
+import pytest
+
+from repro.core.storage import SubregionStore, subregion_bounds_from_store
+from repro.core.subregions import SubregionTable
+from repro.core.verifiers import LowerSubregionVerifier, UpperSubregionVerifier
+from repro.experiments.table3_verifier_costs import build_candidate_table
+
+SIZES = [32, 128]
+
+_STORES: dict[int, SubregionStore] = {}
+
+
+def store_for(size: int) -> SubregionStore:
+    if size not in _STORES:
+        table = build_candidate_table(size, np.random.default_rng(size))
+        _STORES[size] = SubregionStore(table, page_size=4096, pool_pages=256)
+    return _STORES[size]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_paged_verifier_pass(benchmark, size):
+    store = store_for(size)
+    benchmark.group = f"storage |C|={size}"
+    benchmark.name = "paged"
+    benchmark(lambda: subregion_bounds_from_store(store))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_in_memory_verifier_pass(benchmark, size):
+    table = store_for(size).table
+    lsr, usr = LowerSubregionVerifier(), UpperSubregionVerifier()
+
+    def run():
+        fresh = SubregionTable(table.distributions)
+        return lsr.compute(fresh), usr.compute(fresh)
+
+    benchmark.group = f"storage |C|={size}"
+    benchmark.name = "in-memory"
+    benchmark(run)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_sequential_fault_count_is_page_count(size, benchmark):
+    """One cold pass faults exactly the O(|C|·M/B) data pages."""
+    store = store_for(size)
+
+    def run():
+        store.pool.drop_cache()
+        store.pool.reset_stats()
+        subregion_bounds_from_store(store)
+        return store.pool.stats.page_faults
+
+    benchmark.group = "storage fault counts"
+    benchmark.name = f"|C|={size}"
+    faults = benchmark(run)
+    assert faults == store.n_pages

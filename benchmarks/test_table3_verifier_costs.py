@@ -1,0 +1,53 @@
+"""Table III bench: verifier/refinement cost scaling with |C| and M.
+
+Expected growth per |C| doubling (M doubles too, by construction):
+RS ≈ flat, L-SR and U-SR ≈ ×4 (O(|C|·M)), exact ≈ ×8 (O(|C|²·M))."""
+
+import numpy as np
+import pytest
+
+from repro.core.refinement import Refiner
+from repro.core.subregions import SubregionTable
+from repro.core.verifiers import (
+    LowerSubregionVerifier,
+    RightmostSubregionVerifier,
+    UpperSubregionVerifier,
+)
+from repro.experiments.table3_verifier_costs import build_candidate_table
+
+SIZES = [32, 64, 128]
+
+_TABLES: dict[int, SubregionTable] = {}
+
+
+def table_for(size: int) -> SubregionTable:
+    if size not in _TABLES:
+        _TABLES[size] = build_candidate_table(size, np.random.default_rng(size))
+    return _TABLES[size]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_rs_cost(benchmark, size):
+    verifier = RightmostSubregionVerifier()
+    benchmark.group = f"table3 |C|={size}"
+    benchmark(lambda: verifier.compute(SubregionTable(table_for(size).distributions)))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_lsr_cost(benchmark, size):
+    verifier = LowerSubregionVerifier()
+    benchmark.group = f"table3 |C|={size}"
+    benchmark(lambda: verifier.compute(SubregionTable(table_for(size).distributions)))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_usr_cost(benchmark, size):
+    verifier = UpperSubregionVerifier()
+    benchmark.group = f"table3 |C|={size}"
+    benchmark(lambda: verifier.compute(SubregionTable(table_for(size).distributions)))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_exact_evaluation_cost(benchmark, size):
+    benchmark.group = f"table3 |C|={size}"
+    benchmark(lambda: Refiner(table_for(size)).exact_all())

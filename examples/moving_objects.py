@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Moving objects with dead-reckoning updates (Section I's LBS setting).
+
+Under the dead-reckoning policy a vehicle reports its position only
+when it drifts more than a threshold from the last report, so between
+reports the database's uncertainty region *grows*; on a report, it
+*shrinks* back.  This example runs a small monitoring loop over a 1-D
+road: each tick some vehicles move, their uncertainty widens, a few
+report in and get replaced in the engine through the dynamic
+``insert`` / ``remove`` API (no index rebuild), and a C-PNN finds who
+is probably nearest the incident point.
+
+Run:  python examples/moving_objects.py
+"""
+
+import numpy as np
+
+from repro import CPNNEngine, UncertainObject
+
+
+class Vehicle:
+    """True position + what the database currently believes."""
+
+    def __init__(self, key: str, position: float, report_threshold: float):
+        self.key = key
+        self.position = position
+        self.last_report = position
+        self.report_threshold = report_threshold
+
+    def drive(self, rng: np.random.Generator) -> None:
+        self.position += float(rng.normal(0.0, 1.5))
+
+    def must_report(self) -> bool:
+        return abs(self.position - self.last_report) > self.report_threshold
+
+    def database_object(self) -> UncertainObject:
+        """Uncertainty region: last report ± report threshold."""
+        return UncertainObject.uniform(
+            self.key,
+            self.last_report - self.report_threshold,
+            self.last_report + self.report_threshold,
+        )
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    vehicles = [
+        Vehicle(f"car-{i:02d}", float(rng.uniform(0, 200)), report_threshold=4.0)
+        for i in range(30)
+    ]
+    engine = CPNNEngine([v.database_object() for v in vehicles])
+    incident = 100.0
+
+    print(f"=== Monitoring incident at x = {incident} over 5 ticks ===")
+    for tick in range(1, 6):
+        reports = 0
+        for vehicle in vehicles:
+            vehicle.drive(rng)
+            if vehicle.must_report():
+                # Dead-reckoning update: replace the stale region.
+                engine.remove(vehicle.key)
+                vehicle.last_report = vehicle.position
+                engine.insert(vehicle.database_object())
+                reports += 1
+        result = engine.query(incident, threshold=0.4, tolerance=0.05)
+        nearest = ", ".join(str(k) for k in result.answers) or "(nobody ≥ 40%)"
+        top = max(engine.pnn(incident).items(), key=lambda kv: kv[1])
+        print(
+            f"  tick {tick}: {reports:2d} reports | confident nearest: {nearest:14s}"
+            f" | best candidate {top[0]} at {top[1]:.1%}"
+        )
+
+    print()
+    print("=== Why updates are cheap ===")
+    print("  the R-tree absorbs insert/remove without rebuilding;")
+    print(f"  engine still holds {len(engine)} objects and answers in")
+    timings = engine.query(incident, threshold=0.4, tolerance=0.05).timings
+    print(f"  {1e3 * timings.total:.2f} ms end-to-end.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""repro — reproduction of *Probabilistic Verifiers: Evaluating
+Constrained Nearest-Neighbor Queries over Uncertain Data* (Cheng, Chen,
+Mokbel, Chow — ICDE 2008).
+
+Quickstart::
+
+    from repro import CPNNEngine, CPNNQuery, UncertainObject
+
+    objects = [
+        UncertainObject.uniform("A", 0.0, 4.0),
+        UncertainObject.uniform("B", 1.0, 3.0),
+        UncertainObject.gaussian("C", 2.0, 6.0),
+    ]
+    engine = CPNNEngine(objects)
+    result = engine.query(CPNNQuery(q=2.0, threshold=0.3, tolerance=0.01))
+    print(result.answers)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduction of every figure and table in the paper's evaluation.
+"""
+
+from repro.core import (
+    CKNNEngine,
+    CPNNEngine,
+    CPNNQuery,
+    CPNNResult,
+    EngineConfig,
+    Label,
+    Strategy,
+    SubregionTable,
+    knn_qualification_probabilities,
+)
+from repro.uncertainty import (
+    DistanceDistribution,
+    Histogram,
+    UncertainDisk,
+    UncertainObject,
+    UncertainRectangle,
+    UncertainSegment,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CKNNEngine",
+    "CPNNEngine",
+    "CPNNQuery",
+    "CPNNResult",
+    "DistanceDistribution",
+    "EngineConfig",
+    "Histogram",
+    "Label",
+    "Strategy",
+    "SubregionTable",
+    "UncertainDisk",
+    "UncertainObject",
+    "UncertainRectangle",
+    "UncertainSegment",
+    "knn_qualification_probabilities",
+    "__version__",
+]

@@ -1,0 +1,62 @@
+"""The paper's contribution: C-PNN evaluation with probabilistic verifiers.
+
+Public entry points:
+
+* :class:`~repro.core.engine.CPNNEngine` — full pipeline with the
+  Basic / Refine / VR strategies of Section V;
+* :class:`~repro.core.types.CPNNQuery` — query point + threshold +
+  tolerance (Definition 1);
+* :class:`~repro.core.subregions.SubregionTable` and the verifiers in
+  :mod:`repro.core.verifiers` for direct use;
+* :mod:`repro.core.knn` — the probabilistic k-NN extension.
+"""
+
+from repro.core.bounds import ProbabilityBound
+from repro.core.classifier import classify
+from repro.core.engine import CPNNEngine, EngineConfig, Strategy
+from repro.core.knn import (
+    CKNNEngine,
+    knn_probability_bounds,
+    knn_qualification_probabilities,
+)
+from repro.core.range_query import constrained_range_query, range_probabilities
+from repro.core.refinement import Refiner
+from repro.core.state import CandidateStates
+from repro.core.storage import SubregionStore, subregion_bounds_from_store
+from repro.core.subregions import SubregionTable
+from repro.core.types import AnswerRecord, CPNNQuery, CPNNResult, Label, PhaseTimings
+from repro.core.verifiers import (
+    LowerSubregionVerifier,
+    RightmostSubregionVerifier,
+    UpperSubregionVerifier,
+    VerifierChain,
+    default_chain,
+)
+
+__all__ = [
+    "AnswerRecord",
+    "CKNNEngine",
+    "CPNNEngine",
+    "CPNNQuery",
+    "CPNNResult",
+    "CandidateStates",
+    "EngineConfig",
+    "Label",
+    "LowerSubregionVerifier",
+    "PhaseTimings",
+    "ProbabilityBound",
+    "Refiner",
+    "RightmostSubregionVerifier",
+    "Strategy",
+    "SubregionStore",
+    "SubregionTable",
+    "UpperSubregionVerifier",
+    "VerifierChain",
+    "classify",
+    "constrained_range_query",
+    "default_chain",
+    "knn_probability_bounds",
+    "knn_qualification_probabilities",
+    "range_probabilities",
+    "subregion_bounds_from_store",
+]

@@ -1,0 +1,83 @@
+"""Probability bounds ``[p_i.l, p_i.u]`` and their update rule.
+
+The paper (Section III-B): "a verifier only adjusts the probability
+bound of an unknown object if this new bound is smaller than the one
+previously computed" — i.e. bounds only ever *tighten*, by
+intersection.  This module implements that rule plus the floating-point
+guard described in DESIGN.md: freshly computed bounds are widened by a
+tiny pad so that verifier arithmetic rounding can never exclude the
+true probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ProbabilityBound", "DEFAULT_BOUND_PAD"]
+
+#: Widening applied to freshly computed bounds to absorb fp rounding.
+DEFAULT_BOUND_PAD = 1e-12
+
+
+@dataclass(frozen=True)
+class ProbabilityBound:
+    """A closed sub-interval of [0, 1] containing a probability."""
+
+    lower: float = 0.0
+    upper: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.lower <= 1.0 or not 0.0 <= self.upper <= 1.0:
+            raise ValueError("bounds must lie in [0, 1]")
+        if self.lower > self.upper:
+            raise ValueError(
+                f"lower bound {self.lower} exceeds upper bound {self.upper}"
+            )
+
+    @classmethod
+    def trivial(cls) -> "ProbabilityBound":
+        """The vacuous bound [0, 1] candidates start with."""
+        return cls(0.0, 1.0)
+
+    @classmethod
+    def padded(cls, lower: float, upper: float, pad: float = DEFAULT_BOUND_PAD):
+        """Build a bound widened by ``pad`` on both sides and clamped."""
+        return cls(
+            min(max(lower - pad, 0.0), 1.0),
+            max(min(upper + pad, 1.0), 0.0),
+        )
+
+    @classmethod
+    def exact(cls, p: float, pad: float = DEFAULT_BOUND_PAD) -> "ProbabilityBound":
+        """A (padded) point bound for an exactly computed probability."""
+        return cls.padded(p, p, pad)
+
+    @property
+    def width(self) -> float:
+        """The estimation error ``p_i.u − p_i.l``."""
+        return self.upper - self.lower
+
+    def contains(self, p: float, slack: float = 0.0) -> bool:
+        return self.lower - slack <= p <= self.upper + slack
+
+    def tighten(self, other: "ProbabilityBound") -> "ProbabilityBound":
+        """Intersect with ``other``, never widening either side.
+
+        If rounding makes the intersection empty by a hair the bound
+        collapses to the crossing point; a materially empty
+        intersection indicates a bug upstream and raises.
+        """
+        lower = max(self.lower, other.lower)
+        upper = min(self.upper, other.upper)
+        if lower > upper:
+            if lower - upper > 1e-6:
+                raise ValueError(
+                    f"inconsistent bounds: [{self.lower}, {self.upper}] vs "
+                    f"[{other.lower}, {other.upper}]"
+                )
+            midpoint = 0.5 * (lower + upper)
+            lower = upper = midpoint
+        return ProbabilityBound(lower, upper)
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f"[{self.lower:.4f}, {self.upper:.4f}]"

@@ -1,0 +1,64 @@
+"""The classifier of Section III-B: label bounds against Definition 1.
+
+Given an object's probability bound ``[p.l, p.u]`` and the query's
+threshold ``P`` / tolerance ``Δ``:
+
+* **satisfy** — ``p.u ≥ P`` and (``p.l ≥ P`` or ``p.u − p.l ≤ Δ``);
+  the object is an answer (Figure 4 cases (a) and (b));
+* **fail** — ``p.u < P``; it can never be an answer (case (c));
+* **unknown** — anything else (case (d)); the bound must shrink before
+  a decision is possible.
+
+Comparisons are closed (``≥``) to match Figure 4(a), where the bound
+[0.80, 0.96] with ``P = 0.8`` *satisfies*.  A vectorised variant is
+provided for the numpy-based verification loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bounds import ProbabilityBound
+from repro.core.types import Label
+
+__all__ = ["classify", "classify_arrays"]
+
+#: Integer codes used by the vectorised classifier.
+_UNKNOWN, _SATISFY, _FAIL = 0, 1, 2
+
+_CODE_TO_LABEL = {_UNKNOWN: Label.UNKNOWN, _SATISFY: Label.SATISFY, _FAIL: Label.FAIL}
+
+
+def classify(bound: ProbabilityBound, threshold: float, tolerance: float) -> Label:
+    """Label a single probability bound per Definition 1."""
+    if bound.upper < threshold:
+        return Label.FAIL
+    if bound.lower >= threshold or bound.width <= tolerance:
+        return Label.SATISFY
+    return Label.UNKNOWN
+
+
+def classify_arrays(
+    lower: np.ndarray,
+    upper: np.ndarray,
+    threshold: float,
+    tolerance: float,
+) -> np.ndarray:
+    """Vectorised :func:`classify` over parallel bound arrays.
+
+    Returns an int8 array of codes: 0 = unknown, 1 = satisfy, 2 = fail
+    (decode with :func:`label_from_code`).
+    """
+    lower = np.asarray(lower, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    codes = np.zeros(lower.shape, dtype=np.int8)
+    fail = upper < threshold
+    satisfy = ~fail & ((lower >= threshold) | (upper - lower <= tolerance))
+    codes[fail] = _FAIL
+    codes[satisfy] = _SATISFY
+    return codes
+
+
+def label_from_code(code: int) -> Label:
+    """Decode a vectorised classifier code into a :class:`Label`."""
+    return _CODE_TO_LABEL[int(code)]

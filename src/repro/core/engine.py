@@ -1,0 +1,389 @@
+"""The C-PNN query engine: filtering → verification → refinement.
+
+Implements the three evaluation strategies compared in Section V:
+
+* **Basic** — exact qualification probabilities for every candidate
+  (numerical integration per [5]); answers are ``{i : p_i ≥ P}``.
+* **Refine** — skip verification, run *incremental refinement*
+  directly (per-subregion exact integration with early classification).
+* **VR** — the paper's proposal: the verifier chain (RS → L-SR →
+  U-SR) settles most candidates algebraically; survivors fall through
+  to incremental refinement seeded with the verifier's per-subregion
+  bounds.
+
+All strategies share the same filtering phase and produce identical
+answer sets when the tolerance is 0 (a property-based test); with a
+positive tolerance VR/Refine may legitimately return extra objects
+whose probability lies within Δ below the threshold (Definition 1).
+
+Per-phase wall-clock timings are recorded to reproduce Figures 9–11
+and 14.  The four phases (filtering, initialisation, verification,
+refinement) are disjoint; the paper's three-phase accounting charges
+initialisation (distance pdfs/cdfs + the subregion table) to
+verification, which the Figure 11 driver reconstructs by summing the
+two fields.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Sequence
+
+import numpy as np
+
+from repro.core.bounds import DEFAULT_BOUND_PAD
+from repro.core.refinement import Refiner
+from repro.core.state import CandidateStates
+from repro.core.subregions import SubregionTable
+from repro.core.types import AnswerRecord, CPNNQuery, CPNNResult, Label, PhaseTimings
+from repro.core.verifiers.chain import VerifierChain, default_chain
+from repro.index.filtering import FilterResult, PnnFilter, filter_candidates
+from repro.index.str_pack import str_bulk_load
+
+__all__ = ["CPNNEngine", "EngineConfig", "Strategy"]
+
+_UNKNOWN, _SATISFY, _FAIL = 0, 1, 2
+
+_CODE_TO_LABEL = {_UNKNOWN: Label.UNKNOWN, _SATISFY: Label.SATISFY, _FAIL: Label.FAIL}
+
+
+class Strategy:
+    """String constants naming the three evaluation strategies."""
+
+    BASIC = "basic"
+    REFINE = "refine"
+    VR = "vr"
+
+    ALL = (BASIC, REFINE, VR)
+
+
+@dataclass
+class EngineConfig:
+    """Tuning knobs for :class:`CPNNEngine`.
+
+    Attributes
+    ----------
+    strategy:
+        One of :class:`Strategy`'s constants; default is the paper's
+        proposed VR.
+    chain_factory:
+        Builds the verifier chain used by VR (default: RS → L-SR →
+        U-SR, Figure 5's order).
+    bound_pad:
+        Floating-point guard added around computed bounds
+        (DESIGN.md §5).
+    refinement_order:
+        ``'widest'`` integrates the subregion with the widest remaining
+        bound gap first (fastest classification); ``'left'`` follows
+        ascending distance.
+    quadrature_margin:
+        Extra Gauss–Legendre nodes beyond the exactness requirement.
+    use_rtree:
+        Filter through a bulk-loaded R-tree (True, the paper's setup)
+        or a linear scan (False, for baselining the index itself).
+    rtree_max_entries:
+        Node capacity of the bulk-loaded R-tree.
+    grid_refinement:
+        Split every inner subregion into this many parts before
+        verification: tighter verifier bounds at proportionally higher
+        verification cost (an extension beyond the paper; see the
+        grid-refinement ablation bench).
+    """
+
+    strategy: str = Strategy.VR
+    chain_factory: Callable[[], VerifierChain] = default_chain
+    bound_pad: float = DEFAULT_BOUND_PAD
+    refinement_order: str = "widest"
+    quadrature_margin: int = 1
+    use_rtree: bool = True
+    rtree_max_entries: int = 16
+    grid_refinement: int = 1
+
+    def __post_init__(self) -> None:
+        if self.strategy not in Strategy.ALL:
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.refinement_order not in ("widest", "left"):
+            raise ValueError("refinement_order must be 'widest' or 'left'")
+        if self.grid_refinement < 1:
+            raise ValueError("grid_refinement must be >= 1")
+
+
+@dataclass
+class _Prepared:
+    """Everything shared by the post-filter phases of one query."""
+
+    filter_result: FilterResult
+    table: SubregionTable
+    states: CandidateStates
+    refiner: Refiner
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+
+
+class CPNNEngine:
+    """Evaluates C-PNN (and exact PNN) queries over uncertain objects.
+
+    Parameters
+    ----------
+    objects:
+        Any sequence of objects satisfying the
+        :class:`~repro.uncertainty.objects.SpatialUncertain` protocol
+        (1-D intervals, 2-D disks/segments/rectangles, or a mixture of
+        same-dimension objects).
+    config:
+        Optional :class:`EngineConfig`.
+    """
+
+    def __init__(self, objects: Sequence, config: EngineConfig | None = None):
+        if not objects:
+            raise ValueError("engine requires at least one object")
+        self._objects = tuple(objects)
+        dims = {obj.mbr.dim for obj in self._objects}
+        if len(dims) > 1:
+            raise ValueError(
+                f"all objects must share one dimensionality, got {sorted(dims)}"
+            )
+        self._config = config or EngineConfig()
+        if self._config.use_rtree:
+            tree = str_bulk_load(
+                [(obj.mbr, obj) for obj in self._objects],
+                max_entries=self._config.rtree_max_entries,
+            )
+            self._filter = PnnFilter(tree)
+        else:
+            self._filter = lambda q: filter_candidates(self._objects, q)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def objects(self) -> tuple:
+        return self._objects
+
+    @property
+    def config(self) -> EngineConfig:
+        return self._config
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    # ------------------------------------------------------------------
+    # Dynamic updates (the R-tree substrate supports insert/delete, so
+    # the engine does too — no rebuild needed)
+    # ------------------------------------------------------------------
+
+    def insert(self, obj) -> None:
+        """Add an uncertain object; later queries see it immediately."""
+        if self._objects and obj.mbr.dim != self._objects[0].mbr.dim:
+            raise ValueError("object dimensionality mismatch")
+        self._objects = self._objects + (obj,)
+        if isinstance(self._filter, PnnFilter):
+            self._filter.tree.insert(obj.mbr, obj)
+
+    def remove(self, key: Hashable) -> bool:
+        """Remove the object with identifier ``key``; True if found.
+
+        The engine may become empty, in which case queries raise until
+        an object is inserted again.
+        """
+        victim = None
+        for obj in self._objects:
+            if obj.key == key:
+                victim = obj
+                break
+        if victim is None:
+            return False
+        self._objects = tuple(o for o in self._objects if o is not victim)
+        if isinstance(self._filter, PnnFilter):
+            removed = self._filter.tree.delete(
+                victim.mbr, lambda item: item is victim
+            )
+            assert removed, "index out of sync with object list"
+        return True
+
+    # ------------------------------------------------------------------
+    # Public query API
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        q,
+        threshold: float | None = None,
+        tolerance: float | None = None,
+        strategy: str | None = None,
+    ) -> CPNNResult:
+        """Answer a C-PNN query.
+
+        ``q`` may be a bare query point or a prepared
+        :class:`~repro.core.types.CPNNQuery`; ``threshold``/
+        ``tolerance`` override the query's values when given.
+        """
+        if isinstance(q, CPNNQuery):
+            query = q
+            if threshold is not None or tolerance is not None:
+                query = CPNNQuery(
+                    q.q,
+                    threshold if threshold is not None else q.threshold,
+                    tolerance if tolerance is not None else q.tolerance,
+                )
+        else:
+            query = CPNNQuery(
+                q,
+                threshold if threshold is not None else 0.3,
+                tolerance if tolerance is not None else 0.01,
+            )
+        strategy = strategy or self._config.strategy
+        if strategy not in Strategy.ALL:
+            raise ValueError(f"unknown strategy {strategy!r}")
+
+        prepared = self._prepare(query)
+        if strategy == Strategy.BASIC:
+            return self._run_basic(prepared, query)
+        if strategy == Strategy.REFINE:
+            return self._run_refine(prepared, query)
+        return self._run_vr(prepared, query)
+
+    def pnn(self, q) -> dict[Hashable, float]:
+        """Exact PNN: qualification probability of every candidate.
+
+        Objects pruned by filtering have probability 0 and are omitted,
+        matching the paper's PNN semantics of returning only non-zero
+        probabilities.
+        """
+        query = CPNNQuery(q, threshold=1.0, tolerance=0.0)
+        prepared = self._prepare(query)
+        probabilities = prepared.refiner.exact_all()
+        return {
+            key: float(p)
+            for key, p in zip(prepared.table.keys, probabilities)
+        }
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+
+    def _prepare(self, query: CPNNQuery) -> _Prepared:
+        timings = PhaseTimings()
+        tick = time.perf_counter()
+        filter_result = self._filter(query.q)
+        timings.filtering = time.perf_counter() - tick
+
+        tick = time.perf_counter()
+        distributions = [
+            obj.distance_distribution(query.q) for obj in filter_result.candidates
+        ]
+        table = SubregionTable(
+            distributions, grid_refinement=self._config.grid_refinement
+        )
+        states = CandidateStates(table.keys, pad=self._config.bound_pad)
+        refiner = Refiner(
+            table,
+            quadrature_margin=self._config.quadrature_margin,
+            order=self._config.refinement_order,
+        )
+        timings.initialization = time.perf_counter() - tick
+        return _Prepared(filter_result, table, states, refiner, timings)
+
+    def _run_basic(self, prepared: _Prepared, query: CPNNQuery) -> CPNNResult:
+        timings = prepared.timings
+        tick = time.perf_counter()
+        probabilities = prepared.refiner.exact_all()
+        states = prepared.states
+        for i, p in enumerate(probabilities):
+            states.set_exact(i, float(p))
+            states.labels[i] = _SATISFY if p >= query.threshold else _FAIL
+        timings.refinement = time.perf_counter() - tick
+        return self._assemble(
+            prepared,
+            query,
+            unknown_after={},
+            finished_after_verification=False,
+            refined=prepared.table.size,
+            exact=probabilities,
+        )
+
+    def _run_refine(self, prepared: _Prepared, query: CPNNQuery) -> CPNNResult:
+        timings = prepared.timings
+        states = prepared.states
+        tick = time.perf_counter()
+        refined = 0
+        for i in range(prepared.table.size):
+            if states.labels[i] == _UNKNOWN:
+                prepared.refiner.refine_object(
+                    i, states, query, use_verifier_slices=False
+                )
+                refined += 1
+        timings.refinement = time.perf_counter() - tick
+        return self._assemble(
+            prepared,
+            query,
+            unknown_after={},
+            finished_after_verification=False,
+            refined=refined,
+        )
+
+    def _run_vr(self, prepared: _Prepared, query: CPNNQuery) -> CPNNResult:
+        timings = prepared.timings
+        states = prepared.states
+        chain = self._config.chain_factory()
+
+        tick = time.perf_counter()
+        outcome = chain.run(prepared.table, states, query)
+        timings.verification = time.perf_counter() - tick
+
+        finished = states.n_unknown == 0
+        tick = time.perf_counter()
+        refined = 0
+        for i in states.unknown_indices():
+            prepared.refiner.refine_object(
+                int(i), states, query, use_verifier_slices=True
+            )
+            refined += 1
+        timings.refinement = time.perf_counter() - tick
+        return self._assemble(
+            prepared,
+            query,
+            unknown_after=outcome.unknown_after,
+            finished_after_verification=finished,
+            refined=refined,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _assemble(
+        self,
+        prepared: _Prepared,
+        query: CPNNQuery,
+        unknown_after: dict[str, float],
+        finished_after_verification: bool,
+        refined: int,
+        exact: np.ndarray | None = None,
+    ) -> CPNNResult:
+        states = prepared.states
+        table = prepared.table
+        records = []
+        answers = []
+        for i, key in enumerate(table.keys):
+            label = _CODE_TO_LABEL[int(states.labels[i])]
+            exact_p = float(exact[i]) if exact is not None else None
+            if exact_p is None and states.upper[i] - states.lower[i] <= 3 * states.pad:
+                exact_p = 0.5 * (states.upper[i] + states.lower[i])
+            records.append(
+                AnswerRecord(
+                    key=key,
+                    label=label,
+                    lower=float(states.lower[i]),
+                    upper=float(states.upper[i]),
+                    exact=exact_p,
+                )
+            )
+            if label is Label.SATISFY:
+                answers.append(key)
+        return CPNNResult(
+            answers=tuple(answers),
+            records=records,
+            fmin=prepared.filter_result.fmin,
+            timings=prepared.timings,
+            unknown_after_verifier=dict(unknown_after),
+            finished_after_verification=finished_after_verification,
+            refined_objects=refined,
+        )

@@ -1,0 +1,241 @@
+"""Probabilistic k-nearest-neighbour queries — the paper's future work.
+
+Section VI lists "the evaluation of k-NN queries" as future work; this
+module provides that extension on top of the same substrate:
+
+* :func:`knn_qualification_probabilities` — the exact probability that
+  each object is among the ``k`` nearest neighbours of ``q``:
+
+      p_i(k) = ∫ d_i(r) · Pr[at most k−1 other objects closer than r] dr
+
+  Conditioned on ``R_i = r`` the "closer" indicators are independent
+  Bernoullis with success probabilities ``D_j(r)``, so the inner
+  probability is a Poisson-binomial cdf
+  (:mod:`repro.numerics.poisson_binomial`).  On each piece of the
+  global breakpoint grid the integrand is again a polynomial, so
+  Gauss–Legendre evaluates it exactly.
+
+* :class:`CKNNEngine` — a constrained (threshold/tolerance) k-NN query
+  answered with an RS-style verifier generalisation: with ``f_min^k``
+  the k-th smallest far point, any object farther than ``f_min^k`` has
+  at least ``k`` objects certainly closer, hence
+
+      p_i(k).u ≤ D_i(f_min^k)
+
+  which filters and fails most objects before any integration.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.core.types import AnswerRecord, CPNNQuery, Label
+from repro.numerics.poisson_binomial import prob_at_most_vectorized
+from repro.numerics.quadrature import gauss_legendre_nodes, nodes_for_degree
+from repro.uncertainty.distance import DistanceDistribution
+
+__all__ = [
+    "CKNNEngine",
+    "knn_probability_bounds",
+    "knn_qualification_probabilities",
+    "kth_smallest_far",
+]
+
+
+def kth_smallest_far(distributions: Sequence[DistanceDistribution], k: int) -> float:
+    """``f_min^k`` — the k-th smallest far point of the candidate set."""
+    fars = sorted(d.far for d in distributions)
+    if not 1 <= k <= len(fars):
+        raise ValueError("k must lie in [1, number of objects]")
+    return fars[k - 1]
+
+
+def knn_probability_bounds(
+    distributions: Sequence[DistanceDistribution], k: int
+) -> list[tuple[float, float]]:
+    """Cheap algebraic bounds on ``Pr[object i among the k NNs]``.
+
+    The RS-style pair of observations, one per side:
+
+    * **upper** — with ``f_min^k`` the k-th smallest far point, any
+      distance beyond it certainly has ≥ k objects closer, so
+      ``p_i(k).u ≤ D_i(f_min^k)``;
+    * **lower** — with ``n^k_{-i}`` the k-th smallest *near* point
+      among the *other* objects, any distance below it can have at
+      most k−1 others closer, so ``p_i(k).l ≥ D_i(n^k_{-i})``
+      (evaluated just below the point; the cdf is continuous for
+      histogram models, so the cdf value itself is sound).
+
+    Both bounds cost O(|C| log |C|) total — no integration.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    n = len(distributions)
+    if k >= n:
+        return [(1.0, 1.0)] * n
+    fmin_k = kth_smallest_far(distributions, k)
+    nears = sorted(d.near for d in distributions)
+    bounds = []
+    for dist in distributions:
+        upper = float(dist.cdf(fmin_k))
+        # k-th smallest near point among the others: drop one instance
+        # of this object's own near point from the sorted list.
+        own_index = nears.index(dist.near)
+        others = nears[:own_index] + nears[own_index + 1 :]
+        lower_cut = others[k - 1]
+        lower = float(dist.cdf(lower_cut))
+        bounds.append((min(lower, upper), upper))
+    return bounds
+
+
+def _breakpoint_grid(
+    distributions: Sequence[DistanceDistribution], lo: float, hi: float
+) -> np.ndarray:
+    """All pdf breakpoints of all objects inside [lo, hi]."""
+    pool = [np.asarray([lo, hi])]
+    for dist in distributions:
+        edges = dist.breakpoints
+        pool.append(edges[(edges > lo) & (edges < hi)])
+    grid = np.unique(np.concatenate(pool))
+    return grid[(grid >= lo) & (grid <= hi)]
+
+
+def knn_qualification_probabilities(
+    objects: Sequence,
+    q,
+    k: int,
+    quadrature_margin: int = 1,
+) -> dict[Hashable, float]:
+    """Exact ``Pr[object is among the k NNs of q]`` for every object.
+
+    ``objects`` may be ``SpatialUncertain`` objects or ready-made
+    distance distributions.  Objects with zero probability (entirely
+    beyond ``f_min^k``) are reported as 0.0.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    distributions = [
+        obj if isinstance(obj, DistanceDistribution) else obj.distance_distribution(q)
+        for obj in objects
+    ]
+    if k >= len(distributions):
+        # Every object is trivially among the k nearest.
+        return {d.key: 1.0 for d in distributions}
+    fmin_k = kth_smallest_far(distributions, k)
+    n = len(distributions)
+    degree = n - 1
+    n_nodes = nodes_for_degree(degree) + int(quadrature_margin)
+    xs_unit, ws = gauss_legendre_nodes(n_nodes)
+
+    results: dict[Hashable, float] = {}
+    for i, dist in enumerate(distributions):
+        lo = dist.near
+        hi = min(dist.far, fmin_k)
+        if hi <= lo:
+            results[dist.key] = 0.0
+            continue
+        grid = _breakpoint_grid(distributions, lo, hi)
+        total = 0.0
+        others = [d for j, d in enumerate(distributions) if j != i]
+        for a, b in zip(grid[:-1], grid[1:]):
+            if b <= a:
+                continue
+            half = 0.5 * (b - a)
+            xs = 0.5 * (a + b) + half * xs_unit
+            closer = np.vstack([np.asarray(d.cdf(xs)) for d in others])
+            at_most = prob_at_most_vectorized(closer, k - 1)
+            density = np.asarray(dist.pdf(xs))
+            total += half * float(ws @ (density * at_most))
+        results[dist.key] = min(max(total, 0.0), 1.0)
+    return results
+
+
+class CKNNEngine:
+    """Constrained probabilistic k-NN: threshold/tolerance semantics of
+    Definition 1 applied to k-NN qualification probabilities.
+
+    The verification stage uses the RS-style bound
+    ``p_i(k).u ≤ D_i(f_min^k)``; objects that survive it are resolved
+    with the exact integral.  (Tolerance only matters in the verifier
+    stage: exact values have zero bound width.)
+    """
+
+    def __init__(self, objects: Sequence, k: int) -> None:
+        if not objects:
+            raise ValueError("CKNNEngine requires at least one object")
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self._objects = tuple(objects)
+        self._k = int(k)
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    def query(
+        self, q, threshold: float = 0.3, tolerance: float = 0.0
+    ) -> tuple[tuple, list[AnswerRecord]]:
+        """Returns (answer keys, per-object records)."""
+        query = CPNNQuery(q, threshold, tolerance)
+        distributions = [obj.distance_distribution(q) for obj in self._objects]
+        k = min(self._k, len(distributions))
+        records: list[AnswerRecord] = []
+        if k >= len(distributions):
+            answers = tuple(d.key for d in distributions)
+            records = [
+                AnswerRecord(key=d.key, label=Label.SATISFY, lower=1.0, upper=1.0, exact=1.0)
+                for d in distributions
+            ]
+            return answers, records
+        # RS-style verification on both sides (no integration):
+        # fail when the upper bound misses P, satisfy when the lower
+        # bound clears it, integrate exactly only for the rest.
+        bounds = knn_probability_bounds(distributions, k)
+        needs_exact = [
+            i
+            for i, (lower, upper) in enumerate(bounds)
+            if lower < query.threshold <= upper
+        ]
+        exact_probs: dict[Hashable, float] = {}
+        if needs_exact:
+            exact_probs = knn_qualification_probabilities(
+                distributions, q, k
+            )
+        answers = []
+        for i, dist in enumerate(distributions):
+            lower, upper = bounds[i]
+            if upper < query.threshold:
+                records.append(
+                    AnswerRecord(
+                        key=dist.key,
+                        label=Label.FAIL,
+                        lower=lower,
+                        upper=upper,
+                        exact=None,
+                    )
+                )
+                continue
+            if lower >= query.threshold:
+                records.append(
+                    AnswerRecord(
+                        key=dist.key,
+                        label=Label.SATISFY,
+                        lower=lower,
+                        upper=upper,
+                        exact=None,
+                    )
+                )
+                answers.append(dist.key)
+                continue
+            p = exact_probs[dist.key]
+            label = Label.SATISFY if p >= query.threshold else Label.FAIL
+            records.append(
+                AnswerRecord(
+                    key=dist.key, label=label, lower=p, upper=p, exact=p
+                )
+            )
+            if label is Label.SATISFY:
+                answers.append(dist.key)
+        return tuple(answers), records

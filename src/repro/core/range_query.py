@@ -1,0 +1,88 @@
+"""Constrained probabilistic range queries.
+
+The paper's related work (Section II) points at probabilistic *range*
+queries ([16], Tao et al.) as the sibling problem to PNN.  On the
+attribute-uncertainty model they are much easier than PNN because
+objects do not interact: the probability that object ``i`` lies within
+distance ``r`` of the query point is simply its distance cdf,
+
+    Pr[|X_i − q| ≤ r] = D_i(r)
+
+This module answers the *constrained* variant with the same
+filter-then-verify philosophy as the C-PNN engine:
+
+1. **MBR verification** (no pdf access): ``maxdist(q) ≤ r`` proves
+   probability 1, ``mindist(q) > r`` proves probability 0;
+2. **exact evaluation** of ``D_i(r)`` only for objects whose bounding
+   box straddles the range.
+
+With a threshold ``P`` and tolerance ``Δ`` the answer obeys the same
+contract as the C-PNN: ``{i : D_i(r) ≥ P} ⊆ answer ⊆
+{i : D_i(r) ≥ P − Δ}`` (with Δ only mattering for the MBR-decided
+objects, whose bounds are 0/1 — so the answer is in fact exact).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.core.types import AnswerRecord, Label
+
+__all__ = ["range_probabilities", "constrained_range_query"]
+
+
+def range_probabilities(
+    objects: Sequence, q, radius: float
+) -> dict[Hashable, float]:
+    """``Pr[|X_i − q| ≤ radius]`` for every object (exact)."""
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    results: dict[Hashable, float] = {}
+    for obj in objects:
+        if obj.maxdist(q) <= radius:
+            results[obj.key] = 1.0
+        elif obj.mindist(q) > radius:
+            results[obj.key] = 0.0
+        else:
+            results[obj.key] = float(obj.distance_distribution(q).cdf(radius))
+    return results
+
+
+def constrained_range_query(
+    objects: Sequence,
+    q,
+    radius: float,
+    threshold: float,
+    tolerance: float = 0.0,
+) -> tuple[tuple, list[AnswerRecord]]:
+    """Objects within ``radius`` of ``q`` with probability ≥ ``threshold``.
+
+    Returns ``(answer keys, per-object records)``.  Objects decided by
+    their bounding boxes never touch their pdfs; the records show
+    which path decided each object (bound width 0 for MBR decisions
+    and exact evaluations alike — range probabilities are cheap enough
+    that no partial bounds are ever needed).
+    """
+    if not objects:
+        raise ValueError("need at least one object")
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must lie in (0, 1]")
+    if not 0.0 <= tolerance <= 1.0:
+        raise ValueError("tolerance must lie in [0, 1]")
+    answers = []
+    records: list[AnswerRecord] = []
+    for obj in objects:
+        if obj.maxdist(q) <= radius:
+            p, exact = 1.0, None
+        elif obj.mindist(q) > radius:
+            p, exact = 0.0, None
+        else:
+            p = float(obj.distance_distribution(q).cdf(radius))
+            exact = p
+        label = Label.SATISFY if p >= threshold else Label.FAIL
+        records.append(
+            AnswerRecord(key=obj.key, label=label, lower=p, upper=p, exact=exact)
+        )
+        if label is Label.SATISFY:
+            answers.append(obj.key)
+    return tuple(answers), records

@@ -1,0 +1,134 @@
+"""Query types and answer labels for the C-PNN (Definition 1).
+
+A Constrained Probabilistic Nearest-Neighbor query is a query point
+plus two quality constraints:
+
+* **threshold** ``P ∈ (0, 1]`` — only objects whose qualification
+  probability is (or may be) at least ``P`` are returned;
+* **tolerance** ``Δ ∈ [0, 1]`` — the amount of *estimation error*
+  allowed: an object may be returned while its probability is only
+  known to lie in a band of width ≤ Δ crossing the threshold.
+
+The resulting engine contract (proved in DESIGN.md §5 and enforced by
+the property tests) is::
+
+    {i : p_i >= P}  ⊆  answer  ⊆  {i : p_i >= P - Δ}
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Hashable
+
+__all__ = ["CPNNQuery", "Label"]
+
+
+class Label(enum.Enum):
+    """Classification of a candidate against the C-PNN conditions.
+
+    Mirrors the three outcomes of the paper's classifier (Section
+    III-B): *satisfy* objects are answers, *fail* objects can never be
+    answers, *unknown* objects need more work (another verifier, or
+    refinement).
+    """
+
+    UNKNOWN = "unknown"
+    SATISFY = "satisfy"
+    FAIL = "fail"
+
+
+@dataclass(frozen=True)
+class CPNNQuery:
+    """A C-PNN query: point ``q`` with threshold ``P`` and tolerance ``Δ``.
+
+    Attributes
+    ----------
+    q:
+        The query point — a float for 1-D data or a coordinate sequence
+        for 2-D data.
+    threshold:
+        ``P ∈ (0, 1]``.  The paper's default in Section V is 0.3.
+    tolerance:
+        ``Δ ∈ [0, 1]``.  The paper's default in Section V is 0.01.
+    """
+
+    q: object
+    threshold: float = 0.3
+    tolerance: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError("threshold P must lie in (0, 1]")
+        if not 0.0 <= self.tolerance <= 1.0:
+            raise ValueError("tolerance Δ must lie in [0, 1]")
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock seconds spent in each phase of Figure 3's framework."""
+
+    filtering: float = 0.0
+    initialization: float = 0.0
+    verification: float = 0.0
+    refinement: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.filtering + self.initialization + self.verification + self.refinement
+
+
+@dataclass
+class AnswerRecord:
+    """Everything known about one candidate at the end of a query."""
+
+    key: Hashable
+    label: Label
+    lower: float
+    upper: float
+    exact: float | None = None
+
+    @property
+    def bound_width(self) -> float:
+        return self.upper - self.lower
+
+
+@dataclass
+class CPNNResult:
+    """Outcome of a C-PNN evaluation.
+
+    Attributes
+    ----------
+    answers:
+        Keys of the objects labelled *satisfy*, i.e. the query answer.
+    records:
+        Per-candidate diagnostics (final bound, label, exact
+        probability when it was computed).
+    fmin:
+        The filtering radius used to prune.
+    timings:
+        Per-phase wall-clock times (Figure 11's decomposition).
+    unknown_after_verifier:
+        Fraction of candidates still unknown after each verifier in
+        the chain ran (Figure 12's series); empty when verification
+        was skipped.
+    finished_after_verification:
+        Whether the query needed no refinement at all (Figure 13's
+        metric).
+    refined_objects:
+        Number of candidates that entered the refinement phase.
+    """
+
+    answers: tuple
+    records: list[AnswerRecord] = field(default_factory=list)
+    fmin: float = float("nan")
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+    unknown_after_verifier: dict[str, float] = field(default_factory=dict)
+    finished_after_verification: bool = False
+    refined_objects: int = 0
+
+    def record_for(self, key: Hashable) -> AnswerRecord:
+        for record in self.records:
+            if record.key == key:
+                return record
+        raise KeyError(key)

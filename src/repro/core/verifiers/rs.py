@@ -1,0 +1,30 @@
+"""The Rightmost-Subregion (RS) verifier — Lemma 1 of the paper.
+
+Any object whose distance exceeds ``f_min`` cannot be the nearest
+neighbour (some object is certainly within ``f_min``).  Hence the
+probability mass an object carries in the rightmost subregion
+``S_M = [f_min, f_max]`` bounds its qualification probability from
+above:
+
+    p_i.u ≤ 1 − s_iM = D_i(f_min)
+
+Cost: O(|C|) given the subregion table — the cheapest verifier, so it
+runs first in the chain.
+"""
+
+from __future__ import annotations
+
+from repro.core.subregions import SubregionTable
+from repro.core.verifiers.base import BoundUpdate, Verifier
+
+__all__ = ["RightmostSubregionVerifier"]
+
+
+class RightmostSubregionVerifier(Verifier):
+    """Upper-bound verifier using only rightmost-subregion mass."""
+
+    name = "RS"
+    cost_rank = 0
+
+    def compute(self, table: SubregionTable) -> BoundUpdate:
+        return BoundUpdate(upper=1.0 - table.s_right)

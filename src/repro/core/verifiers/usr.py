@@ -1,0 +1,40 @@
+"""The Upper-Subregion (U-SR) verifier — Equation 5 / Appendix I.
+
+Split on whether any other object falls below the subregion's *upper*
+end-point ``e_{j+1}`` (event F̄).  If none does, ``X_i`` is certainly
+the NN; otherwise at least two objects share ``S_j`` and
+exchangeability caps the conditional probability at ½:
+
+    q_ij.u = ½ · ( Π_{k≠i, U_k∩S_{j+1}≠∅} (1 − D_k(e_{j+1}))
+                 + Π_{k≠i, U_k∩S_j≠∅}     (1 − D_k(e_j)) )
+
+which is Equation 11's form ``½ (Z_i(e_{j+1}) + Z_i(e_j))`` — the
+products were already computed (and cached) for L-SR, exactly the
+reuse the paper describes in Appendix I.  Aggregation is Equation 4
+with ``q_ij.u`` in place of ``q_ij.l``:
+
+    p_i.u = Σ_{j<M} s_ij · q_ij.u
+
+Cost: O(|C|·M).  U-SR lowers *upper* bounds, so it shines at large
+thresholds where most objects must be proven to *fail* (Figure 12).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.subregions import SubregionTable
+from repro.core.verifiers.base import BoundUpdate, Verifier
+
+__all__ = ["UpperSubregionVerifier"]
+
+
+class UpperSubregionVerifier(Verifier):
+    """Upper-bound verifier from the two-sided subregion split."""
+
+    name = "U-SR"
+    cost_rank = 2
+
+    def compute(self, table: SubregionTable) -> BoundUpdate:
+        upper = np.einsum("ij,ij->i", table.s_inner, table.q_upper)
+        return BoundUpdate(upper=np.clip(upper, 0.0, 1.0))

@@ -1,0 +1,33 @@
+"""Workload generators for the experiments of Section V.
+
+The paper evaluates on the Long Beach County TIGER dataset: "53,144
+intervals, distributed in the x-dimension of 10K units, treated as
+uncertainty regions with uniform pdfs", with randomly generated query
+points and an average candidate-set size of 96.  The dataset itself is
+a census.gov download that is not available offline, so
+:mod:`repro.datasets.longbeach` generates a statistically matched
+surrogate (see DESIGN.md §4 for the substitution argument); generic
+synthetic workloads live in :mod:`repro.datasets.synthetic`.
+"""
+
+from repro.datasets.longbeach import LONG_BEACH_SIZE, long_beach_surrogate
+from repro.datasets.planar import planar_disks, planar_mixed_objects
+from repro.datasets.queries import random_query_points
+from repro.datasets.synthetic import (
+    clustered_intervals,
+    interval_objects,
+    mixed_pdf_objects,
+    uniform_intervals,
+)
+
+__all__ = [
+    "LONG_BEACH_SIZE",
+    "clustered_intervals",
+    "interval_objects",
+    "long_beach_surrogate",
+    "mixed_pdf_objects",
+    "planar_disks",
+    "planar_mixed_objects",
+    "random_query_points",
+    "uniform_intervals",
+]

@@ -1,0 +1,78 @@
+"""2-D workload generators (disks, segments, rectangles in a plane).
+
+Used by the 2-D integration tests and the 2-D pipeline bench; mirrors
+the moving-object setting of [8] that the paper's Section IV-A
+extension targets (disk = dead-reckoned vehicle, segment = object on a
+road, rectangle = cloaked location).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.uncertainty.twod import (
+    UncertainDisk,
+    UncertainRectangle,
+    UncertainSegment,
+)
+
+__all__ = ["planar_mixed_objects", "planar_disks"]
+
+
+def planar_disks(
+    n: int,
+    domain: tuple[float, float] = (0.0, 1_000.0),
+    max_radius: float = 8.0,
+    distance_bins: int = 96,
+    rng: np.random.Generator | None = None,
+) -> list[UncertainDisk]:
+    """``n`` dead-reckoned objects: disks of random radius."""
+    rng = rng or np.random.default_rng()
+    disks = []
+    for i in range(n):
+        center = rng.uniform(domain[0], domain[1], 2)
+        radius = float(rng.uniform(0.5, max_radius))
+        disks.append(
+            UncertainDisk(i, center, radius, distance_bins=distance_bins)
+        )
+    return disks
+
+
+def planar_mixed_objects(
+    n: int,
+    domain: tuple[float, float] = (0.0, 1_000.0),
+    max_extent: float = 10.0,
+    distance_bins: int = 96,
+    rng: np.random.Generator | None = None,
+) -> list:
+    """``n`` objects cycling disk → segment → rectangle."""
+    rng = rng or np.random.default_rng()
+    objects: list = []
+    for i in range(n):
+        center = rng.uniform(domain[0], domain[1], 2)
+        kind = i % 3
+        if kind == 0:
+            radius = float(rng.uniform(0.5, max_extent / 2))
+            objects.append(
+                UncertainDisk(i, center, radius, distance_bins=distance_bins)
+            )
+        elif kind == 1:
+            offset = rng.uniform(0.5, max_extent, 2)
+            objects.append(
+                UncertainSegment(
+                    i, center, center + offset, distance_bins=distance_bins
+                )
+            )
+        else:
+            w, h = rng.uniform(0.5, max_extent, 2)
+            objects.append(
+                UncertainRectangle.from_bounds(
+                    i,
+                    float(center[0]),
+                    float(center[1]),
+                    float(center[0] + w),
+                    float(center[1] + h),
+                    distance_bins=distance_bins,
+                )
+            )
+    return objects

@@ -1,0 +1,20 @@
+"""Query-point generation (Section V-A: "query points are randomly
+generated", each reported number averaging 100 queries)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_query_points"]
+
+
+def random_query_points(
+    n: int,
+    domain: tuple[float, float] = (0.0, 10_000.0),
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """``n`` uniform 1-D query points inside ``domain``."""
+    if n < 1:
+        raise ValueError("need at least one query point")
+    rng = rng or np.random.default_rng()
+    return rng.uniform(domain[0], domain[1], n)

@@ -1,0 +1,28 @@
+"""Experiment drivers reproducing every figure and table of Section V.
+
+Each module exposes a ``Params`` dataclass (scaled-down defaults so the
+full suite runs on a laptop in minutes; raise ``n_queries`` / sizes to
+approach the paper's exact setup) and a ``run(params) -> ExperimentResult``
+function that returns the same series the paper plots.
+
+Run from the command line::
+
+    python -m repro.experiments fig10
+    python -m repro.experiments all --queries 20
+
+Index (see DESIGN.md §3 for the full mapping):
+
+=========  ====================================================
+fig9       Basic vs Filtering time as table size grows
+fig10      Query time vs threshold P for Basic / Refine / VR
+fig11      VR phase breakdown (filter / verify / refine) vs P
+fig12      Unknown fraction after RS / L-SR / U-SR vs P
+fig13      Queries finished after verification vs tolerance Δ
+fig14      Gaussian-pdf workload: time vs P (log scale)
+table3     Verifier cost scaling vs |C| and M (Table III)
+=========  ====================================================
+"""
+
+from repro.experiments.report import ExperimentResult, Series
+
+__all__ = ["ExperimentResult", "Series"]

@@ -1,0 +1,82 @@
+"""Command-line entry point: regenerate any figure/table of the paper.
+
+Examples::
+
+    python -m repro.experiments fig10
+    python -m repro.experiments fig12 --queries 50
+    python -m repro.experiments all --out results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+
+from repro.experiments import fig09_basic_vs_filtering as fig09
+from repro.experiments import fig10_time_vs_threshold as fig10
+from repro.experiments import fig11_vr_breakdown as fig11
+from repro.experiments import fig12_verifier_comparison as fig12
+from repro.experiments import fig13_tolerance as fig13
+from repro.experiments import fig14_gaussian as fig14
+from repro.experiments import table3_verifier_costs as table3
+
+__all__ = ["main"]
+
+_EXPERIMENTS = {
+    "fig9": (fig09.run, fig09.Fig09Params),
+    "fig10": (fig10.run, fig10.Fig10Params),
+    "fig11": (fig11.run, fig11.Fig11Params),
+    "fig12": (fig12.run, fig12.Fig12Params),
+    "fig13": (fig13.run, fig13.Fig13Params),
+    "fig14": (fig14.run, fig14.Fig14Params),
+    "table3": (table3.run, table3.Table3Params),
+}
+
+
+def _with_overrides(params_cls, args: argparse.Namespace):
+    params = params_cls()
+    if args.queries is not None and hasattr(params, "n_queries"):
+        params = dataclasses.replace(params, n_queries=args.queries)
+    if args.size is not None and hasattr(params, "dataset_size"):
+        params = dataclasses.replace(params, dataset_size=args.size)
+    if args.bars is not None and hasattr(params, "bars"):
+        params = dataclasses.replace(params, bars=args.bars)
+    return params
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the figures/tables of the C-PNN paper (ICDE 2008).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument("--queries", type=int, default=None, help="queries per point")
+    parser.add_argument("--size", type=int, default=None, help="dataset size |T|")
+    parser.add_argument("--bars", type=int, default=None, help="Gaussian histogram bars")
+    parser.add_argument("--out", type=str, default=None, help="also write to this file")
+    args = parser.parse_args(argv)
+
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    chunks = []
+    for name in names:
+        runner, params_cls = _EXPERIMENTS[name]
+        tick = time.perf_counter()
+        result = runner(_with_overrides(params_cls, args))
+        elapsed = time.perf_counter() - tick
+        text = result.to_text() + f"\n(driver wall-clock: {elapsed:.1f}s)\n"
+        print(text)
+        chunks.append(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(chunks))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""Result containers and plain-text table rendering.
+
+The harness reports the same rows/series a figure plots; rendering is
+deliberately dependency-free (aligned text tables) so results can be
+diffed and committed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["ExperimentResult", "Series", "format_table"]
+
+
+@dataclass
+class Series:
+    """One plotted line: a name plus aligned x/y values."""
+
+    name: str
+    xs: list[float] = field(default_factory=list)
+    ys: list[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.xs.append(float(x))
+        self.ys.append(float(y))
+
+
+@dataclass
+class ExperimentResult:
+    """Everything an experiment driver reports."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    params: dict = field(default_factory=dict)
+
+    def series_by_name(self, name: str) -> Series:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def to_text(self) -> str:
+        """Render as the rows/series the paper's figure shows."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.params:
+            rendered = ", ".join(f"{k}={v}" for k, v in self.params.items())
+            lines.append(f"params: {rendered}")
+        if self.series:
+            xs = self.series[0].xs
+            headers = [self.x_label] + [s.name for s in self.series]
+            rows = []
+            for idx, x in enumerate(xs):
+                row = [_fmt(x)]
+                for s in self.series:
+                    row.append(_fmt(s.ys[idx]) if idx < len(s.ys) else "-")
+                rows.append(row)
+            lines.append(format_table(headers, rows))
+            lines.append(f"(y: {self.y_label})")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    if abs(value) >= 100 or (abs(value) < 0.001 and value != 0):
+        return f"{value:.4g}"
+    return f"{value:.4f}"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Align columns of a text table."""
+    columns = [list(col) for col in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    def render(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+    lines = [render(headers), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in rows)
+    return "\n".join(lines)

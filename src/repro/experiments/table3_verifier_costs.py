@@ -1,0 +1,138 @@
+"""Table III — empirical verifier cost scaling.
+
+The paper's cost model:
+
+=========  =============  ===========
+Algorithm  Bound          Cost
+=========  =============  ===========
+RS         upper          O(|C|)
+L-SR       lower          O(|C|·M)
+U-SR       upper          O(|C|·M)
+exact      —              O(|C|²·M)
+=========  =============  ===========
+
+We construct candidate sets of controlled size (every interval stabs
+the query point, so |C| = n and M grows linearly with |C|), time each
+verifier and the exact evaluation, and report per-size times plus the
+empirical growth factor per doubling of |C| (≈2 for linear-in-C
+stages, ≈4 for the inner-verifier product stage where M itself doubles
+too, ≈8 for exact evaluation).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.refinement import Refiner
+from repro.core.subregions import SubregionTable
+from repro.core.verifiers import (
+    LowerSubregionVerifier,
+    RightmostSubregionVerifier,
+    UpperSubregionVerifier,
+)
+from repro.experiments.report import ExperimentResult, Series
+from repro.uncertainty.objects import UncertainObject
+
+__all__ = ["Table3Params", "run", "build_candidate_table"]
+
+
+@dataclass
+class Table3Params:
+    sizes: tuple[int, ...] = (16, 32, 64, 128, 256)
+    repeats: int = 5
+    seed: int = 7
+
+
+def build_candidate_table(size: int, rng: np.random.Generator) -> SubregionTable:
+    """A candidate set of exactly ``size`` objects, all stabbing q=0.
+
+    Every interval reaches just past ``f_min`` on one side and folds at
+    a distinct distance on the other, so each object contributes one
+    end-point below ``f_min`` and ``M`` grows linearly with ``|C|`` —
+    the regime Table III's O(|C|·M) terms describe.
+    """
+    objects = []
+    for i in range(size):
+        fold = float(rng.uniform(0.1, 9.0))
+        reach = float(rng.uniform(10.0, 20.0))
+        if rng.random() < 0.5:
+            objects.append(UncertainObject.uniform(i, -fold, reach))
+        else:
+            objects.append(UncertainObject.uniform(i, -reach, fold))
+    distributions = [obj.distance_distribution(0.0) for obj in objects]
+    return SubregionTable(distributions)
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        tick = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - tick)
+    return best
+
+
+def run(params: Table3Params | None = None) -> ExperimentResult:
+    params = params or Table3Params()
+    rng = np.random.default_rng(params.seed)
+    result = ExperimentResult(
+        experiment_id="table3",
+        title="Complexity of verifiers (empirical)",
+        x_label="|C|",
+        y_label="best-of runtime (ms)",
+        params={"repeats": params.repeats},
+    )
+    m_series = Series("M")
+    rs_series = Series("RS_ms")
+    lsr_series = Series("L-SR_ms")
+    usr_series = Series("U-SR_ms")
+    exact_series = Series("exact_ms")
+    rs, lsr, usr = (
+        RightmostSubregionVerifier(),
+        LowerSubregionVerifier(),
+        UpperSubregionVerifier(),
+    )
+    for size in params.sizes:
+        tables = [build_candidate_table(size, rng) for _ in range(params.repeats)]
+        m_series.add(size, float(np.mean([t.n_subregions for t in tables])))
+
+        def time_verifier(verifier) -> float:
+            best = float("inf")
+            for table in tables:
+                fresh = SubregionTable(table.distributions)
+                tick = time.perf_counter()
+                verifier.compute(fresh)
+                best = min(best, time.perf_counter() - tick)
+            return best
+
+        rs_series.add(size, 1e3 * time_verifier(rs))
+        lsr_series.add(size, 1e3 * time_verifier(lsr))
+        usr_series.add(size, 1e3 * time_verifier(usr))
+        exact_best = float("inf")
+        for table in tables:
+            refiner = Refiner(table)
+            tick = time.perf_counter()
+            refiner.exact_all()
+            exact_best = min(exact_best, time.perf_counter() - tick)
+        exact_series.add(size, 1e3 * exact_best)
+    result.series = [m_series, rs_series, lsr_series, usr_series, exact_series]
+    for series, label in (
+        (lsr_series, "L-SR"),
+        (usr_series, "U-SR"),
+        (exact_series, "exact"),
+    ):
+        if len(series.ys) >= 2 and series.ys[0] > 0:
+            factor = (series.ys[-1] / series.ys[0]) ** (
+                1.0 / (len(series.ys) - 1)
+            )
+            result.notes.append(
+                f"{label}: avg growth factor per |C| doubling ≈ {factor:.1f}"
+            )
+    result.notes.append(
+        "expected: RS ≈ flat/linear, L-SR & U-SR ≈ ×4 per doubling "
+        "(C and M both double), exact ≈ ×8 (extra factor of C)"
+    )
+    return result

@@ -1,0 +1,39 @@
+"""Shared experiment setup: cached engines over the surrogate workload.
+
+Building 53,144 objects plus a bulk-loaded R-tree takes a couple of
+seconds; every figure reuses the same workload, so engines are cached
+per (size, pdf family, bars, mean length) within the process.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.engine import CPNNEngine, EngineConfig
+from repro.datasets.longbeach import LONG_BEACH_DOMAIN, long_beach_surrogate
+from repro.datasets.queries import random_query_points
+
+__all__ = ["cached_engine", "query_points", "DEFAULT_QUERY_SEED"]
+
+DEFAULT_QUERY_SEED = 12345
+
+
+@lru_cache(maxsize=8)
+def cached_engine(
+    n: int,
+    pdf: str = "uniform",
+    bars: int = 300,
+    mean_length: float | None = None,
+) -> CPNNEngine:
+    """A C-PNN engine over the Long Beach surrogate (memoised)."""
+    kwargs = {} if mean_length is None else {"mean_length": mean_length}
+    objects = long_beach_surrogate(n=n, pdf=pdf, bars=bars, **kwargs)
+    return CPNNEngine(objects, EngineConfig())
+
+
+def query_points(n_queries: int, seed: int = DEFAULT_QUERY_SEED) -> np.ndarray:
+    """Deterministic random query points over the surrogate domain."""
+    rng = np.random.default_rng(seed)
+    return random_query_points(n_queries, domain=LONG_BEACH_DOMAIN, rng=rng)

@@ -1,0 +1,85 @@
+"""PNN filtering: prune objects with zero qualification probability.
+
+This is the first phase of the paper's framework (Figure 3), based on
+reference [8]: let ``f_min`` be the minimum over all objects of their
+*far* distance from the query point.  Any object whose *near* distance
+exceeds ``f_min`` can never be the nearest neighbour — some other
+object is certainly closer — so only objects with ``near <= f_min``
+survive as the *candidate set* ``C``.
+
+Two implementations are provided with identical semantics:
+
+* :class:`PnnFilter` — R-tree branch-and-bound (two best-first passes);
+* :func:`filter_candidates` — a vectorisable linear scan used as the
+  correctness reference and for small datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.index.rtree import RTree, RTreeStats
+
+__all__ = ["FilterResult", "PnnFilter", "filter_candidates"]
+
+
+@dataclass(frozen=True)
+class FilterResult:
+    """Outcome of the filtering phase.
+
+    Attributes
+    ----------
+    candidates:
+        Objects that may have non-zero qualification probability,
+        i.e. ``mindist(q) <= f_min``.
+    fmin:
+        The pruning radius: minimum over all objects of ``maxdist(q)``.
+    stats:
+        Index traversal counters (empty for the linear scan).
+    """
+
+    candidates: tuple
+    fmin: float
+    stats: RTreeStats = field(default_factory=RTreeStats)
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+
+def filter_candidates(objects: Sequence, q) -> FilterResult:
+    """Reference linear-scan filter over ``SpatialUncertain`` objects."""
+    if not objects:
+        raise ValueError("cannot filter an empty object collection")
+    fmin = min(obj.maxdist(q) for obj in objects)
+    candidates = tuple(obj for obj in objects if obj.mindist(q) <= fmin)
+    return FilterResult(candidates=candidates, fmin=fmin)
+
+
+class PnnFilter:
+    """R-tree-backed filtering with branch-and-bound pruning.
+
+    Pass 1 computes ``f_min`` by best-first descent ordered by node
+    ``mindist`` (a node whose ``mindist`` exceeds the best ``maxdist``
+    found so far cannot improve it).  Pass 2 reports every object whose
+    MBR ``mindist`` is within ``f_min``.
+
+    Because an object's MBR min/max distances equal its uncertainty
+    region's near/far distance, the survivors are exactly the paper's
+    candidate set.
+    """
+
+    def __init__(self, tree: RTree) -> None:
+        if len(tree) == 0:
+            raise ValueError("cannot filter with an empty index")
+        self._tree = tree
+
+    @property
+    def tree(self) -> RTree:
+        return self._tree
+
+    def __call__(self, q) -> FilterResult:
+        stats = RTreeStats()
+        fmin = self._tree.nearest_maxdist(q, stats=stats)
+        candidates = tuple(self._tree.within_mindist(q, fmin, stats=stats))
+        return FilterResult(candidates=candidates, fmin=fmin, stats=stats)

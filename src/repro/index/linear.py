@@ -1,0 +1,66 @@
+"""A no-index baseline with the same interface as the R-tree filter.
+
+Used in tests to validate the R-tree (query equivalence) and in
+benchmarks to isolate how much the index itself contributes to the
+filtering phase measured in Figure 9.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.index.filtering import FilterResult, filter_candidates
+from repro.index.geometry import Rect
+
+__all__ = ["LinearScanIndex"]
+
+
+class LinearScanIndex:
+    """Stores ``(rect, item)`` pairs in a flat list."""
+
+    def __init__(self) -> None:
+        self._rects: list[Rect] = []
+        self._items: list = []
+
+    def insert(self, rect: Rect, item) -> None:
+        self._rects.append(rect)
+        self._items.append(item)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def items(self) -> Iterator:
+        return iter(self._items)
+
+    def search(self, rect: Rect) -> list:
+        return [
+            item
+            for stored, item in zip(self._rects, self._items)
+            if stored.intersects(rect)
+        ]
+
+    def stab(self, q) -> list:
+        return self.search(Rect.point(q))
+
+    def nearest_maxdist(self, q) -> float:
+        if not self._rects:
+            raise ValueError("nearest_maxdist on an empty index")
+        return min(rect.maxdist(q) for rect in self._rects)
+
+    def within_mindist(self, q, radius: float) -> list:
+        return [
+            item
+            for rect, item in zip(self._rects, self._items)
+            if rect.mindist(q) <= radius
+        ]
+
+    def filter(self, q) -> FilterResult:
+        """Linear-scan PNN filtering over the stored items."""
+        return filter_candidates(list(self._items), q)
+
+    @classmethod
+    def from_objects(cls, objects: Sequence) -> "LinearScanIndex":
+        index = cls()
+        for obj in objects:
+            index.insert(obj.mbr, obj)
+        return index

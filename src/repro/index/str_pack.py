@@ -1,0 +1,106 @@
+"""Sort-Tile-Recursive (STR) bulk loading for the R-tree.
+
+Building a tree by repeated insertion is O(n log n) with large
+constants and produces poor page utilisation; STR packs leaves at
+~100% fill by tiling the space, which is how the spatial index library
+the paper uses ([18]) bulk-loads static datasets such as Long Beach.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.index.geometry import Rect
+from repro.index.rtree import RTree, RTreeEntry, RTreeNode
+
+__all__ = ["str_bulk_load"]
+
+
+def str_bulk_load(
+    rects_and_items: Sequence[tuple[Rect, object]],
+    max_entries: int = 8,
+    min_entries: int | None = None,
+) -> RTree:
+    """Build an R-tree from ``(rect, item)`` pairs using STR packing.
+
+    The resulting tree satisfies every invariant of the dynamic tree
+    (checked by ``RTree.check_invariants``) and further insertions or
+    deletions behave normally.
+    """
+    tree = RTree(max_entries=max_entries, min_entries=min_entries)
+    pairs = list(rects_and_items)
+    if not pairs:
+        return tree
+    if len(pairs) <= max_entries:
+        root = RTreeNode(is_leaf=True)
+        root.entries = [RTreeEntry(rect, item=item) for rect, item in pairs]
+        tree._root = root
+        tree._size = len(pairs)
+        return tree
+
+    dim = pairs[0][0].dim
+    entries = [RTreeEntry(rect, item=item) for rect, item in pairs]
+    nodes = _pack_level(entries, max_entries, dim, is_leaf=True)
+    while len(nodes) > 1:
+        upper_entries = [RTreeEntry(node.mbr(), child=node) for node in nodes]
+        nodes = _pack_level(upper_entries, max_entries, dim, is_leaf=False)
+    root = nodes[0]
+    root.parent = None
+    tree._root = root
+    tree._size = len(pairs)
+    return tree
+
+
+def _pack_level(
+    entries: list[RTreeEntry], max_entries: int, dim: int, is_leaf: bool
+) -> list[RTreeNode]:
+    """Tile one level of entries into nodes of up to ``max_entries``."""
+    groups = _tile(entries, max_entries, dim, axis=0)
+    nodes: list[RTreeNode] = []
+    for group in groups:
+        node = RTreeNode(is_leaf=is_leaf)
+        node.entries = group
+        if not is_leaf:
+            for entry in group:
+                entry.child.parent = node  # type: ignore[union-attr]
+        nodes.append(node)
+    return nodes
+
+
+def _tile(
+    entries: list[RTreeEntry], max_entries: int, dim: int, axis: int
+) -> list[list[RTreeEntry]]:
+    """Recursively sort by center along ``axis`` and slice into tiles."""
+    entries = sorted(entries, key=lambda e: float(e.rect.center[axis]))
+    pages = math.ceil(len(entries) / max_entries)
+    if axis == dim - 1 or pages <= 1:
+        groups = [
+            entries[i : i + max_entries] for i in range(0, len(entries), max_entries)
+        ]
+        return _rebalance_tail(groups, max_entries)
+    slabs = math.ceil(pages ** (1.0 / (dim - axis)))
+    slab_size = math.ceil(len(entries) / slabs) if slabs else len(entries)
+    slab_size = max(slab_size, max_entries)
+    groups: list[list[RTreeEntry]] = []
+    for start in range(0, len(entries), slab_size):
+        slab = entries[start : start + slab_size]
+        groups.extend(_tile(slab, max_entries, dim, axis + 1))
+    return groups
+
+
+def _rebalance_tail(
+    groups: list[list[RTreeEntry]], max_entries: int
+) -> list[list[RTreeEntry]]:
+    """Even out the final tile so no node falls below half fill.
+
+    Plain slicing can leave a runt tile (e.g. 8 + 8 + 1); moving
+    entries from its predecessor keeps both above ``max_entries // 2``,
+    preserving the dynamic tree's minimum-fill invariant.
+    """
+    min_fill = max(1, max_entries // 2)
+    if len(groups) >= 2 and len(groups[-1]) < min_fill:
+        deficit = min_fill - len(groups[-1])
+        groups[-1] = groups[-2][-deficit:] + groups[-1]
+        groups[-2] = groups[-2][:-deficit]
+    return groups

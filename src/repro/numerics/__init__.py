@@ -1,0 +1,23 @@
+"""Shared numerical routines: quadrature and Poisson-binomial DP."""
+
+from repro.numerics.poisson_binomial import (
+    poisson_binomial_pmf,
+    prob_at_most,
+    prob_at_most_vectorized,
+)
+from repro.numerics.quadrature import (
+    gauss_legendre_nodes,
+    integrate_on_interval,
+    integrate_piecewise,
+    nodes_for_degree,
+)
+
+__all__ = [
+    "gauss_legendre_nodes",
+    "integrate_on_interval",
+    "integrate_piecewise",
+    "nodes_for_degree",
+    "poisson_binomial_pmf",
+    "prob_at_most",
+    "prob_at_most_vectorized",
+]

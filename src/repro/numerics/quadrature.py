@@ -1,0 +1,88 @@
+"""Gauss–Legendre quadrature tuned for the engine's integrands.
+
+Refinement evaluates integrals of the form
+
+    p_ij = ∫_{S_j} d_i(r) · Π_{k≠i} (1 − D_k(r)) dr
+
+where every ``d_i`` is piecewise-constant and every ``D_k`` is
+piecewise-linear, and the subregion ``S_j`` lies inside a single piece
+of *all* of them.  The integrand is therefore a polynomial of degree at
+most ``|C| − 1`` on ``S_j``, and Gauss–Legendre with
+``ceil(|C| / 2) + 1`` nodes integrates it *exactly* (an ``n``-node rule
+is exact through degree ``2n − 1``).  This turns "numerical
+integration" into an exact algorithm for histogram models — the only
+approximation in the whole reproduction is the histogram model itself.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "gauss_legendre_nodes",
+    "integrate_on_interval",
+    "integrate_piecewise",
+    "nodes_for_degree",
+]
+
+
+@lru_cache(maxsize=256)
+def gauss_legendre_nodes(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Nodes and weights of the ``n``-point rule on [-1, 1] (cached)."""
+    if n < 1:
+        raise ValueError("need at least one quadrature node")
+    nodes, weights = np.polynomial.legendre.leggauss(n)
+    nodes.flags.writeable = False
+    weights.flags.writeable = False
+    return nodes, weights
+
+
+def nodes_for_degree(degree: int) -> int:
+    """Smallest node count integrating polynomials of ``degree`` exactly."""
+    if degree < 0:
+        raise ValueError("degree must be non-negative")
+    return degree // 2 + 1
+
+
+def integrate_on_interval(
+    f: Callable[[np.ndarray], np.ndarray],
+    a: float,
+    b: float,
+    nodes: int,
+) -> float:
+    """``∫_a^b f`` with an ``nodes``-point Gauss–Legendre rule.
+
+    ``f`` must accept a numpy array of evaluation points.
+    """
+    if b <= a:
+        return 0.0
+    xs, ws = gauss_legendre_nodes(nodes)
+    mid = 0.5 * (a + b)
+    half = 0.5 * (b - a)
+    values = np.asarray(f(mid + half * xs), dtype=float)
+    return half * float(ws @ values)
+
+
+def integrate_piecewise(
+    f: Callable[[np.ndarray], np.ndarray],
+    breakpoints: Sequence[float] | np.ndarray,
+    nodes: int,
+) -> float:
+    """Sum of Gauss–Legendre integrals over consecutive breakpoints.
+
+    Exact when ``f`` restricted to each piece is a polynomial of degree
+    at most ``2 * nodes - 1``.
+    """
+    cuts = np.asarray(breakpoints, dtype=float)
+    if cuts.ndim != 1 or cuts.size < 2:
+        raise ValueError("need at least two breakpoints")
+    if not np.all(np.diff(cuts) >= 0):
+        raise ValueError("breakpoints must be non-decreasing")
+    total = 0.0
+    for a, b in zip(cuts[:-1], cuts[1:]):
+        if b > a:
+            total += integrate_on_interval(f, float(a), float(b), nodes)
+    return total

@@ -1,0 +1,50 @@
+"""Uncertain-data model substrate.
+
+This package implements the *attribute uncertainty* model used by the
+paper: each object's value lies in a closed region with an arbitrary
+probability density function (pdf) whose integral over the region is one.
+
+Everything in the query engine operates on two derived artifacts:
+
+* :class:`~repro.uncertainty.histogram.Histogram` — a piecewise-constant
+  density with a piecewise-linear cdf.  Uniform pdfs are exact one-bin
+  histograms; Gaussians are binned exactly through ``Phi`` differences
+  (the paper's experiments use 300-bar histograms, Section V).
+* :class:`~repro.uncertainty.distance.DistanceDistribution` — the pdf/cdf
+  of an object's distance ``R_i = |X_i - q|`` from a query point
+  (Definition 2 of the paper), computed exactly by folding the value
+  histogram about ``q``.
+"""
+
+from repro.uncertainty.distance import DistanceDistribution
+from repro.uncertainty.histogram import Histogram, HistogramError
+from repro.uncertainty.objects import UncertainObject
+from repro.uncertainty.pdfs import (
+    HistogramPdf,
+    MixturePdf,
+    TriangularPdf,
+    TruncatedGaussianPdf,
+    UncertaintyPdf,
+    UniformPdf,
+)
+from repro.uncertainty.twod import (
+    UncertainDisk,
+    UncertainRectangle,
+    UncertainSegment,
+)
+
+__all__ = [
+    "DistanceDistribution",
+    "Histogram",
+    "HistogramError",
+    "HistogramPdf",
+    "MixturePdf",
+    "TriangularPdf",
+    "TruncatedGaussianPdf",
+    "UncertainDisk",
+    "UncertainObject",
+    "UncertainRectangle",
+    "UncertainSegment",
+    "UncertaintyPdf",
+    "UniformPdf",
+]

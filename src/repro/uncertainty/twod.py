@@ -1,0 +1,387 @@
+"""Two-dimensional uncertainty regions and their distance distributions.
+
+Section IV-A of the paper notes that the whole solution "can be
+extended to 2D space, by computing the distance pdf and cdf from the
+2D uncertainty regions, using the formulae discussed in [8]".  [8]
+derives distance cdfs for circular and line-segment regions; we
+implement those exactly and add axis-aligned rectangles via robust
+geometric integration.  The resulting
+:class:`~repro.uncertainty.distance.DistanceDistribution` objects feed
+the *same* verifier/refinement machinery as the 1-D objects.
+
+Each class satisfies :class:`~repro.uncertainty.objects.SpatialUncertain`:
+
+* :class:`UncertainDisk` — uniform pdf over a disk; cdf via the exact
+  circle–circle intersection (lens) area;
+* :class:`UncertainSegment` — uniform pdf along a segment; cdf by
+  solving the quadratic ``|A + t(B - A) - q|^2 <= r^2`` in closed form;
+* :class:`UncertainRectangle` — uniform pdf over a box; cdf via exact
+  breakpoint analysis plus Gauss–Legendre chord integration (accurate
+  to ~1e-12, far below the histogram discretisation used downstream).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.index.geometry import Rect
+from repro.numerics.quadrature import gauss_legendre_nodes
+from repro.uncertainty.distance import DistanceDistribution
+
+__all__ = [
+    "UncertainDisk",
+    "UncertainRectangle",
+    "UncertainSegment",
+    "circle_circle_intersection_area",
+    "disk_rect_intersection_area",
+]
+
+#: Default number of histogram bins for a 2-D distance distribution.
+DEFAULT_DISTANCE_BINS = 256
+
+
+def circle_circle_intersection_area(d: float, r1: float, r2: float) -> float:
+    """Area of the intersection of two circles with centre distance ``d``."""
+    if r1 < 0 or r2 < 0 or d < 0:
+        raise ValueError("distances and radii must be non-negative")
+    if r1 == 0.0 or r2 == 0.0 or d >= r1 + r2:
+        return 0.0
+    if d <= abs(r1 - r2):
+        smaller = min(r1, r2)
+        return math.pi * smaller * smaller
+    denom1 = 2.0 * d * r1
+    denom2 = 2.0 * d * r2
+    if denom1 == 0.0 or denom2 == 0.0:
+        # d is subnormal (can slip past the containment guard when
+        # r1 == r2): the circles are concentric for all purposes.
+        smaller = min(r1, r2)
+        return math.pi * smaller * smaller
+    # Standard lens-area formula; clamp the acos arguments against
+    # floating-point drift at tangency.
+    cos1 = (d * d + r1 * r1 - r2 * r2) / denom1
+    cos2 = (d * d + r2 * r2 - r1 * r1) / denom2
+    cos1 = min(1.0, max(-1.0, cos1))
+    cos2 = min(1.0, max(-1.0, cos2))
+    term1 = r1 * r1 * math.acos(cos1)
+    term2 = r2 * r2 * math.acos(cos2)
+    radicand = (
+        (-d + r1 + r2) * (d + r1 - r2) * (d - r1 + r2) * (d + r1 + r2)
+    )
+    term3 = 0.5 * math.sqrt(max(radicand, 0.0))
+    return term1 + term2 - term3
+
+
+def disk_rect_intersection_area(
+    q: Sequence[float], radius: float, rect: Rect
+) -> float:
+    """Area of ``disk(q, radius)`` intersected with a 2-D rectangle.
+
+    The chord length ``overlap(y-range, q_y ± sqrt(r^2 - dx^2))`` is a
+    smooth function of ``x`` between breakpoints where the circle
+    crosses the rectangle's horizontal edges; integrating each smooth
+    piece with 48-node Gauss–Legendre yields ~1e-12 accuracy.
+    """
+    if rect.dim != 2:
+        raise ValueError("disk_rect_intersection_area requires a 2-D rectangle")
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    if radius == 0.0:
+        return 0.0
+    qx, qy = float(q[0]), float(q[1])
+    x1, y1 = float(rect.lows[0]), float(rect.lows[1])
+    x2, y2 = float(rect.highs[0]), float(rect.highs[1])
+    lo = max(x1, qx - radius)
+    hi = min(x2, qx + radius)
+    if lo >= hi:
+        return 0.0
+    breakpoints = {lo, hi}
+    for edge_y in (y1, y2):
+        dy = edge_y - qy
+        if radius * radius > dy * dy:
+            half = math.sqrt(radius * radius - dy * dy)
+            for x in (qx - half, qx + half):
+                if lo < x < hi:
+                    breakpoints.add(x)
+    # Substitute x = qx + r sin(theta): the chord half-length becomes
+    # r cos(theta), removing the square-root singularity at the circle's
+    # extremes, so Gauss-Legendre per smooth piece converges to ~1e-14.
+    def to_theta(x: float) -> float:
+        return math.asin(min(1.0, max(-1.0, (x - qx) / radius)))
+
+    cuts = sorted(to_theta(x) for x in breakpoints)
+    nodes, weights = gauss_legendre_nodes(48)
+    total = 0.0
+    for a, b in zip(cuts[:-1], cuts[1:]):
+        if b <= a:
+            continue
+        mid = 0.5 * (a + b)
+        half_width = 0.5 * (b - a)
+        thetas = mid + half_width * nodes
+        cos_t = np.cos(thetas)
+        half_chord = radius * cos_t
+        top = np.minimum(y2, qy + half_chord)
+        bottom = np.maximum(y1, qy - half_chord)
+        overlap = np.maximum(top - bottom, 0.0)
+        total += half_width * float(
+            np.sum(weights * overlap * radius * cos_t)
+        )
+    return total
+
+
+def _as_point2d(q) -> np.ndarray:
+    point = np.asarray(q, dtype=float)
+    if point.shape != (2,):
+        raise ValueError("2-D uncertain objects require a 2-D query point")
+    return point
+
+
+class UncertainDisk:
+    """A uniform pdf over the disk of ``radius`` around ``center``."""
+
+    __slots__ = ("_key", "_center", "_radius", "_bins")
+
+    def __init__(
+        self,
+        key: Hashable,
+        center: Sequence[float],
+        radius: float,
+        distance_bins: int = DEFAULT_DISTANCE_BINS,
+    ) -> None:
+        self._key = key
+        self._center = np.asarray(center, dtype=float)
+        if self._center.shape != (2,):
+            raise ValueError("center must be a 2-D point")
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        self._radius = float(radius)
+        self._bins = int(distance_bins)
+
+    @property
+    def key(self) -> Hashable:
+        return self._key
+
+    @property
+    def center(self) -> np.ndarray:
+        return self._center.copy()
+
+    @property
+    def radius(self) -> float:
+        return self._radius
+
+    @property
+    def mbr(self) -> Rect:
+        return Rect(self._center - self._radius, self._center + self._radius)
+
+    def mindist(self, q) -> float:
+        d = float(np.linalg.norm(_as_point2d(q) - self._center))
+        return max(0.0, d - self._radius)
+
+    def maxdist(self, q) -> float:
+        d = float(np.linalg.norm(_as_point2d(q) - self._center))
+        return d + self._radius
+
+    def distance_cdf(self, q, r: float) -> float:
+        """Exact ``Pr[|X - q| <= r]`` via the lens area."""
+        d = float(np.linalg.norm(_as_point2d(q) - self._center))
+        area = circle_circle_intersection_area(d, self._radius, max(float(r), 0.0))
+        return area / (math.pi * self._radius * self._radius)
+
+    def distance_distribution(self, q) -> DistanceDistribution:
+        point = _as_point2d(q)
+        return DistanceDistribution.from_cdf(
+            lambda r: self.distance_cdf(point, r),
+            self.mindist(point),
+            self.maxdist(point),
+            self._bins,
+            key=self._key,
+        )
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Uniform samples from the disk (for the Monte-Carlo baseline)."""
+        angles = rng.uniform(0.0, 2.0 * math.pi, size)
+        radii = self._radius * np.sqrt(rng.uniform(0.0, 1.0, size))
+        return self._center + np.column_stack(
+            (radii * np.cos(angles), radii * np.sin(angles))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"UncertainDisk(key={self._key!r}, center={tuple(self._center)}, "
+            f"radius={self._radius:.6g})"
+        )
+
+
+class UncertainSegment:
+    """A uniform pdf along the segment from ``a`` to ``b``."""
+
+    __slots__ = ("_key", "_a", "_b", "_bins")
+
+    def __init__(
+        self,
+        key: Hashable,
+        a: Sequence[float],
+        b: Sequence[float],
+        distance_bins: int = DEFAULT_DISTANCE_BINS,
+    ) -> None:
+        self._key = key
+        self._a = np.asarray(a, dtype=float)
+        self._b = np.asarray(b, dtype=float)
+        if self._a.shape != (2,) or self._b.shape != (2,):
+            raise ValueError("segment endpoints must be 2-D points")
+        if np.allclose(self._a, self._b):
+            raise ValueError("segment must have positive length")
+        self._bins = int(distance_bins)
+
+    @property
+    def key(self) -> Hashable:
+        return self._key
+
+    @property
+    def endpoints(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._a.copy(), self._b.copy()
+
+    @property
+    def mbr(self) -> Rect:
+        return Rect(np.minimum(self._a, self._b), np.maximum(self._a, self._b))
+
+    def _distance_bounds(self, q: np.ndarray) -> tuple[float, float]:
+        direction = self._b - self._a
+        alpha = float(direction @ direction)
+        offset = self._a - q
+        t_star = -float(offset @ direction) / alpha
+        candidates = [0.0, 1.0]
+        if 0.0 < t_star < 1.0:
+            candidates.append(t_star)
+        distances = [
+            float(np.linalg.norm(self._a + t * direction - q)) for t in candidates
+        ]
+        return min(distances), max(
+            float(np.linalg.norm(self._a - q)), float(np.linalg.norm(self._b - q))
+        )
+
+    def mindist(self, q) -> float:
+        return self._distance_bounds(_as_point2d(q))[0]
+
+    def maxdist(self, q) -> float:
+        return self._distance_bounds(_as_point2d(q))[1]
+
+    def distance_cdf(self, q, r: float) -> float:
+        """Exact ``Pr[|X - q| <= r]`` via the quadratic in ``t``.
+
+        With ``X(t) = A + t(B - A)``, ``|X(t) - q|^2`` is a convex
+        quadratic; the sub-level set ``{t : |X(t)-q| <= r}`` is an
+        interval whose overlap with [0, 1] is the cdf value.
+        """
+        point = _as_point2d(q)
+        r = float(r)
+        if r < 0:
+            return 0.0
+        direction = self._b - self._a
+        offset = self._a - point
+        alpha = float(direction @ direction)
+        beta = 2.0 * float(offset @ direction)
+        gamma = float(offset @ offset) - r * r
+        discriminant = beta * beta - 4.0 * alpha * gamma
+        if discriminant < 0:
+            return 0.0
+        root = math.sqrt(discriminant)
+        t_lo = (-beta - root) / (2.0 * alpha)
+        t_hi = (-beta + root) / (2.0 * alpha)
+        return max(0.0, min(t_hi, 1.0) - max(t_lo, 0.0))
+
+    def distance_distribution(self, q) -> DistanceDistribution:
+        point = _as_point2d(q)
+        near, far = self._distance_bounds(point)
+        return DistanceDistribution.from_cdf(
+            lambda r: self.distance_cdf(point, r),
+            near,
+            far,
+            self._bins,
+            key=self._key,
+        )
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        ts = rng.uniform(0.0, 1.0, size)
+        return self._a + ts[:, None] * (self._b - self._a)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"UncertainSegment(key={self._key!r}, a={tuple(self._a)}, "
+            f"b={tuple(self._b)})"
+        )
+
+
+class UncertainRectangle:
+    """A uniform pdf over an axis-aligned 2-D rectangle."""
+
+    __slots__ = ("_key", "_rect", "_bins")
+
+    def __init__(
+        self,
+        key: Hashable,
+        rect: Rect,
+        distance_bins: int = DEFAULT_DISTANCE_BINS,
+    ) -> None:
+        if rect.dim != 2:
+            raise ValueError("UncertainRectangle requires a 2-D rectangle")
+        if rect.area() <= 0:
+            raise ValueError("rectangle must have positive area")
+        self._key = key
+        self._rect = rect
+        self._bins = int(distance_bins)
+
+    @classmethod
+    def from_bounds(
+        cls,
+        key: Hashable,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        distance_bins: int = DEFAULT_DISTANCE_BINS,
+    ) -> "UncertainRectangle":
+        return cls(key, Rect([x1, y1], [x2, y2]), distance_bins=distance_bins)
+
+    @property
+    def key(self) -> Hashable:
+        return self._key
+
+    @property
+    def rect(self) -> Rect:
+        return self._rect
+
+    @property
+    def mbr(self) -> Rect:
+        return self._rect
+
+    def mindist(self, q) -> float:
+        return self._rect.mindist(_as_point2d(q))
+
+    def maxdist(self, q) -> float:
+        return self._rect.maxdist(_as_point2d(q))
+
+    def distance_cdf(self, q, r: float) -> float:
+        point = _as_point2d(q)
+        area = disk_rect_intersection_area(point, max(float(r), 0.0), self._rect)
+        return area / self._rect.area()
+
+    def distance_distribution(self, q) -> DistanceDistribution:
+        point = _as_point2d(q)
+        return DistanceDistribution.from_cdf(
+            lambda r: self.distance_cdf(point, r),
+            self.mindist(point),
+            self.maxdist(point),
+            self._bins,
+            key=self._key,
+        )
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        xs = rng.uniform(self._rect.lows[0], self._rect.highs[0], size)
+        ys = rng.uniform(self._rect.lows[1], self._rect.highs[1], size)
+        return np.column_stack((xs, ys))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"UncertainRectangle(key={self._key!r}, rect={self._rect!r})"

@@ -1,0 +1,54 @@
+"""Tests for the Simpson-rule Basic baseline (independent of the
+engine's Gauss–Legendre path, so the two cross-validate)."""
+
+import pytest
+
+from repro.baselines.basic import basic_pnn_probabilities
+from repro.core.refinement import Refiner
+from repro.core.subregions import SubregionTable
+from tests.conftest import make_random_objects, two_object_textbook_case
+
+
+class TestBasicBaseline:
+    def test_textbook_case(self):
+        objects, q = two_object_textbook_case()
+        probs = basic_pnn_probabilities(objects, q, subdivisions=16)
+        assert probs["A"] == pytest.approx(0.875, abs=1e-9)
+        assert probs["B"] == pytest.approx(0.125, abs=1e-9)
+
+    def test_single_object(self):
+        from repro.uncertainty.objects import UncertainObject
+
+        probs = basic_pnn_probabilities([UncertainObject.uniform("x", 0, 1)], 5.0)
+        assert probs["x"] == 1.0
+
+    def test_agrees_with_gauss_legendre(self, rng):
+        for _ in range(6):
+            objects = make_random_objects(rng, int(rng.integers(2, 12)))
+            q = float(rng.uniform(0, 60))
+            simpson = basic_pnn_probabilities(objects, q, subdivisions=12)
+            table = SubregionTable([o.distance_distribution(q) for o in objects])
+            exact = Refiner(table).exact_all()
+            for i, dist in enumerate(table.distributions):
+                assert simpson[dist.key] == pytest.approx(exact[i], abs=5e-6)
+
+    def test_accuracy_improves_with_subdivisions(self, rng):
+        objects = make_random_objects(rng, 8, families=("gaussian",))
+        q = 30.0
+        table = SubregionTable([o.distance_distribution(q) for o in objects])
+        exact = {d.key: p for d, p in zip(table.distributions, Refiner(table).exact_all())}
+        def error(subdivisions):
+            approx = basic_pnn_probabilities(objects, q, subdivisions=subdivisions)
+            return max(abs(approx[k] - exact[k]) for k in exact)
+        assert error(8) <= error(1) + 1e-12
+
+    def test_sums_to_one(self, rng):
+        objects = make_random_objects(rng, 10)
+        probs = basic_pnn_probabilities(objects, 30.0, subdivisions=12)
+        assert sum(probs.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            basic_pnn_probabilities([], 0.0)
+        with pytest.raises(ValueError):
+            basic_pnn_probabilities(make_random_objects(rng, 3), 0.0, subdivisions=0)

@@ -1,0 +1,69 @@
+"""Shared fixtures and workload factories for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import settings
+
+from repro.uncertainty.histogram import Histogram
+from repro.uncertainty.objects import UncertainObject
+
+# Property-test effort profiles: the default keeps the suite fast;
+# run `pytest --hypothesis-profile=thorough` before releases.
+settings.register_profile("default", max_examples=60, deadline=None)
+settings.register_profile("thorough", max_examples=600, deadline=None)
+settings.load_profile("default")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20080407)
+
+
+def make_random_objects(
+    rng: np.random.Generator,
+    n: int,
+    domain: tuple[float, float] = (0.0, 60.0),
+    max_width: float = 12.0,
+    families: tuple[str, ...] = ("uniform", "gaussian", "histogram"),
+) -> list[UncertainObject]:
+    """Random 1-D objects cycling through pdf families."""
+    objects = []
+    for i in range(n):
+        center = float(rng.uniform(*domain))
+        width = float(rng.uniform(0.5, max_width))
+        lo, hi = center - width / 2, center + width / 2
+        family = families[i % len(families)]
+        if family == "uniform":
+            objects.append(UncertainObject.uniform(i, lo, hi))
+        elif family == "gaussian":
+            objects.append(UncertainObject.gaussian(i, lo, hi, bars=24))
+        else:
+            bins = int(rng.integers(2, 7))
+            edges = np.linspace(lo, hi, bins + 1)
+            masses = rng.uniform(0.05, 1.0, bins)
+            masses /= masses.sum()
+            objects.append(
+                UncertainObject.from_histogram(i, Histogram.from_masses(edges, masses))
+            )
+    return objects
+
+
+def two_object_textbook_case() -> tuple[list[UncertainObject], float]:
+    """The hand-solvable example used across the core tests.
+
+    With q = 0: R_A ~ U[0, 1], R_B ~ U[0.5, 1.5]; then (by hand)
+
+    * end-points  [0, 0.5, 1], rightmost subregion [1, 1.5]
+    * s_A = (0.5, 0.5 | 0),  s_B = (0, 0.5 | 0.5)
+    * L-SR:  p_A.l = 0.75,  p_B.l = 0.125
+    * U-SR:  p_A.u = 0.875, p_B.u = 0.125
+    * RS:    p_A.u = 1.0,   p_B.u = 0.5
+    * exact: p_A = 0.875,   p_B = 0.125
+    """
+    objects = [
+        UncertainObject.uniform("A", 0.0, 1.0),
+        UncertainObject.uniform("B", 0.5, 1.5),
+    ]
+    return objects, 0.0

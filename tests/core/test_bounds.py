@@ -1,0 +1,61 @@
+"""Tests for probability bounds."""
+
+import pytest
+
+from repro.core.bounds import ProbabilityBound
+
+
+class TestConstruction:
+    def test_trivial(self):
+        b = ProbabilityBound.trivial()
+        assert (b.lower, b.upper) == (0.0, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbabilityBound(0.5, 0.4)
+        with pytest.raises(ValueError):
+            ProbabilityBound(-0.1, 0.5)
+        with pytest.raises(ValueError):
+            ProbabilityBound(0.1, 1.5)
+
+    def test_padded_clamps(self):
+        b = ProbabilityBound.padded(0.0, 1.0, pad=0.1)
+        assert (b.lower, b.upper) == (0.0, 1.0)
+        b = ProbabilityBound.padded(0.5, 0.5, pad=0.01)
+        assert b.lower == pytest.approx(0.49)
+        assert b.upper == pytest.approx(0.51)
+
+    def test_exact(self):
+        b = ProbabilityBound.exact(0.3, pad=1e-12)
+        assert b.contains(0.3)
+        assert b.width <= 2.1e-12
+
+
+class TestOperations:
+    def test_width_and_contains(self):
+        b = ProbabilityBound(0.2, 0.7)
+        assert b.width == pytest.approx(0.5)
+        assert b.contains(0.2) and b.contains(0.7)
+        assert not b.contains(0.71)
+        assert b.contains(0.71, slack=0.02)
+
+    def test_tighten_intersects(self):
+        a = ProbabilityBound(0.1, 0.8)
+        b = ProbabilityBound(0.3, 0.9)
+        t = a.tighten(b)
+        assert (t.lower, t.upper) == (0.3, 0.8)
+
+    def test_tighten_never_widens(self):
+        tight = ProbabilityBound(0.4, 0.5)
+        loose = ProbabilityBound(0.0, 1.0)
+        assert tight.tighten(loose) == tight
+
+    def test_tighten_hairline_crossing_collapses(self):
+        a = ProbabilityBound(0.5, 0.5 + 1e-9)
+        b = ProbabilityBound(0.5 + 2e-9, 0.8)
+        t = a.tighten(b)
+        assert t.lower == pytest.approx(t.upper)
+
+    def test_tighten_material_conflict_raises(self):
+        with pytest.raises(ValueError):
+            ProbabilityBound(0.0, 0.2).tighten(ProbabilityBound(0.5, 0.9))

@@ -1,0 +1,81 @@
+"""Tests for the classifier — the four cases of Figure 4.
+
+The paper's example: threshold P = 0.8, tolerance Δ = 0.15.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import ProbabilityBound
+from repro.core.classifier import classify, classify_arrays, label_from_code
+from repro.core.types import Label
+
+P, DELTA = 0.8, 0.15
+
+
+class TestFigureFourCases:
+    def test_case_a_lower_above_threshold(self):
+        # [0.80, 0.96]: p_j can never be below P -> satisfy.
+        assert classify(ProbabilityBound(0.80, 0.96), P, DELTA) is Label.SATISFY
+
+    def test_case_b_narrow_band_crossing_threshold(self):
+        # [0.75, 0.85]: u >= P and width 0.10 <= Δ -> satisfy.
+        assert classify(ProbabilityBound(0.75, 0.85), P, DELTA) is Label.SATISFY
+
+    def test_case_c_upper_below_threshold(self):
+        # [0.70, 0.78]: u < P -> fail.
+        assert classify(ProbabilityBound(0.70, 0.78), P, DELTA) is Label.FAIL
+
+    def test_case_d_wide_band(self):
+        # [0.65, 0.85]: u >= P but l < P and width 0.20 > Δ -> unknown.
+        assert classify(ProbabilityBound(0.65, 0.85), P, DELTA) is Label.UNKNOWN
+
+    def test_case_d_after_bound_shrinks(self):
+        # The paper: "if p_j.l is later updated to 0.81, X_j will be
+        # the answer".
+        assert classify(ProbabilityBound(0.81, 0.85), P, DELTA) is Label.SATISFY
+
+
+class TestBoundarySemantics:
+    def test_upper_exactly_at_threshold_can_satisfy(self):
+        assert classify(ProbabilityBound(0.8, 0.8), P, 0.0) is Label.SATISFY
+
+    def test_width_exactly_tolerance_satisfies(self):
+        # Exactly representable values so width == tolerance precisely.
+        bound = ProbabilityBound(0.75, 0.875)
+        assert classify(bound, 0.8, 0.125) is Label.SATISFY
+
+    def test_zero_tolerance_requires_lower_at_threshold(self):
+        assert classify(ProbabilityBound(0.79, 0.95), P, 0.0) is Label.UNKNOWN
+        assert classify(ProbabilityBound(0.80, 0.95), P, 0.0) is Label.SATISFY
+
+    def test_trivial_bound_is_unknown(self):
+        assert classify(ProbabilityBound.trivial(), 0.3, 0.01) is Label.UNKNOWN
+
+    def test_trivial_bound_with_full_tolerance_satisfies(self):
+        # Δ = 1 accepts anything whose upper bound clears P.
+        assert classify(ProbabilityBound.trivial(), 0.3, 1.0) is Label.SATISFY
+
+
+class TestVectorised:
+    def test_matches_scalar(self, rng):
+        lowers = rng.uniform(0, 1, 200)
+        uppers = np.clip(lowers + rng.uniform(0, 0.5, 200), 0, 1)
+        codes = classify_arrays(lowers, uppers, P, DELTA)
+        for lo, hi, code in zip(lowers, uppers, codes):
+            assert label_from_code(code) is classify(
+                ProbabilityBound(lo, hi), P, DELTA
+            )
+
+    def test_codes(self):
+        codes = classify_arrays(
+            np.asarray([0.9, 0.0, 0.0]),
+            np.asarray([1.0, 0.5, 1.0]),
+            P,
+            DELTA,
+        )
+        assert [label_from_code(c) for c in codes] == [
+            Label.SATISFY,
+            Label.FAIL,
+            Label.UNKNOWN,
+        ]

@@ -1,0 +1,87 @@
+"""Tests for dynamic insert/remove on the engine (R-tree backed)."""
+
+import pytest
+
+from repro.core.engine import CPNNEngine, EngineConfig
+from repro.uncertainty.objects import UncertainObject
+from tests.conftest import make_random_objects
+
+
+class TestInsert:
+    def test_inserted_object_visible(self, rng):
+        objects = make_random_objects(rng, 10)
+        engine = CPNNEngine(objects)
+        newcomer = UncertainObject.uniform("new", 29.9, 30.1)
+        engine.insert(newcomer)
+        pnn = engine.pnn(30.0)
+        assert pnn["new"] > 0.5  # tight interval right at the query
+        assert len(engine) == 11
+
+    def test_matches_fresh_engine(self, rng):
+        objects = make_random_objects(rng, 12)
+        engine = CPNNEngine(objects[:8])
+        for obj in objects[8:]:
+            engine.insert(obj)
+        fresh = CPNNEngine(objects)
+        for q in (5.0, 30.0, 55.0):
+            assert engine.pnn(q) == pytest.approx(fresh.pnn(q))
+            assert set(engine.query(q, tolerance=0.0).answers) == set(
+                fresh.query(q, tolerance=0.0).answers
+            )
+
+    def test_dimension_mismatch_rejected(self, rng):
+        from repro.uncertainty.twod import UncertainDisk
+
+        engine = CPNNEngine(make_random_objects(rng, 3))
+        with pytest.raises(ValueError):
+            engine.insert(UncertainDisk("2d", (0, 0), 1.0))
+
+    def test_linear_scan_engine_updates_too(self, rng):
+        objects = make_random_objects(rng, 6)
+        engine = CPNNEngine(objects, EngineConfig(use_rtree=False))
+        engine.insert(UncertainObject.uniform("new", 29.9, 30.1))
+        assert "new" in engine.pnn(30.0)
+
+
+class TestRemove:
+    def test_removed_object_gone(self, rng):
+        objects = make_random_objects(rng, 10)
+        engine = CPNNEngine(objects)
+        target = max(engine.pnn(30.0), key=engine.pnn(30.0).get)
+        assert engine.remove(target)
+        assert target not in engine.pnn(30.0)
+        assert len(engine) == 9
+
+    def test_remove_missing_returns_false(self, rng):
+        engine = CPNNEngine(make_random_objects(rng, 3))
+        assert not engine.remove("no-such-key")
+        assert len(engine) == 3
+
+    def test_matches_fresh_engine_after_churn(self, rng):
+        objects = make_random_objects(rng, 15)
+        engine = CPNNEngine(objects)
+        removed = {2, 7, 11}
+        for key in removed:
+            assert engine.remove(key)
+        survivors = [o for o in objects if o.key not in removed]
+        fresh = CPNNEngine(survivors)
+        for q in (10.0, 30.0, 50.0):
+            assert engine.pnn(q) == pytest.approx(fresh.pnn(q))
+
+    def test_probabilities_renormalise(self, rng):
+        objects = make_random_objects(rng, 8)
+        engine = CPNNEngine(objects)
+        engine.remove(objects[0].key)
+        assert sum(engine.pnn(30.0).values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_remove_to_empty_then_query_raises(self):
+        engine = CPNNEngine([UncertainObject.uniform("solo", 0, 1)])
+        assert engine.remove("solo")
+        with pytest.raises(ValueError):
+            engine.query(0.5)
+
+    def test_insert_after_empty_recovers(self):
+        engine = CPNNEngine([UncertainObject.uniform("a", 0, 1)])
+        engine.remove("a")
+        engine.insert(UncertainObject.uniform("b", 2, 3))
+        assert engine.pnn(2.5)["b"] == pytest.approx(1.0)

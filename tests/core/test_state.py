@@ -1,0 +1,98 @@
+"""Tests for the mutable candidate verification state."""
+
+import numpy as np
+import pytest
+
+from repro.core.state import CandidateStates
+from repro.core.types import Label
+
+
+class TestInitialisation:
+    def test_starts_unknown_with_trivial_bounds(self):
+        states = CandidateStates(["a", "b"])
+        assert states.size == 2
+        assert states.n_unknown == 2
+        assert np.allclose(states.lower, 0.0)
+        assert np.allclose(states.upper, 1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CandidateStates([])
+
+
+class TestTighten:
+    def test_tighten_shrinks_only(self):
+        states = CandidateStates(["a"], pad=0.0)
+        states.tighten(lower=np.asarray([0.3]), upper=np.asarray([0.8]))
+        states.tighten(lower=np.asarray([0.1]), upper=np.asarray([0.9]))
+        assert states.lower[0] == pytest.approx(0.3)
+        assert states.upper[0] == pytest.approx(0.8)
+
+    def test_pad_widens_new_bounds(self):
+        states = CandidateStates(["a"], pad=0.01)
+        states.tighten(lower=np.asarray([0.5]), upper=np.asarray([0.5]))
+        assert states.lower[0] == pytest.approx(0.49)
+        assert states.upper[0] == pytest.approx(0.51)
+
+    def test_only_unknown_rows_touched(self):
+        states = CandidateStates(["a", "b"], pad=0.0)
+        states.labels[0] = 1  # satisfy
+        states.tighten(upper=np.asarray([0.2, 0.2]))
+        assert states.upper[0] == 1.0
+        assert states.upper[1] == pytest.approx(0.2)
+
+    def test_hairline_inversion_collapses(self):
+        states = CandidateStates(["a"], pad=0.0)
+        states.tighten(lower=np.asarray([0.5]))
+        states.tighten(upper=np.asarray([0.5 - 1e-9]))
+        assert states.lower[0] == pytest.approx(states.upper[0])
+
+    def test_material_inversion_raises(self):
+        states = CandidateStates(["a"], pad=0.0)
+        states.tighten(lower=np.asarray([0.8]))
+        with pytest.raises(ValueError):
+            states.tighten(upper=np.asarray([0.2]))
+
+
+class TestClassify:
+    def test_labels_assigned(self):
+        states = CandidateStates(["a", "b", "c"], pad=0.0)
+        states.tighten(
+            lower=np.asarray([0.9, 0.0, 0.0]),
+            upper=np.asarray([1.0, 0.1, 1.0]),
+        )
+        states.classify(0.3, 0.01)
+        assert states.label_of(0) is Label.SATISFY
+        assert states.label_of(1) is Label.FAIL
+        assert states.label_of(2) is Label.UNKNOWN
+        assert states.n_unknown == 1
+        assert list(states.unknown_indices()) == [2]
+        assert list(states.satisfied_indices()) == [0]
+
+    def test_labels_sticky(self):
+        states = CandidateStates(["a"], pad=0.0)
+        states.tighten(lower=np.asarray([0.9]))
+        states.classify(0.3, 0.0)
+        assert states.label_of(0) is Label.SATISFY
+        # Later classification with a harsher threshold must not flip it.
+        states.classify(0.99, 0.0)
+        assert states.label_of(0) is Label.SATISFY
+
+    def test_unknown_fraction(self):
+        states = CandidateStates(list("abcd"), pad=0.0)
+        states.labels[:2] = 2
+        assert states.unknown_fraction == pytest.approx(0.5)
+
+
+class TestSetExact:
+    def test_collapses_bound(self):
+        states = CandidateStates(["a"], pad=1e-12)
+        states.set_exact(0, 0.42)
+        assert states.lower[0] == pytest.approx(0.42, abs=1e-9)
+        assert states.upper[0] == pytest.approx(0.42, abs=1e-9)
+
+    def test_stays_within_previous_bounds(self):
+        states = CandidateStates(["a"], pad=0.0)
+        states.tighten(lower=np.asarray([0.4]), upper=np.asarray([0.6]))
+        states.set_exact(0, 0.5)
+        assert 0.4 <= states.lower[0] <= states.upper[0] <= 0.6

@@ -1,0 +1,153 @@
+"""Tests for the disk-page subregion storage (Section IV-D note)."""
+
+import numpy as np
+import pytest
+
+from repro.core.refinement import Refiner
+from repro.core.storage import (
+    BufferPool,
+    SubregionStore,
+    rs_upper_bounds_from_store,
+    subregion_bounds_from_store,
+)
+from repro.core.subregions import SubregionTable
+from repro.core.verifiers import (
+    LowerSubregionVerifier,
+    RightmostSubregionVerifier,
+    UpperSubregionVerifier,
+)
+from tests.conftest import make_random_objects, two_object_textbook_case
+
+
+def store_for(objects, q, **kwargs):
+    table = SubregionTable([o.distance_distribution(q) for o in objects])
+    return SubregionStore(table, **kwargs)
+
+
+class TestBufferPool:
+    def test_needs_capacity(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)
+
+    def test_hit_and_fault_accounting(self):
+        pool = BufferPool(2)
+        pool.write_page(0, b"a")
+        pool.write_page(1, b"b")
+        pool.write_page(2, b"c")
+        pool.read_page(0)
+        pool.read_page(0)
+        assert pool.stats.logical_reads == 2
+        assert pool.stats.page_faults == 1
+        assert pool.stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction(self):
+        pool = BufferPool(2)
+        for pid in range(3):
+            pool.write_page(pid, bytes([pid]))
+        pool.read_page(0)
+        pool.read_page(1)
+        pool.read_page(2)  # evicts page 0
+        assert pool.stats.evictions == 1
+        pool.read_page(1)  # still resident
+        faults_before = pool.stats.page_faults
+        pool.read_page(0)  # must fault again
+        assert pool.stats.page_faults == faults_before + 1
+
+    def test_missing_page(self):
+        pool = BufferPool(1)
+        with pytest.raises(KeyError):
+            pool.read_page(99)
+
+
+class TestSubregionStore:
+    def test_page_count_matches_entries(self, rng):
+        objects = make_random_objects(rng, 12)
+        store = store_for(objects, 30.0, page_size=4 * 24, pool_pages=8)
+        # 4 entries per page; total pages ≥ ceil(entries / 4) (chains
+        # do not share pages, so per-subregion rounding adds a few).
+        entries = store.total_entries()
+        assert store.entries_per_page == 4
+        assert store.n_pages >= int(np.ceil(entries / 4))
+        assert store.n_pages <= store.table.n_inner + entries // 4 + 1
+
+    def test_scan_returns_table_rows(self):
+        objects, q = two_object_textbook_case()
+        store = store_for(objects, q)
+        table = store.table
+        for j in range(table.n_inner):
+            scanned = {row: (s, d) for row, s, d in store.scan_subregion(j)}
+            expected_rows = set(np.flatnonzero(table.s_inner[:, j] > 0))
+            assert set(scanned) == expected_rows
+            for row, (s, d) in scanned.items():
+                assert s == pytest.approx(table.s_inner[row, j])
+                assert d == pytest.approx(table.cdf_at_edges[row, j])
+
+    def test_unknown_subregion(self, rng):
+        store = store_for(make_random_objects(rng, 4), 0.0)
+        with pytest.raises(KeyError):
+            list(store.scan_subregion(10_000))
+
+    def test_page_size_validation(self, rng):
+        objects = make_random_objects(rng, 4)
+        with pytest.raises(ValueError):
+            store_for(objects, 0.0, page_size=8)
+
+    def test_sequential_scan_faults_each_page_once(self, rng):
+        objects = make_random_objects(rng, 15)
+        store = store_for(objects, 30.0, page_size=64 * 24, pool_pages=128)
+        store.pool.reset_stats()
+        store.pool.drop_cache()
+        for j in range(store.table.n_inner):
+            list(store.scan_subregion(j))
+        assert store.pool.stats.page_faults == store.n_pages
+
+    def test_tiny_pool_thrashes_on_repeated_scans(self, rng):
+        objects = make_random_objects(rng, 15)
+        store = store_for(objects, 30.0, page_size=2 * 24, pool_pages=1)
+        store.pool.reset_stats()
+        for _ in range(2):
+            for j in range(store.table.n_inner):
+                list(store.scan_subregion(j))
+        stats = store.pool.stats
+        if store.n_pages > 1:
+            assert stats.evictions > 0
+            # Second pass re-faults everything: no inter-pass reuse.
+            assert stats.page_faults >= store.n_pages * 2 - 1
+
+
+class TestStorageBackedVerifiers:
+    def test_rs_matches_in_memory(self, rng):
+        for _ in range(5):
+            objects = make_random_objects(rng, int(rng.integers(3, 14)))
+            q = float(rng.uniform(0, 60))
+            store = store_for(objects, q)
+            from_store = rs_upper_bounds_from_store(store)
+            in_memory = RightmostSubregionVerifier().compute(store.table).upper
+            assert np.allclose(from_store, in_memory, atol=1e-9)
+
+    def test_lsr_usr_match_in_memory(self, rng):
+        for _ in range(5):
+            objects = make_random_objects(rng, int(rng.integers(3, 14)))
+            q = float(rng.uniform(0, 60))
+            store = store_for(objects, q)
+            lower, upper = subregion_bounds_from_store(store)
+            lsr = LowerSubregionVerifier().compute(store.table).lower
+            usr = UpperSubregionVerifier().compute(store.table).upper
+            assert np.allclose(lower, lsr, atol=1e-9)
+            assert np.allclose(upper, usr, atol=1e-9)
+
+    def test_bounds_sound_against_exact(self, rng):
+        objects = make_random_objects(rng, 10)
+        q = 30.0
+        store = store_for(objects, q)
+        lower, upper = subregion_bounds_from_store(store)
+        exact = Refiner(store.table).exact_all()
+        assert np.all(lower - 1e-9 <= exact)
+        assert np.all(exact <= upper + 1e-9)
+
+    def test_textbook_values(self):
+        objects, q = two_object_textbook_case()
+        store = store_for(objects, q)
+        lower, upper = subregion_bounds_from_store(store)
+        assert np.allclose(lower, [0.75, 0.125])
+        assert np.allclose(upper, [0.875, 0.125])

@@ -1,0 +1,97 @@
+"""Tests for workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.longbeach import (
+    LONG_BEACH_DOMAIN,
+    LONG_BEACH_SIZE,
+    long_beach_surrogate,
+)
+from repro.datasets.queries import random_query_points
+from repro.datasets.synthetic import (
+    clustered_intervals,
+    mixed_pdf_objects,
+    uniform_intervals,
+)
+from repro.index.filtering import filter_candidates
+
+
+class TestSynthetic:
+    def test_uniform_intervals_shape(self, rng):
+        objects = uniform_intervals(50, domain=(0, 100), mean_length=5, rng=rng)
+        assert len(objects) == 50
+        for obj in objects:
+            assert obj.hi > obj.lo
+            assert obj.histogram.total_mass == pytest.approx(1.0)
+
+    def test_gaussian_family(self, rng):
+        objects = uniform_intervals(5, pdf="gaussian", bars=32, rng=rng)
+        assert all(o.histogram.nbins == 32 for o in objects)
+
+    def test_invalid_pdf_family(self, rng):
+        with pytest.raises(ValueError):
+            uniform_intervals(5, pdf="cauchy", rng=rng)
+
+    def test_clustered_intervals_cluster(self, rng):
+        objects = clustered_intervals(
+            400, domain=(0, 1000), n_clusters=3, cluster_spread=5.0, rng=rng
+        )
+        centers = np.asarray([(o.lo + o.hi) / 2 for o in objects])
+        # With 3 tight clusters the center spread is far from uniform.
+        hist, _ = np.histogram(centers, bins=20, range=(0, 1000))
+        assert (hist == 0).sum() >= 10
+
+    def test_mixed_pdf_objects_cycle_families(self, rng):
+        objects = mixed_pdf_objects(9, rng=rng)
+        assert len(objects) == 9
+        kinds = {type(o.pdf).__name__ for o in objects}
+        assert len(kinds) == 3
+
+    def test_deterministic_given_rng(self):
+        a = uniform_intervals(10, rng=np.random.default_rng(1))
+        b = uniform_intervals(10, rng=np.random.default_rng(1))
+        assert [(o.lo, o.hi) for o in a] == [(o.lo, o.hi) for o in b]
+
+
+class TestLongBeachSurrogate:
+    def test_full_size_constant(self):
+        assert LONG_BEACH_SIZE == 53_144  # Section V-A
+
+    def test_scaled_down_generation(self):
+        objects = long_beach_surrogate(n=2000)
+        assert len(objects) == 2000
+        for obj in objects[:50]:
+            assert LONG_BEACH_DOMAIN[0] - 200 <= obj.lo
+            assert obj.hi <= LONG_BEACH_DOMAIN[1] + 200
+
+    def test_deterministic_by_default(self):
+        a = long_beach_surrogate(n=100)
+        b = long_beach_surrogate(n=100)
+        assert [(o.lo, o.hi) for o in a] == [(o.lo, o.hi) for o in b]
+
+    def test_candidate_set_calibration(self):
+        # The paper reports ~96 candidates on average; the surrogate is
+        # calibrated to match within a reasonable band at full scale.
+        objects = long_beach_surrogate()
+        rng = np.random.default_rng(9)
+        sizes = [
+            len(filter_candidates(objects, float(q)))
+            for q in random_query_points(15, rng=rng)
+        ]
+        assert 50 <= float(np.mean(sizes)) <= 160
+
+    def test_gaussian_variant(self):
+        objects = long_beach_surrogate(n=50, pdf="gaussian", bars=40)
+        assert all(o.histogram.nbins == 40 for o in objects)
+
+
+class TestQueryPoints:
+    def test_range_and_count(self, rng):
+        points = random_query_points(25, domain=(10.0, 20.0), rng=rng)
+        assert points.shape == (25,)
+        assert points.min() >= 10.0 and points.max() <= 20.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_query_points(0, rng=rng)

@@ -1,0 +1,61 @@
+"""Tests for result containers and table rendering."""
+
+import pytest
+
+from repro.experiments.report import ExperimentResult, Series, format_table
+
+
+class TestSeries:
+    def test_add(self):
+        s = Series("time")
+        s.add(1, 2.5)
+        s.add(2, 3.5)
+        assert s.xs == [1.0, 2.0]
+        assert s.ys == [2.5, 3.5]
+
+
+class TestExperimentResult:
+    def make(self):
+        result = ExperimentResult(
+            experiment_id="figX",
+            title="Demo",
+            x_label="P",
+            y_label="ms",
+            params={"n": 3},
+        )
+        a = Series("a")
+        b = Series("b")
+        for x in (0.1, 0.2):
+            a.add(x, 10 * x)
+            b.add(x, 20 * x)
+        result.series = [a, b]
+        result.notes.append("shape note")
+        return result
+
+    def test_series_by_name(self):
+        result = self.make()
+        assert result.series_by_name("b").ys[0] == pytest.approx(2.0)
+        with pytest.raises(KeyError):
+            result.series_by_name("missing")
+
+    def test_to_text_contains_everything(self):
+        text = self.make().to_text()
+        assert "figX" in text
+        assert "Demo" in text
+        assert "shape note" in text
+        assert "n=3" in text
+        assert "a" in text and "b" in text
+
+    def test_to_text_handles_mismatched_series(self):
+        result = self.make()
+        result.series[1].ys.pop()
+        assert "-" in result.to_text()
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["col", "x"], [["1", "22"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows padded to equal width

@@ -1,0 +1,41 @@
+"""Tests for the shared experiment workload cache and public API surface."""
+
+import numpy as np
+
+from repro.experiments.workloads import cached_engine, query_points
+
+
+class TestWorkloadCache:
+    def test_engine_is_memoised(self):
+        a = cached_engine(500)
+        b = cached_engine(500)
+        assert a is b
+        assert len(a) == 500
+
+    def test_distinct_configurations_distinct_engines(self):
+        a = cached_engine(500)
+        b = cached_engine(500, pdf="gaussian", bars=20)
+        assert a is not b
+
+    def test_query_points_deterministic(self):
+        assert np.array_equal(query_points(5), query_points(5))
+        assert not np.array_equal(query_points(5), query_points(5, seed=99))
+
+
+class TestPublicApi:
+    def test_top_level_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_core_exports_resolve(self):
+        import repro.core
+
+        for name in repro.core.__all__:
+            assert getattr(repro.core, name) is not None
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

@@ -1,0 +1,124 @@
+"""Tests for the PNN filtering phase (Figure 3, first stage)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.montecarlo import monte_carlo_pnn_probabilities
+from repro.index.filtering import PnnFilter, filter_candidates
+from repro.index.linear import LinearScanIndex
+from repro.index.str_pack import str_bulk_load
+from repro.uncertainty.objects import UncertainObject
+from tests.conftest import make_random_objects
+
+
+def build_tree(objects, max_entries=8):
+    return str_bulk_load([(o.mbr, o) for o in objects], max_entries=max_entries)
+
+
+class TestLinearFilter:
+    def test_fmin_is_min_far_distance(self, rng):
+        objects = make_random_objects(rng, 25)
+        q = 30.0
+        result = filter_candidates(objects, q)
+        assert result.fmin == pytest.approx(min(o.maxdist(q) for o in objects))
+
+    def test_survivors_have_near_within_fmin(self, rng):
+        objects = make_random_objects(rng, 25)
+        result = filter_candidates(objects, 30.0)
+        for obj in result.candidates:
+            assert obj.mindist(30.0) <= result.fmin + 1e-12
+
+    def test_empty_collection_raises(self):
+        with pytest.raises(ValueError):
+            filter_candidates([], 0.0)
+
+    def test_never_prunes_positive_probability_object(self, rng):
+        # Soundness: any object the filter drops must have zero
+        # qualification probability (checked by Monte Carlo).
+        for trial in range(5):
+            objects = make_random_objects(rng, 12, families=("uniform",))
+            q = float(rng.uniform(0, 60))
+            result = filter_candidates(objects, q)
+            dropped = [o for o in objects if o not in result.candidates]
+            if not dropped:
+                continue
+            mc = monte_carlo_pnn_probabilities(objects, q, trials=20_000, rng=rng)
+            for obj in dropped:
+                assert mc[obj.key] == 0.0
+
+
+class TestRTreeFilter:
+    def test_matches_linear_scan(self, rng):
+        objects = make_random_objects(rng, 60)
+        pnn_filter = PnnFilter(build_tree(objects))
+        for q in rng.uniform(-5, 65, 12):
+            via_tree = pnn_filter(float(q))
+            via_scan = filter_candidates(objects, float(q))
+            assert via_tree.fmin == pytest.approx(via_scan.fmin)
+            assert {o.key for o in via_tree.candidates} == {
+                o.key for o in via_scan.candidates
+            }
+
+    def test_records_traversal_stats(self, rng):
+        objects = make_random_objects(rng, 60)
+        result = PnnFilter(build_tree(objects, max_entries=4))(30.0)
+        assert result.stats.nodes_visited > 0
+        assert result.stats.entries_scanned > 0
+
+    def test_empty_tree_rejected(self):
+        from repro.index.rtree import RTree
+
+        with pytest.raises(ValueError):
+            PnnFilter(RTree())
+
+    def test_single_object(self):
+        obj = UncertainObject.uniform("only", 0.0, 1.0)
+        result = PnnFilter(build_tree([obj]))(5.0)
+        assert len(result) == 1
+        assert result.fmin == pytest.approx(5.0)
+
+
+class TestLinearScanIndex:
+    def test_parity_with_rtree(self, rng):
+        objects = make_random_objects(rng, 40)
+        index = LinearScanIndex.from_objects(objects)
+        tree = build_tree(objects)
+        assert len(index) == len(tree)
+        q = 25.0
+        assert index.nearest_maxdist(q) == pytest.approx(tree.nearest_maxdist(q))
+        radius = index.nearest_maxdist(q)
+        assert {o.key for o in index.within_mindist(q, radius)} == {
+            o.key for o in tree.within_mindist(q, radius)
+        }
+
+    def test_filter_method(self, rng):
+        objects = make_random_objects(rng, 20)
+        index = LinearScanIndex.from_objects(objects)
+        result = index.filter(10.0)
+        reference = filter_candidates(objects, 10.0)
+        assert {o.key for o in result.candidates} == {
+            o.key for o in reference.candidates
+        }
+
+    def test_search_and_stab(self, rng):
+        objects = make_random_objects(rng, 20)
+        index = LinearScanIndex.from_objects(objects)
+        hits = index.stab(30.0)
+        for obj in hits:
+            assert obj.lo <= 30.0 <= obj.hi
+
+    def test_empty_index_raises(self):
+        with pytest.raises(ValueError):
+            LinearScanIndex().nearest_maxdist(0.0)
+
+
+class TestDegenerateGeometry:
+    def test_identical_objects(self):
+        objects = [UncertainObject.uniform(i, 0.0, 2.0) for i in range(4)]
+        result = filter_candidates(objects, 1.0)
+        assert len(result) == 4
+
+    def test_query_far_from_everything(self, rng):
+        objects = make_random_objects(rng, 15)
+        result = filter_candidates(objects, 1e6)
+        assert len(result) >= 1

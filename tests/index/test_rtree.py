@@ -1,0 +1,172 @@
+"""Tests for the dynamic R-tree."""
+
+import numpy as np
+import pytest
+
+from repro.index.geometry import Rect
+from repro.index.rtree import RTree, RTreeStats
+
+
+def random_rects_1d(rng, n):
+    lows = rng.uniform(0, 100, n)
+    return [Rect.interval(lo, lo + w) for lo, w in zip(lows, rng.uniform(0, 5, n))]
+
+
+def random_rects_2d(rng, n):
+    lows = rng.uniform(0, 100, (n, 2))
+    widths = rng.uniform(0, 5, (n, 2))
+    return [Rect(lo, lo + w) for lo, w in zip(lows, widths)]
+
+
+class TestConstructionAndValidation:
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=1)
+        with pytest.raises(ValueError):
+            RTree(max_entries=8, min_entries=5)
+
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.mbr() is None
+        assert tree.height() == 1
+        with pytest.raises(ValueError):
+            tree.nearest_maxdist(0.0)
+
+
+class TestInsertion:
+    def test_insert_grows_and_checks(self, rng):
+        tree = RTree(max_entries=4)
+        for i, rect in enumerate(random_rects_1d(rng, 100)):
+            tree.insert(rect, i)
+            if i % 10 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+        assert len(tree) == 100
+        assert tree.height() >= 3
+        assert sorted(tree.items()) == list(range(100))
+
+    def test_insert_2d(self, rng):
+        tree = RTree(max_entries=6)
+        for i, rect in enumerate(random_rects_2d(rng, 200)):
+            tree.insert(rect, i)
+        tree.check_invariants()
+        assert len(tree) == 200
+
+
+class TestSearch:
+    def test_search_equals_linear_scan_1d(self, rng):
+        rects = random_rects_1d(rng, 150)
+        tree = RTree(max_entries=5)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        for _ in range(25):
+            lo = float(rng.uniform(0, 100))
+            window = Rect.interval(lo, lo + float(rng.uniform(0, 20)))
+            expected = {i for i, r in enumerate(rects) if r.intersects(window)}
+            assert set(tree.search(window)) == expected
+
+    def test_search_equals_linear_scan_2d(self, rng):
+        rects = random_rects_2d(rng, 150)
+        tree = RTree(max_entries=5)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        for _ in range(25):
+            lo = rng.uniform(0, 100, 2)
+            window = Rect(lo, lo + rng.uniform(0, 20, 2))
+            expected = {i for i, r in enumerate(rects) if r.intersects(window)}
+            assert set(tree.search(window)) == expected
+
+    def test_stab(self, rng):
+        rects = random_rects_1d(rng, 80)
+        tree = RTree()
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        q = 50.0
+        expected = {i for i, r in enumerate(rects) if r.contains_point(q)}
+        assert set(tree.stab(q)) == expected
+
+    def test_stats_counters(self, rng):
+        tree = RTree(max_entries=4)
+        for i, rect in enumerate(random_rects_1d(rng, 60)):
+            tree.insert(rect, i)
+        stats = RTreeStats()
+        tree.search(Rect.interval(0, 100), stats=stats)
+        assert stats.nodes_visited > 1
+        assert stats.entries_scanned >= 60
+
+
+class TestBestFirst:
+    def test_nearest_maxdist_equals_bruteforce(self, rng):
+        rects = random_rects_1d(rng, 120)
+        tree = RTree(max_entries=4)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        for q in rng.uniform(-10, 110, 15):
+            expected = min(r.maxdist(q) for r in rects)
+            assert tree.nearest_maxdist(float(q)) == pytest.approx(expected)
+
+    def test_within_mindist_equals_bruteforce(self, rng):
+        rects = random_rects_1d(rng, 120)
+        tree = RTree(max_entries=4)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        for q in rng.uniform(0, 100, 10):
+            radius = float(rng.uniform(0, 10))
+            expected = {
+                i for i, r in enumerate(rects) if r.mindist(float(q)) <= radius
+            }
+            assert set(tree.within_mindist(float(q), radius)) == expected
+
+
+class TestDeletion:
+    def test_delete_and_condense(self, rng):
+        rects = random_rects_1d(rng, 80)
+        tree = RTree(max_entries=4)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        order = list(rng.permutation(80))
+        for count, i in enumerate(order[:60]):
+            removed = tree.delete(rects[i], lambda item: item == i)
+            assert removed
+            if count % 7 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+        assert len(tree) == 20
+        remaining = set(order[60:])
+        assert set(tree.items()) == remaining
+
+    def test_delete_missing_returns_false(self, rng):
+        tree = RTree()
+        tree.insert(Rect.interval(0, 1), "a")
+        assert not tree.delete(Rect.interval(5, 6), lambda item: True)
+        assert not tree.delete(Rect.interval(0, 1), lambda item: item == "b")
+        assert len(tree) == 1
+
+    def test_delete_everything(self, rng):
+        rects = random_rects_1d(rng, 30)
+        tree = RTree(max_entries=4)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        for i in range(30):
+            assert tree.delete(rects[i], lambda item: item == i)
+        assert len(tree) == 0
+
+    def test_queries_after_heavy_churn(self, rng):
+        tree = RTree(max_entries=4)
+        live = {}
+        next_id = 0
+        for _ in range(400):
+            if live and rng.random() < 0.4:
+                victim = int(rng.choice(list(live)))
+                assert tree.delete(live.pop(victim), lambda item: item == victim)
+            else:
+                lo = float(rng.uniform(0, 100))
+                rect = Rect.interval(lo, lo + float(rng.uniform(0, 5)))
+                tree.insert(rect, next_id)
+                live[next_id] = rect
+                next_id += 1
+        tree.check_invariants()
+        window = Rect.interval(20, 60)
+        expected = {i for i, r in live.items() if r.intersects(window)}
+        assert set(tree.search(window)) == expected

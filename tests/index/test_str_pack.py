@@ -1,0 +1,86 @@
+"""Tests for STR bulk loading."""
+
+import pytest
+
+from repro.index.geometry import Rect
+from repro.index.rtree import RTree
+from repro.index.str_pack import str_bulk_load
+
+
+def pairs_1d(rng, n):
+    lows = rng.uniform(0, 1000, n)
+    widths = rng.uniform(0, 10, n)
+    return [(Rect.interval(lo, lo + w), i) for i, (lo, w) in enumerate(zip(lows, widths))]
+
+
+def pairs_2d(rng, n):
+    lows = rng.uniform(0, 1000, (n, 2))
+    widths = rng.uniform(0, 10, (n, 2))
+    return [(Rect(lo, lo + w), i) for i, (lo, w) in enumerate(zip(lows, widths))]
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = str_bulk_load([])
+        assert len(tree) == 0
+
+    def test_single_leaf(self, rng):
+        tree = str_bulk_load(pairs_1d(rng, 5), max_entries=8)
+        assert len(tree) == 5
+        assert tree.height() == 1
+        tree.check_invariants()
+
+    @pytest.mark.parametrize("n", [9, 17, 64, 100, 257, 1000])
+    def test_invariants_across_sizes_1d(self, rng, n):
+        tree = str_bulk_load(pairs_1d(rng, n), max_entries=8)
+        tree.check_invariants()
+        assert len(tree) == n
+        assert sorted(tree.items()) == list(range(n))
+
+    @pytest.mark.parametrize("n", [65, 250, 777])
+    def test_invariants_across_sizes_2d(self, rng, n):
+        tree = str_bulk_load(pairs_2d(rng, n), max_entries=10)
+        tree.check_invariants()
+        assert len(tree) == n
+
+    def test_search_matches_dynamic_tree(self, rng):
+        pairs = pairs_1d(rng, 300)
+        packed = str_bulk_load(pairs, max_entries=8)
+        dynamic = RTree(max_entries=8)
+        for rect, item in pairs:
+            dynamic.insert(rect, item)
+        for _ in range(20):
+            lo = float(rng.uniform(0, 1000))
+            window = Rect.interval(lo, lo + float(rng.uniform(0, 50)))
+            assert set(packed.search(window)) == set(dynamic.search(window))
+
+    def test_packed_tree_is_shallower(self, rng):
+        pairs = pairs_1d(rng, 500)
+        packed = str_bulk_load(pairs, max_entries=8)
+        dynamic = RTree(max_entries=8)
+        for rect, item in pairs:
+            dynamic.insert(rect, item)
+        assert packed.height() <= dynamic.height()
+
+    def test_insertion_after_bulk_load(self, rng):
+        tree = str_bulk_load(pairs_1d(rng, 100), max_entries=8)
+        tree.insert(Rect.interval(-5, -4), "new")
+        tree.check_invariants()
+        assert "new" in set(tree.items())
+        assert len(tree) == 101
+
+    def test_deletion_after_bulk_load(self, rng):
+        pairs = pairs_1d(rng, 100)
+        tree = str_bulk_load(pairs, max_entries=8)
+        rect, item = pairs[42]
+        assert tree.delete(rect, lambda x: x == item)
+        tree.check_invariants()
+        assert len(tree) == 99
+
+    def test_nearest_maxdist_after_bulk_load(self, rng):
+        pairs = pairs_1d(rng, 400)
+        tree = str_bulk_load(pairs, max_entries=16)
+        rects = [rect for rect, _ in pairs]
+        for q in rng.uniform(0, 1000, 10):
+            expected = min(r.maxdist(float(q)) for r in rects)
+            assert tree.nearest_maxdist(float(q)) == pytest.approx(expected)

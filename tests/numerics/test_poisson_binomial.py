@@ -1,0 +1,85 @@
+"""Tests for the Poisson-binomial dynamic programme."""
+
+import itertools
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.numerics.poisson_binomial import (
+    poisson_binomial_pmf,
+    prob_at_most,
+    prob_at_most_vectorized,
+)
+
+
+def brute_force_pmf(probs):
+    n = len(probs)
+    pmf = np.zeros(n + 1)
+    for bits in itertools.product([0, 1], repeat=n):
+        weight = 1.0
+        for bit, p in zip(bits, probs):
+            weight *= p if bit else (1.0 - p)
+        pmf[sum(bits)] += weight
+    return pmf
+
+
+class TestPmf:
+    def test_matches_brute_force(self, rng):
+        for _ in range(10):
+            probs = rng.uniform(0, 1, int(rng.integers(1, 9)))
+            assert np.allclose(
+                poisson_binomial_pmf(probs), brute_force_pmf(probs), atol=1e-12
+            )
+
+    def test_equal_probabilities_reduce_to_binomial(self):
+        pmf = poisson_binomial_pmf([0.3] * 12)
+        assert np.allclose(pmf, stats.binom.pmf(np.arange(13), 12, 0.3), atol=1e-12)
+
+    def test_degenerate_probabilities(self):
+        pmf = poisson_binomial_pmf([0.0, 1.0, 1.0])
+        assert pmf[2] == pytest.approx(1.0)
+
+    def test_sums_to_one(self, rng):
+        pmf = poisson_binomial_pmf(rng.uniform(0, 1, 40))
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_binomial_pmf([[0.5]])
+        with pytest.raises(ValueError):
+            poisson_binomial_pmf([1.5])
+
+
+class TestProbAtMost:
+    def test_matches_pmf_prefix(self, rng):
+        probs = rng.uniform(0, 1, 15)
+        pmf = poisson_binomial_pmf(probs)
+        for k in range(-1, 17):
+            assert prob_at_most(probs, k) == pytest.approx(
+                pmf[: max(k + 1, 0)].sum(), abs=1e-12
+            )
+
+    def test_extremes(self):
+        assert prob_at_most([0.5, 0.5], -1) == 0.0
+        assert prob_at_most([0.5, 0.5], 2) == 1.0
+
+    def test_vectorized_matches_scalar(self, rng):
+        matrix = rng.uniform(0, 1, (8, 11))
+        for k in (0, 2, 5, 7):
+            expected = [prob_at_most(matrix[:, j], k) for j in range(11)]
+            assert np.allclose(prob_at_most_vectorized(matrix, k), expected)
+
+    def test_vectorized_extremes(self, rng):
+        matrix = rng.uniform(0, 1, (4, 6))
+        assert np.allclose(prob_at_most_vectorized(matrix, -1), 0.0)
+        assert np.allclose(prob_at_most_vectorized(matrix, 4), 1.0)
+
+    def test_vectorized_validation(self):
+        with pytest.raises(ValueError):
+            prob_at_most_vectorized(np.zeros(3), 1)
+
+    def test_monotone_in_threshold(self, rng):
+        probs = rng.uniform(0, 1, 20)
+        values = [prob_at_most(probs, k) for k in range(21)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))

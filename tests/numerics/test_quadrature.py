@@ -1,0 +1,80 @@
+"""Tests for Gauss–Legendre quadrature."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.quadrature import (
+    gauss_legendre_nodes,
+    integrate_on_interval,
+    integrate_piecewise,
+    nodes_for_degree,
+)
+
+
+class TestNodes:
+    def test_weights_sum_to_two(self):
+        for n in (1, 2, 5, 16, 49):
+            _, ws = gauss_legendre_nodes(n)
+            assert ws.sum() == pytest.approx(2.0)
+
+    def test_nodes_inside_unit_interval(self):
+        xs, _ = gauss_legendre_nodes(10)
+        assert xs.min() > -1.0 and xs.max() < 1.0
+
+    def test_cached_and_readonly(self):
+        a, _ = gauss_legendre_nodes(7)
+        b, _ = gauss_legendre_nodes(7)
+        assert a is b
+        with pytest.raises(ValueError):
+            a[0] = 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            gauss_legendre_nodes(0)
+
+    def test_nodes_for_degree(self):
+        # n nodes are exact through degree 2n-1.
+        assert nodes_for_degree(0) == 1
+        assert nodes_for_degree(1) == 1
+        assert nodes_for_degree(2) == 2
+        assert nodes_for_degree(95) == 48
+        with pytest.raises(ValueError):
+            nodes_for_degree(-1)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("degree", [0, 1, 3, 7, 15, 31])
+    def test_polynomial_exactness(self, rng, degree):
+        coeffs = rng.uniform(-1, 1, degree + 1)
+        poly = np.polynomial.Polynomial(coeffs)
+        integral = poly.integ()
+        a, b = -0.7, 2.3
+        n = nodes_for_degree(degree)
+        value = integrate_on_interval(lambda x: poly(x), a, b, n)
+        assert value == pytest.approx(integral(b) - integral(a), rel=1e-12, abs=1e-12)
+
+    def test_insufficient_nodes_are_inexact(self):
+        # x^4 with 2 nodes (exact only to degree 3) must show error.
+        value = integrate_on_interval(lambda x: x**4, 0.0, 1.0, 2)
+        assert value != pytest.approx(0.2, abs=1e-6)
+
+    def test_empty_interval(self):
+        assert integrate_on_interval(lambda x: x, 2.0, 2.0, 4) == 0.0
+        assert integrate_on_interval(lambda x: x, 3.0, 2.0, 4) == 0.0
+
+
+class TestPiecewise:
+    def test_piecewise_polynomial(self):
+        # |x| is linear on each side of 0: exact with a breakpoint there.
+        value = integrate_piecewise(np.abs, [-1.0, 0.0, 2.0], nodes=1)
+        assert value == pytest.approx(0.5 + 2.0)
+
+    def test_degenerate_pieces_skipped(self):
+        value = integrate_piecewise(lambda x: x * 0 + 1.0, [0, 1, 1, 2], nodes=1)
+        assert value == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            integrate_piecewise(lambda x: x, [0.0], nodes=1)
+        with pytest.raises(ValueError):
+            integrate_piecewise(lambda x: x, [1.0, 0.0], nodes=1)

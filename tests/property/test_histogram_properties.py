@@ -1,0 +1,94 @@
+"""Property-based tests (hypothesis) for the histogram calculus."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uncertainty.histogram import Histogram
+
+
+@st.composite
+def histograms(draw, max_bins=8):
+    """Arbitrary normalised histograms with well-separated edges."""
+    n = draw(st.integers(1, max_bins))
+    start = draw(st.floats(-50, 50))
+    gaps = draw(
+        st.lists(st.floats(0.05, 10.0), min_size=n, max_size=n)
+    )
+    edges = np.concatenate(([start], start + np.cumsum(gaps)))
+    masses = draw(
+        st.lists(st.floats(0.0, 1.0), min_size=n, max_size=n).filter(
+            lambda m: sum(m) > 0.05
+        )
+    )
+    masses = np.asarray(masses)
+    return Histogram.from_masses(edges, masses / masses.sum())
+
+
+@given(histograms())
+def test_total_mass_is_one(h):
+    assert abs(h.total_mass - 1.0) < 1e-9
+
+
+@given(histograms(), st.floats(-100, 100))
+def test_fold_preserves_mass(h, q):
+    folded = h.fold_abs(q)
+    assert abs(folded.total_mass - 1.0) < 1e-9
+    assert folded.lo >= -1e-12
+
+
+@given(histograms(), st.floats(-100, 100))
+def test_fold_cdf_matches_direct_mass(h, q):
+    """Pr[|X - q| <= r] computed via fold equals direct two-sided mass."""
+    folded = h.fold_abs(q)
+    for r in np.linspace(0.0, folded.hi * 1.1 + 0.1, 7):
+        direct = h.cdf(q + r) - h.cdf(q - r)
+        assert abs(folded.cdf(r) - direct) < 1e-9
+
+
+@given(histograms())
+def test_cdf_monotone_nondecreasing(h):
+    xs = np.linspace(h.lo - 1, h.hi + 1, 41)
+    values = np.asarray(h.cdf(xs))
+    assert np.all(np.diff(values) >= -1e-12)
+
+
+@given(histograms(), st.lists(st.floats(-60, 60), min_size=1, max_size=5))
+def test_breakpoint_refinement_invariant(h, points):
+    refined = h.with_breakpoints(points)
+    xs = np.linspace(h.lo, h.hi, 23)
+    assert np.allclose(refined.cdf(xs), h.cdf(xs), atol=1e-9)
+    assert abs(refined.total_mass - h.total_mass) < 1e-9
+
+
+@given(histograms(), st.integers(2, 30))
+def test_rebin_conserves_mass(h, bins):
+    edges = np.linspace(h.lo, h.hi, bins + 1)
+    rebinned = h.rebinned(edges)
+    assert abs(rebinned.total_mass - h.total_mass) < 1e-9
+    # cdf agrees exactly at the new edges.
+    assert np.allclose(rebinned.cdf(edges), h.cdf(edges), atol=1e-9)
+
+
+@given(histograms(), st.floats(0.01, 0.99))
+def test_ppf_cdf_roundtrip(h, u):
+    x = h.ppf(u)
+    assert abs(h.cdf(x) - u) < 1e-9
+
+
+@settings(max_examples=25)
+@given(histograms(), st.integers(0, 2**32 - 1))
+def test_samples_match_cdf(h, seed):
+    rng = np.random.default_rng(seed)
+    samples = h.sample(rng, 4000)
+    mid = 0.5 * (h.lo + h.hi)
+    assert abs(np.mean(samples <= mid) - h.cdf(mid)) < 0.06
+
+
+@given(histograms(), histograms(), st.floats(0.05, 0.95))
+def test_mixture_mass_linear(a, b, w):
+    mix = Histogram.mixture([a, b], [w, 1.0 - w])
+    assert abs(mix.total_mass - 1.0) < 1e-9
+    x = 0.5 * (a.lo + b.hi)
+    expected = w * a.cdf(x) + (1 - w) * b.cdf(x)
+    assert abs(mix.cdf(x) - expected) < 1e-9

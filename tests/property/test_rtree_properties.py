@@ -1,0 +1,85 @@
+"""Property-based tests for the R-tree: equivalence with linear scan
+under arbitrary insert/delete interleavings."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.geometry import Rect
+from repro.index.rtree import RTree
+from repro.index.str_pack import str_bulk_load
+
+intervals = st.tuples(
+    st.floats(-100, 100), st.floats(0, 20)
+).map(lambda t: (t[0], t[0] + t[1]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(intervals, min_size=1, max_size=60), st.integers(2, 6))
+def test_dynamic_tree_matches_linear_scan(pairs, fanout_half):
+    tree = RTree(max_entries=2 * fanout_half)
+    rects = []
+    for i, (lo, hi) in enumerate(pairs):
+        rect = Rect.interval(lo, hi)
+        tree.insert(rect, i)
+        rects.append(rect)
+    tree.check_invariants()
+    window = Rect.interval(-20, 20)
+    expected = {i for i, r in enumerate(rects) if r.intersects(window)}
+    assert set(tree.search(window)) == expected
+    q = 0.0
+    assert tree.nearest_maxdist(q) == min(r.maxdist(q) for r in rects)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(intervals, min_size=1, max_size=80), st.integers(2, 8))
+def test_bulk_load_matches_dynamic(pairs, fanout_half):
+    fanout = 2 * fanout_half
+    packed = str_bulk_load(
+        [(Rect.interval(lo, hi), i) for i, (lo, hi) in enumerate(pairs)],
+        max_entries=fanout,
+    )
+    packed.check_invariants()
+    assert len(packed) == len(pairs)
+    window = Rect.interval(-50, 0)
+    expected = {
+        i for i, (lo, hi) in enumerate(pairs)
+        if Rect.interval(lo, hi).intersects(window)
+    }
+    assert set(packed.search(window)) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(intervals, min_size=4, max_size=40),
+    st.lists(st.integers(0, 1_000_000), min_size=1, max_size=20),
+)
+def test_deletions_preserve_invariants_and_content(pairs, delete_picks):
+    tree = RTree(max_entries=4)
+    rects = {}
+    for i, (lo, hi) in enumerate(pairs):
+        rect = Rect.interval(lo, hi)
+        tree.insert(rect, i)
+        rects[i] = rect
+    for pick in delete_picks:
+        if not rects:
+            break
+        victim = sorted(rects)[pick % len(rects)]
+        assert tree.delete(rects.pop(victim), lambda item: item == victim)
+    tree.check_invariants()
+    assert set(tree.items()) == set(rects)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(intervals, min_size=1, max_size=50), st.floats(-120, 120))
+def test_filter_equivalence_rtree_vs_scan(pairs, q):
+    """The two filtering implementations agree on fmin and survivors."""
+    from repro.index.filtering import PnnFilter
+
+    rects = [Rect.interval(lo, hi) for lo, hi in pairs]
+    tree = str_bulk_load(list(zip(rects, range(len(rects)))), max_entries=4)
+    result = PnnFilter(tree)(q)
+    fmin = min(r.maxdist(q) for r in rects)
+    assert np.isclose(result.fmin, fmin)
+    expected = {i for i, r in enumerate(rects) if r.mindist(q) <= fmin}
+    assert set(result.candidates) == expected

@@ -1,0 +1,102 @@
+"""Property-based tests for 2-D uncertainty regions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uncertainty.twod import (
+    UncertainDisk,
+    UncertainRectangle,
+    UncertainSegment,
+    circle_circle_intersection_area,
+    disk_rect_intersection_area,
+)
+from repro.index.geometry import Rect
+
+coords = st.floats(-20, 20)
+radii = st.floats(0.1, 5.0)
+
+
+@st.composite
+def disks(draw):
+    return UncertainDisk(
+        "d", (draw(coords), draw(coords)), draw(radii), distance_bins=48
+    )
+
+
+@st.composite
+def segments(draw):
+    a = np.asarray([draw(coords), draw(coords)])
+    delta = np.asarray([draw(st.floats(0.1, 6.0)), draw(st.floats(0.1, 6.0))])
+    return UncertainSegment("s", a, a + delta, distance_bins=48)
+
+
+@st.composite
+def rectangles(draw):
+    x, y = draw(coords), draw(coords)
+    w, h = draw(st.floats(0.1, 6.0)), draw(st.floats(0.1, 6.0))
+    return UncertainRectangle.from_bounds("r", x, y, x + w, y + h, distance_bins=48)
+
+
+@st.composite
+def query_points(draw):
+    return (draw(coords), draw(coords))
+
+
+def _check_region(region, q):
+    near, far = region.mindist(q), region.maxdist(q)
+    assert 0.0 <= near <= far + 1e-12
+    # The exact cdf is monotone, 0 below near, 1 above far.
+    assert region.distance_cdf(q, near - 1e-6) <= 1e-9
+    assert region.distance_cdf(q, far + 1e-6) >= 1.0 - 1e-9
+    rs = np.linspace(near, far, 9)
+    values = [region.distance_cdf(q, r) for r in rs]
+    assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+    # The histogram distribution matches the exact cdf at its edges.
+    dist = region.distance_distribution(q)
+    assert dist.near >= near - 1e-9
+    assert dist.far <= far + 1e-9
+    for r in np.linspace(dist.near, dist.far, 5):
+        assert abs(dist.cdf(r) - region.distance_cdf(q, r)) <= 0.05
+
+
+@settings(max_examples=40, deadline=None)
+@given(disks(), query_points())
+def test_disk_distance_properties(disk, q):
+    _check_region(disk, q)
+
+
+@settings(max_examples=40, deadline=None)
+@given(segments(), query_points())
+def test_segment_distance_properties(segment, q):
+    _check_region(segment, q)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rectangles(), query_points())
+def test_rectangle_distance_properties(rectangle, q):
+    _check_region(rectangle, q)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(0, 8), st.floats(0.05, 4), st.floats(0.05, 4))
+def test_circle_circle_area_bounds(d, r1, r2):
+    area = circle_circle_intersection_area(d, r1, r2)
+    smaller = min(r1, r2)
+    assert -1e-12 <= area <= np.pi * smaller * smaller + 1e-9
+    # Symmetry in the two radii.
+    assert abs(area - circle_circle_intersection_area(d, r2, r1)) < 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.floats(-5, 5), st.floats(-5, 5), st.floats(0.1, 4),
+    st.floats(-5, 5), st.floats(-5, 5), st.floats(0.1, 5), st.floats(0.1, 5),
+)
+def test_disk_rect_area_bounds(qx, qy, r, x, y, w, h):
+    rect = Rect([x, y], [x + w, y + h])
+    area = disk_rect_intersection_area((qx, qy), r, rect)
+    assert -1e-12 <= area <= min(np.pi * r * r, rect.area()) + 1e-9
+    # Monotone in the radius.
+    bigger = disk_rect_intersection_area((qx, qy), 1.5 * r, rect)
+    assert bigger >= area - 1e-9

@@ -1,0 +1,229 @@
+"""Unit tests for the histogram calculus."""
+
+import numpy as np
+import pytest
+
+from repro.uncertainty.histogram import Histogram, HistogramError
+
+
+class TestConstruction:
+    def test_uniform_has_unit_mass(self):
+        h = Histogram.uniform(2.0, 6.0)
+        assert h.total_mass == pytest.approx(1.0)
+        assert h.lo == 2.0 and h.hi == 6.0
+        assert h.nbins == 1
+
+    def test_uniform_requires_positive_width(self):
+        with pytest.raises(HistogramError):
+            Histogram.uniform(3.0, 3.0)
+
+    def test_from_masses(self):
+        h = Histogram.from_masses([0, 1, 3], [0.25, 0.75])
+        assert h.densities[0] == pytest.approx(0.25)
+        assert h.densities[1] == pytest.approx(0.375)
+        assert h.total_mass == pytest.approx(1.0)
+
+    def test_rejects_decreasing_edges(self):
+        with pytest.raises(HistogramError):
+            Histogram([0, 2, 1], [0.5, 0.5])
+
+    def test_rejects_negative_density(self):
+        with pytest.raises(HistogramError):
+            Histogram([0, 1, 2], [0.5, -0.1])
+
+    def test_rejects_wrong_density_count(self):
+        with pytest.raises(HistogramError):
+            Histogram([0, 1, 2], [1.0])
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(HistogramError):
+            Histogram([0, np.inf], [1.0])
+        with pytest.raises(HistogramError):
+            Histogram([0, 1], [np.nan])
+
+    def test_from_cdf_matches_at_edges(self):
+        h = Histogram.from_cdf(lambda x: min(max(x, 0.0), 1.0), 0.0, 1.0, bins=10)
+        assert h.cdf(0.5) == pytest.approx(0.5)
+        assert h.total_mass == pytest.approx(1.0)
+
+
+class TestEvaluation:
+    def test_pdf_inside_and_outside(self):
+        h = Histogram.uniform(0.0, 2.0)
+        assert h.pdf(1.0) == pytest.approx(0.5)
+        assert h.pdf(-0.1) == 0.0
+        assert h.pdf(2.1) == 0.0
+
+    def test_pdf_uses_right_bin_at_breakpoint(self):
+        h = Histogram([0, 1, 2], [0.25, 0.75])
+        assert h.pdf(1.0) == pytest.approx(0.75)
+        assert h.pdf(2.0) == pytest.approx(0.75)
+
+    def test_cdf_is_piecewise_linear(self):
+        h = Histogram([0, 1, 3], [0.5, 0.25])
+        assert h.cdf(0.5) == pytest.approx(0.25)
+        assert h.cdf(1.0) == pytest.approx(0.5)
+        assert h.cdf(2.0) == pytest.approx(0.75)
+        assert h.cdf(-1) == 0.0
+        assert h.cdf(10) == pytest.approx(1.0)
+
+    def test_sf_complements_cdf(self):
+        h = Histogram.uniform(0.0, 4.0)
+        xs = np.linspace(-1, 5, 13)
+        assert np.allclose(np.asarray(h.sf(xs)) + np.asarray(h.cdf(xs)), 1.0)
+
+    def test_ppf_inverts_cdf(self):
+        h = Histogram([0, 1, 3], [0.5, 0.25])
+        for u in (0.0, 0.1, 0.5, 0.75, 1.0):
+            assert h.cdf(h.ppf(u)) == pytest.approx(u, abs=1e-12)
+
+    def test_ppf_rejects_out_of_range(self):
+        h = Histogram.uniform(0.0, 1.0)
+        with pytest.raises(HistogramError):
+            h.ppf(1.5)
+
+    def test_mean_and_variance_uniform(self):
+        h = Histogram.uniform(2.0, 6.0)
+        assert h.mean() == pytest.approx(4.0)
+        assert h.variance() == pytest.approx(16.0 / 12.0)
+
+    def test_mass_between(self):
+        h = Histogram.uniform(0.0, 10.0)
+        assert h.mass_between(2.0, 7.0) == pytest.approx(0.5)
+        with pytest.raises(HistogramError):
+            h.mass_between(7.0, 2.0)
+
+    def test_sample_within_support(self, rng):
+        h = Histogram([0, 1, 5], [0.8, 0.05])
+        samples = h.sample(rng, 500)
+        assert samples.min() >= 0.0
+        assert samples.max() <= 5.0
+
+
+class TestTransformations:
+    def test_normalized(self):
+        h = Histogram([0, 2], [2.0]).normalized()
+        assert h.total_mass == pytest.approx(1.0)
+
+    def test_scaled_and_shifted(self):
+        h = Histogram.uniform(0.0, 1.0).scaled(3.0).shifted(5.0)
+        assert h.total_mass == pytest.approx(3.0)
+        assert h.lo == pytest.approx(5.0)
+
+    def test_reflected(self):
+        h = Histogram([0, 1, 3], [0.5, 0.25]).reflected()
+        assert h.lo == -3.0 and h.hi == 0.0
+        assert h.pdf(-2.0) == pytest.approx(0.25)
+        assert h.pdf(-0.5) == pytest.approx(0.5)
+
+    def test_trimmed_removes_zero_margins(self):
+        h = Histogram([0, 1, 2, 3, 4], [0.0, 0.5, 0.5, 0.0]).trimmed()
+        assert h.lo == 1.0 and h.hi == 3.0
+
+    def test_trimmed_zero_mass_raises(self):
+        with pytest.raises(HistogramError):
+            Histogram([0, 1], [0.0]).trimmed()
+
+    def test_with_breakpoints_preserves_function(self):
+        h = Histogram([0, 2], [0.5])
+        refined = h.with_breakpoints([0.5, 1.7, 5.0])
+        assert refined.nbins == 3
+        xs = np.linspace(0, 2, 21)
+        assert np.allclose(refined.cdf(xs), h.cdf(xs))
+
+    def test_restricted(self):
+        h = Histogram.uniform(0.0, 10.0)
+        r = h.restricted(2.0, 5.0)
+        assert r.total_mass == pytest.approx(0.3)
+        assert r.lo == pytest.approx(2.0) and r.hi == pytest.approx(5.0)
+
+    def test_restricted_outside_support_raises(self):
+        with pytest.raises(HistogramError):
+            Histogram.uniform(0.0, 1.0).restricted(5.0, 6.0)
+
+    def test_rebinned_preserves_mass(self):
+        h = Histogram([0, 1, 3], [0.5, 0.25])
+        r = h.rebinned([0, 0.5, 1.5, 3.0])
+        assert r.total_mass == pytest.approx(1.0)
+        assert r.cdf(1.5) == pytest.approx(h.cdf(1.5))
+
+    def test_rebinned_must_cover_support(self):
+        with pytest.raises(HistogramError):
+            Histogram.uniform(0.0, 2.0).rebinned([0.5, 2.0])
+
+    def test_mixture(self):
+        a = Histogram.uniform(0.0, 1.0)
+        b = Histogram.uniform(1.0, 2.0)
+        m = Histogram.mixture([a, b], [0.25, 0.75])
+        assert m.total_mass == pytest.approx(1.0)
+        assert m.cdf(1.0) == pytest.approx(0.25)
+
+
+class TestFoldAbs:
+    def test_query_left_of_support(self):
+        h = Histogram.uniform(2.0, 4.0)
+        folded = h.fold_abs(1.0)
+        assert folded.lo == pytest.approx(1.0)
+        assert folded.hi == pytest.approx(3.0)
+        assert folded.total_mass == pytest.approx(1.0)
+        assert folded.pdf(2.0) == pytest.approx(0.5)
+
+    def test_query_right_of_support(self):
+        h = Histogram.uniform(2.0, 4.0)
+        folded = h.fold_abs(6.0)
+        assert folded.lo == pytest.approx(2.0)
+        assert folded.hi == pytest.approx(4.0)
+        assert folded.total_mass == pytest.approx(1.0)
+
+    def test_query_inside_doubles_density(self):
+        # Figure 6(b): q inside, the near side folds onto the far side.
+        h = Histogram.uniform(0.0, 4.0)
+        folded = h.fold_abs(1.0)
+        assert folded.lo == pytest.approx(0.0)
+        assert folded.hi == pytest.approx(3.0)
+        assert folded.pdf(0.5) == pytest.approx(0.5)  # both sides: 2 * 1/4
+        assert folded.pdf(2.0) == pytest.approx(0.25)
+        assert folded.total_mass == pytest.approx(1.0)
+
+    def test_query_at_center(self):
+        h = Histogram.uniform(-1.0, 1.0)
+        folded = h.fold_abs(0.0)
+        assert folded.hi == pytest.approx(1.0)
+        assert folded.pdf(0.5) == pytest.approx(1.0)
+        assert folded.total_mass == pytest.approx(1.0)
+
+    def test_fold_multi_bin_matches_sampling(self, rng):
+        h = Histogram.from_masses([0, 1, 2, 4], [0.2, 0.5, 0.3])
+        q = 1.5
+        folded = h.fold_abs(q)
+        samples = np.abs(h.sample(rng, 200_000) - q)
+        for r in (0.2, 0.5, 1.0, 2.0):
+            assert folded.cdf(r) == pytest.approx(
+                np.mean(samples <= r), abs=5e-3
+            )
+
+    def test_fold_fast_path_matches_generic(self, rng):
+        for _ in range(50):
+            lo = float(rng.uniform(-5, 5))
+            hi = lo + float(rng.uniform(0.2, 6))
+            q = float(rng.uniform(-8, 8))
+            fast = Histogram.uniform(lo, hi).fold_abs(q)
+            generic = Histogram(
+                [lo, (lo + hi) / 2, hi], [1 / (hi - lo)] * 2
+            ).fold_abs(q)
+            xs = np.linspace(0, generic.hi, 37)
+            assert np.allclose(fast.cdf(xs), generic.cdf(xs), atol=1e-12)
+
+
+class TestEquality:
+    def test_eq_and_hash(self):
+        a = Histogram.uniform(0.0, 1.0)
+        b = Histogram.uniform(0.0, 1.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Histogram.uniform(0.0, 2.0)
+
+    def test_is_close(self):
+        a = Histogram.uniform(0.0, 2.0)
+        b = a.with_breakpoints([1.0])
+        assert a.is_close(b)

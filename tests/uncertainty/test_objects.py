@@ -1,0 +1,83 @@
+"""Tests for the 1-D uncertain object model."""
+
+import numpy as np
+import pytest
+
+from repro.uncertainty.histogram import Histogram
+from repro.uncertainty.objects import SpatialUncertain, UncertainObject
+from repro.uncertainty.twod import UncertainDisk
+
+
+class TestConstruction:
+    def test_uniform(self):
+        obj = UncertainObject.uniform("u", 1.0, 3.0)
+        assert obj.key == "u"
+        assert (obj.lo, obj.hi) == (1.0, 3.0)
+
+    def test_gaussian(self):
+        obj = UncertainObject.gaussian("g", 0.0, 6.0, bars=50)
+        assert obj.histogram.nbins == 50
+        assert obj.histogram.total_mass == pytest.approx(1.0)
+
+    def test_from_histogram_normalises(self):
+        obj = UncertainObject.from_histogram(
+            "h", Histogram([0, 1, 2], [3.0, 1.0])
+        )
+        assert obj.histogram.total_mass == pytest.approx(1.0)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(UncertainObject.uniform(1, 0, 1), SpatialUncertain)
+        assert isinstance(UncertainDisk(2, (0, 0), 1.0), SpatialUncertain)
+
+
+class TestDistances:
+    def test_mindist_inside_is_zero(self):
+        obj = UncertainObject.uniform("u", 2.0, 6.0)
+        assert obj.mindist(3.0) == 0.0
+
+    def test_mindist_left_right(self):
+        obj = UncertainObject.uniform("u", 2.0, 6.0)
+        assert obj.mindist(0.0) == pytest.approx(2.0)
+        assert obj.mindist(9.0) == pytest.approx(3.0)
+
+    def test_maxdist(self):
+        obj = UncertainObject.uniform("u", 2.0, 6.0)
+        assert obj.maxdist(0.0) == pytest.approx(6.0)
+        assert obj.maxdist(5.0) == pytest.approx(3.0)
+
+    def test_near_far_match_min_max_dist(self, rng):
+        for _ in range(30):
+            lo = float(rng.uniform(-10, 10))
+            hi = lo + float(rng.uniform(0.3, 8))
+            q = float(rng.uniform(-15, 15))
+            obj = UncertainObject.uniform("u", lo, hi)
+            dist = obj.distance_distribution(q)
+            assert dist.near == pytest.approx(obj.mindist(q), abs=1e-12)
+            assert dist.far == pytest.approx(obj.maxdist(q), abs=1e-12)
+
+    def test_query_point_as_sequence(self):
+        obj = UncertainObject.uniform("u", 0.0, 2.0)
+        assert obj.mindist([3.0]) == pytest.approx(1.0)
+        assert obj.distance_distribution(np.asarray([1.0])).near == 0.0
+
+    def test_rejects_multidimensional_query(self):
+        obj = UncertainObject.uniform("u", 0.0, 2.0)
+        with pytest.raises(ValueError):
+            obj.mindist([1.0, 2.0])
+
+
+class TestMbr:
+    def test_mbr_is_interval(self):
+        obj = UncertainObject.uniform("u", 1.0, 4.0)
+        assert obj.mbr.dim == 1
+        assert obj.mbr.lows[0] == 1.0
+        assert obj.mbr.highs[0] == 4.0
+
+    def test_mbr_mindist_matches_object(self, rng):
+        for _ in range(20):
+            lo = float(rng.uniform(-5, 5))
+            hi = lo + float(rng.uniform(0.1, 5))
+            q = float(rng.uniform(-10, 10))
+            obj = UncertainObject.uniform("u", lo, hi)
+            assert obj.mbr.mindist(q) == pytest.approx(obj.mindist(q))
+            assert obj.mbr.maxdist(q) == pytest.approx(obj.maxdist(q))

@@ -1,0 +1,126 @@
+"""Unit tests for the pdf families."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.uncertainty.histogram import HistogramError
+from repro.uncertainty.pdfs import (
+    HistogramPdf,
+    MixturePdf,
+    TriangularPdf,
+    TruncatedGaussianPdf,
+    UniformPdf,
+)
+
+
+class TestUniformPdf:
+    def test_histogram_form_is_exact(self):
+        pdf = UniformPdf(1.0, 3.0)
+        h = pdf.to_histogram()
+        assert h.nbins == 1
+        assert h.pdf(2.0) == pytest.approx(0.5)
+
+    def test_explicit_bins(self):
+        h = UniformPdf(0.0, 1.0).to_histogram(bins=4)
+        assert h.nbins == 4
+        assert h.total_mass == pytest.approx(1.0)
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(HistogramError):
+            UniformPdf(1.0, 1.0)
+
+    def test_cdf_delegates(self):
+        assert UniformPdf(0.0, 2.0).cdf(1.0) == pytest.approx(0.5)
+
+
+class TestTruncatedGaussianPdf:
+    def test_paper_defaults(self):
+        # Section V: mean at centre, sigma = width / 6, 300 bars.
+        pdf = TruncatedGaussianPdf(0.0, 6.0)
+        assert pdf.mean_parameter == pytest.approx(3.0)
+        assert pdf.sigma == pytest.approx(1.0)
+        assert pdf.bars == 300
+
+    def test_histogram_mass_and_edges_match_phi(self):
+        pdf = TruncatedGaussianPdf(0.0, 6.0, bars=50)
+        h = pdf.to_histogram()
+        assert h.total_mass == pytest.approx(1.0)
+        # cdf at interval midpoint must equal the truncated Phi value.
+        z = stats.norm.cdf
+        expected = (z(0.0) - z(-3.0)) / (z(3.0) - z(-3.0))
+        assert h.cdf(3.0) == pytest.approx(expected, abs=1e-12)
+
+    def test_symmetry(self):
+        h = TruncatedGaussianPdf(-2.0, 2.0, bars=40).to_histogram()
+        assert h.cdf(0.0) == pytest.approx(0.5)
+        assert h.pdf(-1.0) == pytest.approx(h.pdf(1.0 - 1e-9), rel=1e-6)
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(HistogramError):
+            TruncatedGaussianPdf(0.0, 1.0, sigma=0.0)
+
+    def test_rejects_bad_bars(self):
+        with pytest.raises(HistogramError):
+            TruncatedGaussianPdf(0.0, 1.0, bars=0)
+
+
+class TestHistogramPdf:
+    def test_masses_are_normalised(self):
+        pdf = HistogramPdf([0, 1, 2], [2.0, 6.0])
+        h = pdf.to_histogram()
+        assert h.total_mass == pytest.approx(1.0)
+        assert h.cdf(1.0) == pytest.approx(0.25)
+
+    def test_densities_mode(self):
+        pdf = HistogramPdf([0, 1, 2], [0.5, 0.5], as_masses=False)
+        assert pdf.to_histogram().total_mass == pytest.approx(1.0)
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(HistogramError):
+            HistogramPdf([0, 1], [0.0])
+
+
+class TestTriangularPdf:
+    def test_cdf_at_mode(self):
+        pdf = TriangularPdf(0.0, 2.0, mode=1.0, bars=64)
+        h = pdf.to_histogram()
+        assert h.cdf(1.0) == pytest.approx(0.5, abs=1e-9)
+        assert h.total_mass == pytest.approx(1.0)
+
+    def test_asymmetric_mode(self):
+        pdf = TriangularPdf(0.0, 4.0, mode=1.0, bars=128)
+        h = pdf.to_histogram()
+        # P(X <= mode) = (mode - lo) / (hi - lo)
+        assert h.cdf(1.0) == pytest.approx(0.25, abs=1e-9)
+
+    def test_mode_outside_rejected(self):
+        with pytest.raises(HistogramError):
+            TriangularPdf(0.0, 1.0, mode=2.0)
+
+
+class TestMixturePdf:
+    def test_bimodal_mixture(self):
+        mix = MixturePdf([UniformPdf(0.0, 1.0), UniformPdf(3.0, 4.0)], [0.3, 0.7])
+        h = mix.to_histogram()
+        assert h.total_mass == pytest.approx(1.0)
+        assert h.cdf(2.0) == pytest.approx(0.3)
+        assert mix.lo == 0.0 and mix.hi == 4.0
+
+    def test_interior_zero_density(self):
+        # Mixtures create the interior-gap pdfs our verifier products
+        # must remain sound for (DESIGN.md §5).
+        mix = MixturePdf([UniformPdf(0.0, 1.0), UniformPdf(3.0, 4.0)])
+        h = mix.to_histogram()
+        assert h.pdf(2.0) == 0.0
+
+    def test_weight_validation(self):
+        with pytest.raises(HistogramError):
+            MixturePdf([UniformPdf(0, 1)], [-1.0])
+        with pytest.raises(HistogramError):
+            MixturePdf([], None)
+
+    def test_sampling_respects_weights(self, rng):
+        mix = MixturePdf([UniformPdf(0.0, 1.0), UniformPdf(3.0, 4.0)], [0.2, 0.8])
+        samples = mix.sample(rng, 20_000)
+        assert np.mean(samples < 2.0) == pytest.approx(0.2, abs=0.02)

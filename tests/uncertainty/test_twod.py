@@ -1,0 +1,189 @@
+"""Tests for 2-D uncertainty regions and their distance distributions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.index.geometry import Rect
+from repro.uncertainty.twod import (
+    UncertainDisk,
+    UncertainRectangle,
+    UncertainSegment,
+    circle_circle_intersection_area,
+    disk_rect_intersection_area,
+)
+
+
+class TestCircleCircleArea:
+    def test_disjoint(self):
+        assert circle_circle_intersection_area(5.0, 1.0, 2.0) == 0.0
+
+    def test_contained(self):
+        assert circle_circle_intersection_area(0.5, 3.0, 1.0) == pytest.approx(
+            math.pi
+        )
+
+    def test_identical(self):
+        assert circle_circle_intersection_area(0.0, 2.0, 2.0) == pytest.approx(
+            4 * math.pi
+        )
+
+    def test_half_overlap_symmetry(self):
+        a = circle_circle_intersection_area(1.5, 1.0, 2.0)
+        b = circle_circle_intersection_area(1.5, 2.0, 1.0)
+        assert a == pytest.approx(b)
+
+    def test_monte_carlo_agreement(self, rng):
+        d, r1, r2 = 1.2, 1.0, 1.5
+        pts = rng.uniform(-3, 3, size=(200_000, 2))
+        inside = (np.linalg.norm(pts, axis=1) <= r1) & (
+            np.linalg.norm(pts - np.asarray([d, 0.0]), axis=1) <= r2
+        )
+        mc = inside.mean() * 36.0
+        assert circle_circle_intersection_area(d, r1, r2) == pytest.approx(
+            mc, rel=0.02
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            circle_circle_intersection_area(-1.0, 1.0, 1.0)
+
+
+class TestDiskRectArea:
+    def test_rect_inside_circle(self):
+        rect = Rect([0.0, 0.0], [1.0, 1.0])
+        assert disk_rect_intersection_area((0.5, 0.5), 10.0, rect) == pytest.approx(
+            1.0
+        )
+
+    def test_circle_inside_rect(self):
+        rect = Rect([-5.0, -5.0], [5.0, 5.0])
+        assert disk_rect_intersection_area((0.0, 0.0), 1.0, rect) == pytest.approx(
+            math.pi, abs=1e-9
+        )
+
+    def test_disjoint(self):
+        rect = Rect([10.0, 10.0], [11.0, 11.0])
+        assert disk_rect_intersection_area((0.0, 0.0), 1.0, rect) == 0.0
+
+    def test_quarter_circle(self):
+        rect = Rect([0.0, 0.0], [10.0, 10.0])
+        assert disk_rect_intersection_area((0.0, 0.0), 2.0, rect) == pytest.approx(
+            math.pi, abs=1e-9
+        )
+
+    def test_monte_carlo_agreement(self, rng):
+        rect = Rect([0.0, 0.0], [2.0, 1.0])
+        q, r = (0.5, 0.75), 0.9
+        pts = rng.uniform(0, 2, size=(300_000, 2))
+        pts[:, 1] /= 2.0
+        inside = np.linalg.norm(pts - np.asarray(q), axis=1) <= r
+        mc = inside.mean() * 2.0
+        assert disk_rect_intersection_area(q, r, rect) == pytest.approx(mc, rel=0.02)
+
+
+class TestUncertainDisk:
+    def test_min_max_dist(self):
+        disk = UncertainDisk("d", (3.0, 4.0), 2.0)
+        assert disk.mindist((0.0, 0.0)) == pytest.approx(3.0)
+        assert disk.maxdist((0.0, 0.0)) == pytest.approx(7.0)
+        assert disk.mindist((3.0, 4.5)) == 0.0
+
+    def test_distance_cdf_query_at_center(self):
+        disk = UncertainDisk("d", (0.0, 0.0), 2.0)
+        # P(R <= r) = r^2 / R^2 for uniform disk with q at the centre.
+        assert disk.distance_cdf((0.0, 0.0), 1.0) == pytest.approx(0.25)
+        assert disk.distance_cdf((0.0, 0.0), 2.0) == pytest.approx(1.0)
+
+    def test_distance_distribution_vs_sampling(self, rng):
+        disk = UncertainDisk("d", (1.0, 1.0), 1.5, distance_bins=128)
+        q = (3.0, 0.0)
+        dist = disk.distance_distribution(q)
+        samples = disk.sample(rng, 150_000)
+        ds = np.linalg.norm(samples - np.asarray(q), axis=1)
+        for r in np.linspace(dist.near + 0.1, dist.far - 0.1, 5):
+            assert dist.cdf(r) == pytest.approx(np.mean(ds <= r), abs=7e-3)
+
+    def test_mbr(self):
+        disk = UncertainDisk("d", (1.0, 2.0), 0.5)
+        assert disk.mbr == Rect([0.5, 1.5], [1.5, 2.5])
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            UncertainDisk("d", (0, 0), 0.0)
+
+
+class TestUncertainSegment:
+    def test_distance_cdf_exact_simple(self):
+        # Horizontal segment, query above its midpoint.
+        seg = UncertainSegment("s", (0.0, 0.0), (2.0, 0.0))
+        q = (1.0, 1.0)
+        # R(t) = sqrt((2t-1)^2 + 1); P(R <= sqrt(2)) covers t in [0, 1].
+        assert seg.distance_cdf(q, math.sqrt(2.0)) == pytest.approx(1.0)
+        # P(R <= sqrt(1.25)): |2t - 1| <= 0.5 -> t in [0.25, 0.75].
+        assert seg.distance_cdf(q, math.sqrt(1.25)) == pytest.approx(0.5)
+
+    def test_min_max_dist_perpendicular_foot(self):
+        seg = UncertainSegment("s", (0.0, 0.0), (4.0, 0.0))
+        assert seg.mindist((2.0, 3.0)) == pytest.approx(3.0)
+        assert seg.maxdist((2.0, 3.0)) == pytest.approx(math.sqrt(4 + 9))
+
+    def test_min_dist_beyond_endpoint(self):
+        seg = UncertainSegment("s", (0.0, 0.0), (4.0, 0.0))
+        assert seg.mindist((6.0, 0.0)) == pytest.approx(2.0)
+
+    def test_distance_distribution_vs_sampling(self, rng):
+        seg = UncertainSegment("s", (0.0, 0.0), (3.0, 2.0), distance_bins=128)
+        q = (1.0, 2.0)
+        dist = seg.distance_distribution(q)
+        samples = seg.sample(rng, 150_000)
+        ds = np.linalg.norm(samples - np.asarray(q), axis=1)
+        for r in np.linspace(dist.near + 0.05, dist.far - 0.05, 5):
+            assert dist.cdf(r) == pytest.approx(np.mean(ds <= r), abs=7e-3)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            UncertainSegment("s", (1.0, 1.0), (1.0, 1.0))
+
+
+class TestUncertainRectangle:
+    def test_distance_distribution_vs_sampling(self, rng):
+        rect = UncertainRectangle.from_bounds("r", 0, 0, 2, 1, distance_bins=128)
+        q = (2.5, 0.5)
+        dist = rect.distance_distribution(q)
+        samples = rect.sample(rng, 150_000)
+        ds = np.linalg.norm(samples - np.asarray(q), axis=1)
+        for r in np.linspace(dist.near + 0.05, dist.far - 0.05, 5):
+            assert dist.cdf(r) == pytest.approx(np.mean(ds <= r), abs=7e-3)
+
+    def test_query_inside(self):
+        rect = UncertainRectangle.from_bounds("r", 0, 0, 4, 4)
+        assert rect.mindist((1.0, 1.0)) == 0.0
+        dist = rect.distance_distribution((2.0, 2.0))
+        assert dist.near == pytest.approx(0.0)
+        assert dist.far == pytest.approx(math.sqrt(8.0))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            UncertainRectangle("r", Rect([0.0], [1.0]))
+
+    def test_rejects_zero_area(self):
+        with pytest.raises(ValueError):
+            UncertainRectangle("r", Rect([0.0, 0.0], [1.0, 0.0]))
+
+
+class TestDegenerateFloatInputs:
+    def test_subnormal_center_distance(self):
+        # Regression: d = 5e-324 slips past the containment guard when
+        # r1 == r2 and used to divide by an underflowed denominator.
+        import math
+
+        area = circle_circle_intersection_area(5e-324, 1.0, 1.0)
+        assert area == pytest.approx(math.pi)
+
+    def test_tiny_but_normal_distance(self):
+        import math
+
+        area = circle_circle_intersection_area(1e-12, 2.0, 2.0)
+        assert area == pytest.approx(4 * math.pi, rel=1e-9)
