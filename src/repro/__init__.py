@@ -20,6 +20,7 @@ reproduction of every figure and table in the paper's evaluation.
 """
 
 from repro.core import (
+    BatchResult,
     CKNNEngine,
     CPNNEngine,
     CPNNQuery,
@@ -42,6 +43,7 @@ from repro.uncertainty import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchResult",
     "CKNNEngine",
     "CPNNEngine",
     "CPNNQuery",

@@ -11,6 +11,7 @@ Public entry points:
 * :mod:`repro.core.knn` — the probabilistic k-NN extension.
 """
 
+from repro.core.batch import BatchResult, DistributionCache
 from repro.core.bounds import ProbabilityBound
 from repro.core.classifier import classify
 from repro.core.engine import CPNNEngine, EngineConfig, Strategy
@@ -35,11 +36,13 @@ from repro.core.verifiers import (
 
 __all__ = [
     "AnswerRecord",
+    "BatchResult",
     "CKNNEngine",
     "CPNNEngine",
     "CPNNQuery",
     "CPNNResult",
     "CandidateStates",
+    "DistributionCache",
     "EngineConfig",
     "Label",
     "LowerSubregionVerifier",

@@ -1,0 +1,224 @@
+"""Batch C-PNN evaluation: one amortised pass over many query points.
+
+The workloads that motivate probabilistic NN queries — moving clients
+re-probing as they travel, periodic sensor sweeps, privacy-preserving
+location services — issue *many* query points against *one* slowly
+changing object set.  :meth:`repro.core.engine.CPNNEngine.query_batch`
+serves that shape directly instead of looping over
+:meth:`~repro.core.engine.CPNNEngine.query`:
+
+* **filtering** runs as a single vectorised MBR sweep for the whole
+  batch (:class:`repro.index.filtering.BatchMbrFilter`) instead of one
+  best-first R-tree traversal per point;
+* **initialisation** shares distance distributions through an LRU
+  cache keyed by ``(object, query point)``, so repeated probes (the
+  common case for moving clients) skip the histogram fold entirely;
+* **verification** applies each verifier across the whole
+  candidate×query matrix with one flat ``tighten``/``classify`` sweep
+  (:meth:`repro.core.verifiers.chain.VerifierChain.run_batch`);
+* **refinement** stays per-query (it is inherently sequential per
+  candidate), operating on slice-backed views of the flat state.
+
+Per-candidate arithmetic is identical to the sequential path, so batch
+and sequential answers agree exactly; the speed-up comes purely from
+amortising per-query orchestration overhead.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, Sequence
+
+from repro.core.types import CPNNResult, PhaseTimings
+from repro.uncertainty.distance import DistanceDistribution
+
+__all__ = ["BatchResult", "DistributionCache", "LruCache", "point_key"]
+
+
+def point_key(q) -> Hashable:
+    """A hashable identity for a query point (scalar or coordinates)."""
+    if hasattr(q, "__len__"):
+        return tuple(float(c) for c in q)
+    return float(q)
+
+
+class LruCache:
+    """Minimal LRU with hit/miss counters, shared by the batch caches.
+
+    ``get`` counts a hit (and refreshes recency) or a miss; ``put``
+    inserts and evicts the least-recently-used entry past ``maxsize``.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be positive")
+        self._maxsize = int(maxsize)
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def get(self, key: Hashable):
+        """The cached value, refreshed as most recent, or ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+
+    def evict_matching(self, predicate) -> int:
+        """Drop every entry whose value satisfies ``predicate``."""
+        doomed = [k for k, v in self._entries.items() if predicate(v)]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+
+class DistributionCache:
+    """LRU cache of distance distributions keyed by (object, point).
+
+    A distance distribution is a pure function of the uncertain object
+    and the query point, so cached entries never go stale.  Keys use
+    ``id(object)`` for speed; each entry keeps a strong reference to
+    its object, so an ``id`` can never be recycled while its entry is
+    live.  The flip side is that entries pin their objects in memory —
+    hence :meth:`evict_object`, which the engine calls when an object
+    is removed.
+
+    The cache pays off whenever a batch (or a sequence of batches)
+    probes the same point more than once — moving-client traces revisit
+    locations constantly — and costs one dict probe per miss otherwise.
+    """
+
+    def __init__(self, maxsize: int = 65536) -> None:
+        self._cache = LruCache(maxsize)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def maxsize(self) -> int:
+        return self._cache.maxsize
+
+    @property
+    def hits(self) -> int:
+        return self._cache.hits
+
+    @property
+    def misses(self) -> int:
+        return self._cache.misses
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def evict_object(self, obj) -> int:
+        """Drop every entry belonging to ``obj`` (e.g. on removal)."""
+        return self._cache.evict_matching(lambda entry: entry[0] is obj)
+
+    def distribution(self, obj, key: Hashable) -> DistanceDistribution:
+        """The distribution of ``|obj - q|`` for the point behind ``key``.
+
+        ``key`` must be ``point_key(q)`` for the point ``q`` the caller
+        passes to ``obj.distance_distribution`` on a miss — it doubles
+        as the query coordinates here to avoid recomputing it per
+        candidate.
+        """
+        cache_key = (id(obj), key)
+        entry = self._cache.get(cache_key)
+        if entry is not None:
+            return entry[1]
+        distribution = obj.distance_distribution(key)
+        self._cache.put(cache_key, (obj, distribution))
+        return distribution
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one :meth:`CPNNEngine.query_batch` call.
+
+    Attributes
+    ----------
+    results:
+        One :class:`~repro.core.types.CPNNResult` per query point, in
+        input order.  Per-result timings for the *shared* phases
+        (filtering, initialisation, and VR's flat verification sweep)
+        are zero — they cannot be attributed to single queries; see
+        :attr:`timings` for the batch totals.  The basic/refine
+        strategies run refinement per query, so those results carry
+        their own ``timings.refinement``.
+    timings:
+        Wall-clock totals of the four batch phases (filtering once for
+        the whole batch, shared initialisation, the flat verification
+        sweep, per-query refinement).
+    cache_hits / cache_misses:
+        Distribution-cache traffic attributable to this batch.
+    table_hits / table_misses:
+        Subregion-table-cache traffic: a table hit means a repeated
+        probe skipped distribution construction and table building
+        entirely for that point.
+    """
+
+    results: list[CPNNResult] = field(default_factory=list)
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    table_hits: int = 0
+    table_misses: int = 0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[CPNNResult]:
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> CPNNResult:
+        return self.results[index]
+
+    @property
+    def answers(self) -> list[tuple]:
+        """Answer tuple of every query, in input order."""
+        return [result.answers for result in self.results]
+
+    @property
+    def answer_sets(self) -> list[frozenset]:
+        """Answer sets (order-insensitive) of every query."""
+        return [frozenset(result.answers) for result in self.results]
+
+    @property
+    def total_refined(self) -> int:
+        """Candidates that needed refinement across the whole batch."""
+        return sum(result.refined_objects for result in self.results)
+
+
+def distributions_for(
+    candidates: Sequence,
+    q,
+    cache: DistributionCache | None,
+) -> list[DistanceDistribution]:
+    """Distance distributions of ``candidates`` w.r.t. ``q``.
+
+    Routes through ``cache`` when one is given; otherwise constructs
+    directly (the sequential path's behaviour).
+    """
+    if cache is None:
+        return [obj.distance_distribution(q) for obj in candidates]
+    key = point_key(q)
+    return [cache.distribution(obj, key) for obj in candidates]

@@ -32,13 +32,25 @@ from typing import Callable, Hashable, Sequence
 
 import numpy as np
 
+from repro.core.batch import (
+    BatchResult,
+    DistributionCache,
+    LruCache,
+    distributions_for,
+    point_key,
+)
 from repro.core.bounds import DEFAULT_BOUND_PAD
 from repro.core.refinement import Refiner
 from repro.core.state import CandidateStates
 from repro.core.subregions import SubregionTable
 from repro.core.types import AnswerRecord, CPNNQuery, CPNNResult, Label, PhaseTimings
 from repro.core.verifiers.chain import VerifierChain, default_chain
-from repro.index.filtering import FilterResult, PnnFilter, filter_candidates
+from repro.index.filtering import (
+    BatchMbrFilter,
+    FilterResult,
+    PnnFilter,
+    filter_candidates,
+)
 from repro.index.str_pack import str_bulk_load
 
 __all__ = ["CPNNEngine", "EngineConfig", "Strategy"]
@@ -89,6 +101,19 @@ class EngineConfig:
         verification: tighter verifier bounds at proportionally higher
         verification cost (an extension beyond the paper; see the
         grid-refinement ablation bench).
+    distribution_cache_size:
+        Capacity of the LRU cache of distance distributions used by
+        :meth:`CPNNEngine.query_batch` (entries are keyed by
+        ``(object, query point)``, so repeated probes skip the
+        histogram fold).  0 disables the cache.
+    table_cache_size:
+        Capacity (in query points) of the LRU cache of fully built
+        subregion tables used by :meth:`CPNNEngine.query_batch`.  A
+        repeated probe skips filtering *and* initialisation for that
+        point.  Invalidated whenever the object set changes.  0
+        disables the cache.  Note the bound is entry-count, not bytes:
+        each table pins its distributions plus O(|C|·M) matrices, so
+        size this to the working set of hot probe points, not higher.
     """
 
     strategy: str = Strategy.VR
@@ -99,6 +124,8 @@ class EngineConfig:
     use_rtree: bool = True
     rtree_max_entries: int = 16
     grid_refinement: int = 1
+    distribution_cache_size: int = 65536
+    table_cache_size: int = 256
 
     def __post_init__(self) -> None:
         if self.strategy not in Strategy.ALL:
@@ -107,6 +134,10 @@ class EngineConfig:
             raise ValueError("refinement_order must be 'widest' or 'left'")
         if self.grid_refinement < 1:
             raise ValueError("grid_refinement must be >= 1")
+        if self.distribution_cache_size < 0:
+            raise ValueError("distribution_cache_size must be >= 0")
+        if self.table_cache_size < 0:
+            raise ValueError("table_cache_size must be >= 0")
 
 
 @dataclass
@@ -152,6 +183,24 @@ class CPNNEngine:
             self._filter = PnnFilter(tree)
         else:
             self._filter = lambda q: filter_candidates(self._objects, q)
+        #: Vectorised whole-batch filter for query_batch.  Built with
+        #: the rest of the index substrate for R-tree engines (it
+        #: filters over the same MBRs the tree holds) and rebuilt
+        #: lazily after dynamic updates.
+        self._batch_filter: BatchMbrFilter | None = (
+            BatchMbrFilter(self._objects) if self._config.use_rtree else None
+        )
+        self._distribution_cache: DistributionCache | None = (
+            DistributionCache(self._config.distribution_cache_size)
+            if self._config.distribution_cache_size
+            else None
+        )
+        #: LRU of fully built subregion tables keyed by query point.
+        self._table_cache: LruCache | None = (
+            LruCache(self._config.table_cache_size)
+            if self._config.table_cache_size
+            else None
+        )
 
     # ------------------------------------------------------------------
 
@@ -176,6 +225,7 @@ class CPNNEngine:
         if self._objects and obj.mbr.dim != self._objects[0].mbr.dim:
             raise ValueError("object dimensionality mismatch")
         self._objects = self._objects + (obj,)
+        self._invalidate_batch_state()
         if isinstance(self._filter, PnnFilter):
             self._filter.tree.insert(obj.mbr, obj)
 
@@ -193,12 +243,32 @@ class CPNNEngine:
         if victim is None:
             return False
         self._objects = tuple(o for o in self._objects if o is not victim)
+        self._invalidate_batch_state(victim)
         if isinstance(self._filter, PnnFilter):
             removed = self._filter.tree.delete(
                 victim.mbr, lambda item: item is victim
             )
-            assert removed, "index out of sync with object list"
+            if not removed:
+                raise RuntimeError(
+                    "index out of sync with object list: "
+                    f"object {victim.key!r} was tracked but not indexed"
+                )
         return True
+
+    def _invalidate_batch_state(self, removed=None) -> None:
+        """Drop batch caches that depend on the object set.
+
+        The whole-batch filter and the per-point table cache reflect
+        the full object set, so any update invalidates them.  Cached
+        distance distributions stay valid (each is a pure function of
+        one object and one point); only a removed object's entries are
+        evicted, to release its memory.
+        """
+        self._batch_filter = None
+        if self._table_cache is not None:
+            self._table_cache.clear()
+        if removed is not None and self._distribution_cache is not None:
+            self._distribution_cache.evict_object(removed)
 
     # ------------------------------------------------------------------
     # Public query API
@@ -217,23 +287,8 @@ class CPNNEngine:
         :class:`~repro.core.types.CPNNQuery`; ``threshold``/
         ``tolerance`` override the query's values when given.
         """
-        if isinstance(q, CPNNQuery):
-            query = q
-            if threshold is not None or tolerance is not None:
-                query = CPNNQuery(
-                    q.q,
-                    threshold if threshold is not None else q.threshold,
-                    tolerance if tolerance is not None else q.tolerance,
-                )
-        else:
-            query = CPNNQuery(
-                q,
-                threshold if threshold is not None else 0.3,
-                tolerance if tolerance is not None else 0.01,
-            )
-        strategy = strategy or self._config.strategy
-        if strategy not in Strategy.ALL:
-            raise ValueError(f"unknown strategy {strategy!r}")
+        query = self._as_query(q, threshold, tolerance)
+        strategy = self._as_strategy(strategy)
 
         prepared = self._prepare(query)
         if strategy == Strategy.BASIC:
@@ -241,6 +296,159 @@ class CPNNEngine:
         if strategy == Strategy.REFINE:
             return self._run_refine(prepared, query)
         return self._run_vr(prepared, query)
+
+    def query_batch(
+        self,
+        points: Sequence,
+        threshold: float | None = None,
+        tolerance: float | None = None,
+        strategy: str | None = None,
+    ) -> BatchResult:
+        """Answer one C-PNN query per point, amortising work batch-wide.
+
+        Semantically equivalent to calling :meth:`query` once per point
+        with the same ``threshold``/``tolerance``/``strategy`` — the
+        per-candidate arithmetic is shared with the sequential path, so
+        answers agree exactly — but the phases are restructured around
+        the batch (see :mod:`repro.core.batch`): filtering is a single
+        vectorised MBR sweep, distance distributions go through the
+        engine's LRU cache, and the VR verifier chain runs as flat
+        sweeps over the whole candidate×query matrix.
+
+        Returns a :class:`~repro.core.batch.BatchResult` whose
+        ``results`` align with ``points``; batch-level phase timings
+        and distribution-cache traffic ride along.  An empty ``points``
+        sequence yields an empty result.
+        """
+        strategy = self._as_strategy(strategy)
+        points = list(points)
+        batch = BatchResult()
+        if not points:
+            return batch
+        queries = [self._as_query(p, threshold, tolerance) for p in points]
+        cache = self._distribution_cache
+        hits_before = cache.hits if cache is not None else 0
+        misses_before = cache.misses if cache is not None else 0
+        timings = batch.timings
+
+        tick = time.perf_counter()
+        filter_results = self._filter_batch(points)
+        timings.filtering = time.perf_counter() - tick
+
+        tick = time.perf_counter()
+        tables = []
+        table_cache = self._table_cache
+        distributions_built = 0
+        for query, fr in zip(queries, filter_results):
+            key = point_key(query.q)
+            table = table_cache.get(key) if table_cache is not None else None
+            if table is not None:
+                batch.table_hits += 1
+            else:
+                table = SubregionTable(
+                    distributions_for(fr.candidates, query.q, cache),
+                    grid_refinement=self._config.grid_refinement,
+                )
+                distributions_built += table.size
+                batch.table_misses += 1
+                if table_cache is not None:
+                    table_cache.put(key, table)
+            tables.append(table)
+        offsets = np.zeros(len(tables) + 1, dtype=np.intp)
+        np.cumsum([table.size for table in tables], out=offsets[1:])
+        total = int(offsets[-1])
+        pad = self._config.bound_pad
+        flat_lower = np.zeros(total)
+        flat_upper = np.ones(total)
+        flat_labels = np.zeros(total, dtype=np.int8)
+        flat_states = CandidateStates.from_arrays(
+            [key for table in tables for key in table.keys],
+            flat_lower,
+            flat_upper,
+            flat_labels,
+            pad=pad,
+        )
+        prepared = []
+        for b, (table, fr) in enumerate(zip(tables, filter_results)):
+            lo, hi = int(offsets[b]), int(offsets[b + 1])
+            states = CandidateStates.from_arrays(
+                table.keys,
+                flat_lower[lo:hi],
+                flat_upper[lo:hi],
+                flat_labels[lo:hi],
+                pad=pad,
+            )
+            refiner = Refiner(
+                table,
+                quadrature_margin=self._config.quadrature_margin,
+                order=self._config.refinement_order,
+            )
+            prepared.append(_Prepared(fr, table, states, refiner))
+        timings.initialization = time.perf_counter() - tick
+
+        if strategy == Strategy.VR:
+            # The flat sweep classifies the whole batch against one
+            # threshold/tolerance pair.  Prepared CPNNQuery points with
+            # heterogeneous constraints keep working through the
+            # sequential chain, query by query.
+            uniform = all(
+                q.threshold == queries[0].threshold
+                and q.tolerance == queries[0].tolerance
+                for q in queries[1:]
+            )
+            chain = self._config.chain_factory()
+            tick = time.perf_counter()
+            if uniform:
+                outcomes = chain.run_batch(
+                    tables,
+                    flat_states,
+                    offsets,
+                    queries[0].threshold,
+                    queries[0].tolerance,
+                )
+            else:
+                outcomes = [
+                    chain.run(table, prep.states, query)
+                    for table, prep, query in zip(tables, prepared, queries)
+                ]
+            timings.verification = time.perf_counter() - tick
+
+            tick = time.perf_counter()
+            for prep, query, outcome in zip(prepared, queries, outcomes):
+                states = prep.states
+                finished = states.n_unknown == 0
+                refined = 0
+                for i in states.unknown_indices():
+                    prep.refiner.refine_object(
+                        int(i), states, query, use_verifier_slices=True
+                    )
+                    refined += 1
+                batch.results.append(
+                    self._assemble(
+                        prep,
+                        query,
+                        unknown_after=outcome.unknown_after,
+                        finished_after_verification=finished,
+                        refined=refined,
+                    )
+                )
+            timings.refinement = time.perf_counter() - tick
+        else:
+            runner = (
+                self._run_basic if strategy == Strategy.BASIC else self._run_refine
+            )
+            for prep, query in zip(prepared, queries):
+                batch.results.append(runner(prep, query))
+            timings.refinement = sum(
+                result.timings.refinement for result in batch.results
+            )
+
+        if cache is not None:
+            batch.cache_hits = cache.hits - hits_before
+            batch.cache_misses = cache.misses - misses_before
+        else:
+            batch.cache_misses = distributions_built
+        return batch
 
     def pnn(self, q) -> dict[Hashable, float]:
         """Exact PNN: qualification probability of every candidate.
@@ -256,6 +464,53 @@ class CPNNEngine:
             key: float(p)
             for key, p in zip(prepared.table.keys, probabilities)
         }
+
+    # ------------------------------------------------------------------
+    # Query normalisation and batch filtering
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _as_query(
+        q, threshold: float | None, tolerance: float | None
+    ) -> CPNNQuery:
+        """Normalise a bare point or prepared query plus overrides."""
+        if isinstance(q, CPNNQuery):
+            if threshold is None and tolerance is None:
+                return q
+            return CPNNQuery(
+                q.q,
+                threshold if threshold is not None else q.threshold,
+                tolerance if tolerance is not None else q.tolerance,
+            )
+        return CPNNQuery(
+            q,
+            threshold if threshold is not None else 0.3,
+            tolerance if tolerance is not None else 0.01,
+        )
+
+    def _as_strategy(self, strategy: str | None) -> str:
+        strategy = strategy or self._config.strategy
+        if strategy not in Strategy.ALL:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        return strategy
+
+    def _filter_batch(self, points: Sequence) -> list[FilterResult]:
+        """Filter every point, in one vectorised pass when possible.
+
+        R-tree engines filter over object MBRs, which is exactly what
+        the tree's branch-and-bound computes, so the whole batch runs
+        as one matrix sweep.  Linear-scan engines use per-object
+        ``mindist``/``maxdist`` (which may be tighter than the MBR for
+        2-D regions), so they keep the reference scan per point.
+        """
+        if isinstance(self._filter, PnnFilter):
+            if self._batch_filter is None:
+                self._batch_filter = BatchMbrFilter(self._objects)
+            points = [p.q if isinstance(p, CPNNQuery) else p for p in points]
+            return self._batch_filter(points)
+        return [
+            self._filter(p.q if isinstance(p, CPNNQuery) else p) for p in points
+        ]
 
     # ------------------------------------------------------------------
     # Phases

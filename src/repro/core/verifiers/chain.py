@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.state import CandidateStates
 from repro.core.subregions import SubregionTable
 from repro.core.types import CPNNQuery
@@ -73,6 +75,69 @@ class VerifierChain:
             outcome.executed.append(verifier.name)
             outcome.unknown_after[verifier.name] = states.unknown_fraction
         return outcome
+
+
+    def run_batch(
+        self,
+        tables: Sequence[SubregionTable],
+        flat_states: CandidateStates,
+        offsets: np.ndarray,
+        threshold: float,
+        tolerance: float,
+    ) -> list[ChainOutcome]:
+        """Execute the chain across a whole batch of queries at once.
+
+        ``flat_states`` holds the concatenated candidate states of
+        every query (query ``b``'s candidates occupy rows
+        ``offsets[b]:offsets[b+1]``).  Each verifier is evaluated for
+        the queries that still have unknown candidates — mirroring the
+        sequential early-termination rule query by query — but the
+        resulting bounds are applied with a *single* ``tighten`` and a
+        *single* ``classify`` over the flat candidate×query arrays, so
+        the per-stage numpy overhead is paid once per batch instead of
+        once per query.  Per-candidate arithmetic is identical to
+        :meth:`run`, hence so are the resulting labels and bounds.
+        """
+        n_queries = len(tables)
+        if offsets.shape != (n_queries + 1,):
+            raise ValueError("offsets must have one entry per query plus a sentinel")
+        outcomes = [ChainOutcome() for _ in range(n_queries)]
+        sizes = np.diff(offsets)
+        flat_states.classify(threshold, tolerance)
+        unknown = self._unknown_per_query(flat_states, offsets)
+        for verifier in self._verifiers:
+            active = np.flatnonzero(unknown)
+            if active.size == 0:
+                break
+            updates = verifier.compute_batch([tables[b] for b in active])
+            lower = upper = None
+            if any(u.lower is not None for u in updates):
+                lower = np.zeros(flat_states.size)
+            if any(u.upper is not None for u in updates):
+                upper = np.ones(flat_states.size)
+            for b, update in zip(active, updates):
+                lo, hi = offsets[b], offsets[b + 1]
+                if update.lower is not None:
+                    lower[lo:hi] = update.lower
+                if update.upper is not None:
+                    upper[lo:hi] = update.upper
+            flat_states.tighten(lower=lower, upper=upper)
+            flat_states.classify(threshold, tolerance)
+            unknown = self._unknown_per_query(flat_states, offsets)
+            for b in active:
+                outcomes[b].executed.append(verifier.name)
+                outcomes[b].unknown_after[verifier.name] = float(
+                    unknown[b] / sizes[b]
+                )
+        return outcomes
+
+    @staticmethod
+    def _unknown_per_query(
+        flat_states: CandidateStates, offsets: np.ndarray
+    ) -> np.ndarray:
+        """Count still-unknown candidates per query segment."""
+        is_unknown = (flat_states.labels == 0).astype(np.int64)
+        return np.add.reduceat(is_unknown, offsets[:-1])
 
 
 def default_chain() -> VerifierChain:

@@ -19,9 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import numpy as np
+
 from repro.index.rtree import RTree, RTreeStats
 
-__all__ = ["FilterResult", "PnnFilter", "filter_candidates"]
+__all__ = ["BatchMbrFilter", "FilterResult", "PnnFilter", "filter_candidates"]
 
 
 @dataclass(frozen=True)
@@ -83,3 +85,81 @@ class PnnFilter:
         fmin = self._tree.nearest_maxdist(q, stats=stats)
         candidates = tuple(self._tree.within_mindist(q, fmin, stats=stats))
         return FilterResult(candidates=candidates, fmin=fmin, stats=stats)
+
+
+class BatchMbrFilter:
+    """Vectorised MBR filtering for a whole batch of query points.
+
+    Materialises the object MBRs into two ``(N, d)`` coordinate arrays
+    once, then answers any number of query points with a handful of
+    whole-matrix numpy operations: per-dimension gaps give ``mindist``
+    and ``maxdist`` for every (query, object) pair, row minima give
+    ``f_min`` per query, and one comparison yields every candidate set.
+    This replaces ``B`` best-first R-tree traversals with a single
+    O(B·N·d) sweep — for Python-level trees the matrix sweep wins by a
+    wide margin at realistic batch sizes.
+
+    The arithmetic mirrors :meth:`repro.index.geometry.Rect.mindist` /
+    ``maxdist`` operation for operation (same per-dimension gap
+    expressions, same accumulation order for d ≤ 2, correctly rounded
+    square roots), so ``f_min`` and the candidate sets are bit-identical
+    to a :class:`PnnFilter` over the same objects.  Candidates are
+    reported in object insertion order rather than tree traversal
+    order; the downstream subregion table re-sorts them by near point,
+    so this is observable only through record ordering.
+    """
+
+    def __init__(self, objects: Sequence) -> None:
+        if not objects:
+            raise ValueError("cannot filter an empty object collection")
+        self._objects = tuple(objects)
+        self._lows = np.array([obj.mbr.lows for obj in self._objects])
+        self._highs = np.array([obj.mbr.highs for obj in self._objects])
+        self._dim = self._lows.shape[1]
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def _as_matrix(self, points: Sequence) -> np.ndarray:
+        matrix = np.asarray(points, dtype=float)
+        if matrix.ndim == 1:
+            if self._dim != 1:
+                raise ValueError("query point dimensionality mismatch")
+            matrix = matrix.reshape(-1, 1)
+        if matrix.ndim != 2 or matrix.shape[1] != self._dim:
+            raise ValueError("query point dimensionality mismatch")
+        return matrix
+
+    def __call__(self, points: Sequence) -> list[FilterResult]:
+        """Filter every query point; returns one result per point.
+
+        ``stats`` counters are left at zero — there is no tree
+        traversal to count.
+        """
+        queries = self._as_matrix(points)  # (B, d)
+        diff_lo = self._lows[None, :, :] - queries[:, None, :]  # lo - q
+        diff_hi = queries[:, None, :] - self._highs[None, :, :]  # q - hi
+        span = np.maximum(np.abs(diff_lo), np.abs(diff_hi))
+        np.multiply(span, span, out=span)
+        maxdist = span.sum(axis=2)
+        np.sqrt(maxdist, out=maxdist)
+        gap = np.maximum(diff_lo, diff_hi, out=diff_lo)
+        np.maximum(gap, 0.0, out=gap)
+        np.multiply(gap, gap, out=gap)
+        mindist = gap.sum(axis=2)
+        np.sqrt(mindist, out=mindist)
+        fmins = maxdist.min(axis=1)
+        keep = mindist <= fmins[:, None]
+        results = []
+        for b in range(queries.shape[0]):
+            candidates = tuple(
+                self._objects[i] for i in np.flatnonzero(keep[b])
+            )
+            results.append(
+                FilterResult(candidates=candidates, fmin=float(fmins[b]))
+            )
+        return results

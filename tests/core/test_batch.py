@@ -1,0 +1,305 @@
+"""Unit tests for the batch query subsystem (engine, cache, filter)."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchResult, DistributionCache, point_key
+from repro.core.engine import CPNNEngine, EngineConfig, Strategy
+from repro.core.types import CPNNQuery
+from repro.index.filtering import BatchMbrFilter, PnnFilter
+from repro.index.str_pack import str_bulk_load
+from repro.uncertainty.objects import UncertainObject
+from repro.uncertainty.twod import UncertainDisk, UncertainRectangle, UncertainSegment
+from tests.conftest import make_random_objects
+
+
+def query_points(rng, n=12, domain=(-5.0, 65.0)):
+    return [float(q) for q in rng.uniform(*domain, size=n)]
+
+
+class TestPointKey:
+    def test_scalar(self):
+        assert point_key(1.5) == 1.5
+        assert point_key(np.float64(1.5)) == 1.5
+
+    def test_sequence(self):
+        assert point_key((1.0, 2.0)) == (1.0, 2.0)
+        assert point_key(np.asarray([1.0, 2.0])) == (1.0, 2.0)
+
+    def test_length_one_sequence_stays_hashable(self):
+        key = point_key([3.0])
+        assert key == (3.0,)
+        hash(key)
+
+
+class TestDistributionCache:
+    def test_hit_and_miss_accounting(self):
+        cache = DistributionCache(maxsize=8)
+        obj = UncertainObject.uniform("a", 0.0, 1.0)
+        first = cache.distribution(obj, 2.0)
+        second = cache.distribution(obj, 2.0)
+        assert first is second
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_lru_eviction(self):
+        cache = DistributionCache(maxsize=2)
+        objs = [UncertainObject.uniform(i, i, i + 1.0) for i in range(3)]
+        for obj in objs:
+            cache.distribution(obj, 10.0)
+        assert len(cache) == 2
+        # Object 0 was evicted: probing it again is a miss.
+        cache.distribution(objs[0], 10.0)
+        assert cache.misses == 4 and cache.hits == 0
+
+    def test_entries_pin_their_objects(self):
+        """Live entries hold their object, so ids cannot be recycled."""
+        cache = DistributionCache(maxsize=8)
+        obj = UncertainObject.uniform("a", 0.0, 1.0)
+        cache.distribution(obj, 2.0)
+        (entry,) = cache._cache._entries.values()
+        assert entry[0] is obj
+
+    def test_evict_object_drops_all_entries(self):
+        cache = DistributionCache(maxsize=8)
+        obj = UncertainObject.uniform("a", 0.0, 1.0)
+        other = UncertainObject.uniform("b", 2.0, 3.0)
+        for q in (4.0, 5.0):
+            cache.distribution(obj, q)
+            cache.distribution(other, q)
+        assert cache.evict_object(obj) == 2
+        assert len(cache) == 2
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            DistributionCache(maxsize=0)
+
+
+class TestBatchMbrFilter:
+    @pytest.mark.parametrize("n", [5, 40])
+    def test_matches_rtree_filter_1d(self, rng, n):
+        objects = make_random_objects(rng, n)
+        tree_filter = PnnFilter(str_bulk_load([(o.mbr, o) for o in objects]))
+        batch_filter = BatchMbrFilter(objects)
+        points = query_points(rng)
+        batched = batch_filter(points)
+        for q, got in zip(points, batched):
+            reference = tree_filter(q)
+            assert got.fmin == reference.fmin
+            assert {o.key for o in got.candidates} == {
+                o.key for o in reference.candidates
+            }
+
+    def test_matches_rtree_filter_2d(self, rng):
+        objects = [
+            UncertainDisk("disk", (0.0, 0.0), 2.0),
+            UncertainSegment("seg", (1.0, 1.0), (4.0, 3.0)),
+            UncertainRectangle.from_bounds("rect", -3.0, -1.0, -1.0, 2.0),
+            UncertainDisk("far", (40.0, 40.0), 1.0),
+        ]
+        tree_filter = PnnFilter(str_bulk_load([(o.mbr, o) for o in objects]))
+        batch_filter = BatchMbrFilter(objects)
+        points = [tuple(p) for p in rng.uniform(-5, 45, size=(10, 2))]
+        for q, got in zip(points, batch_filter(points)):
+            reference = tree_filter(q)
+            assert got.fmin == reference.fmin
+            assert {o.key for o in got.candidates} == {
+                o.key for o in reference.candidates
+            }
+
+    def test_dimension_mismatch_rejected(self, rng):
+        batch_filter = BatchMbrFilter(make_random_objects(rng, 4))
+        with pytest.raises(ValueError):
+            batch_filter([(1.0, 2.0)])
+
+    def test_empty_objects_rejected(self):
+        with pytest.raises(ValueError):
+            BatchMbrFilter([])
+
+
+class TestQueryBatch:
+    def test_empty_points(self, rng):
+        engine = CPNNEngine(make_random_objects(rng, 6))
+        batch = engine.query_batch([])
+        assert isinstance(batch, BatchResult)
+        assert len(batch) == 0
+        assert batch.answers == []
+
+    def test_matches_sequential_exactly(self, rng):
+        engine = CPNNEngine(make_random_objects(rng, 30))
+        points = query_points(rng, n=15)
+        batch = engine.query_batch(points, threshold=0.3, tolerance=0.0)
+        assert len(batch) == len(points)
+        for q, result in zip(points, batch):
+            reference = engine.query(q, threshold=0.3, tolerance=0.0)
+            assert set(result.answers) == set(reference.answers)
+            assert result.fmin == reference.fmin
+            assert result.refined_objects == reference.refined_objects
+            assert result.unknown_after_verifier == reference.unknown_after_verifier
+            got = {r.key: (r.label, r.lower, r.upper) for r in result.records}
+            want = {r.key: (r.label, r.lower, r.upper) for r in reference.records}
+            assert got == want
+
+    def test_matches_sequential_with_tolerance(self, rng):
+        engine = CPNNEngine(make_random_objects(rng, 20))
+        points = query_points(rng, n=8)
+        batch = engine.query_batch(points, threshold=0.4, tolerance=0.05)
+        for q, result in zip(points, batch):
+            reference = engine.query(q, threshold=0.4, tolerance=0.05)
+            assert set(result.answers) == set(reference.answers)
+
+    @pytest.mark.parametrize("strategy", Strategy.ALL)
+    def test_strategies_match_sequential(self, rng, strategy):
+        engine = CPNNEngine(make_random_objects(rng, 15))
+        points = query_points(rng, n=6)
+        batch = engine.query_batch(
+            points, threshold=0.3, tolerance=0.0, strategy=strategy
+        )
+        for q, result in zip(points, batch):
+            reference = engine.query(
+                q, threshold=0.3, tolerance=0.0, strategy=strategy
+            )
+            assert set(result.answers) == set(reference.answers)
+
+    def test_unknown_strategy_rejected(self, rng):
+        engine = CPNNEngine(make_random_objects(rng, 4))
+        with pytest.raises(ValueError):
+            engine.query_batch([1.0], strategy="nope")
+
+    def test_repeated_probes_hit_caches(self, rng):
+        engine = CPNNEngine(make_random_objects(rng, 15))
+        points = query_points(rng, n=6)
+        first = engine.query_batch(points, threshold=0.3, tolerance=0.0)
+        assert first.table_hits == 0
+        assert first.cache_hits == 0
+        second = engine.query_batch(points, threshold=0.3, tolerance=0.0)
+        assert second.table_hits == len(points)
+        assert second.table_misses == 0
+        for a, b in zip(first, second):
+            assert a.answers == b.answers
+
+    def test_duplicate_points_within_batch_share_tables(self, rng):
+        engine = CPNNEngine(make_random_objects(rng, 15))
+        point = 30.0
+        batch = engine.query_batch([point] * 5, threshold=0.3, tolerance=0.0)
+        assert batch.table_hits == 4
+        assert batch.table_misses == 1
+        assert len({tuple(r.answers) for r in batch}) == 1
+
+    def test_caches_can_be_disabled(self, rng):
+        config = EngineConfig(distribution_cache_size=0, table_cache_size=0)
+        engine = CPNNEngine(make_random_objects(rng, 10), config)
+        points = query_points(rng, n=4)
+        for _ in range(2):
+            batch = engine.query_batch(points, threshold=0.3, tolerance=0.0)
+            assert batch.table_hits == 0
+            assert batch.cache_hits == 0
+        for q, result in zip(points, batch):
+            reference = engine.query(q, threshold=0.3, tolerance=0.0)
+            assert set(result.answers) == set(reference.answers)
+
+    def test_table_hits_report_no_distribution_misses(self, rng):
+        """A table-cache hit builds no distributions, and says so."""
+        config = EngineConfig(distribution_cache_size=0)
+        engine = CPNNEngine(make_random_objects(rng, 10), config)
+        points = query_points(rng, n=4)
+        cold = engine.query_batch(points, threshold=0.3, tolerance=0.0)
+        assert cold.cache_misses == sum(len(r.records) for r in cold)
+        warm = engine.query_batch(points, threshold=0.3, tolerance=0.0)
+        assert warm.table_hits == len(points)
+        assert warm.cache_misses == 0
+
+    def test_remove_evicts_distribution_cache_entries(self, rng):
+        objects = make_random_objects(rng, 10)
+        engine = CPNNEngine(objects)
+        engine.query_batch(query_points(rng, n=4), threshold=0.3, tolerance=0.0)
+        cached = len(engine._distribution_cache)
+        assert cached > 0
+        victim = objects[0]
+        assert engine.remove(victim.key)
+        assert all(
+            entry[0] is not victim
+            for entry in engine._distribution_cache._cache._entries.values()
+        )
+
+    def test_insert_invalidates_batch_state(self, rng):
+        engine = CPNNEngine(make_random_objects(rng, 10))
+        engine.query_batch([30.0], threshold=0.3, tolerance=0.0)
+        engine.insert(UncertainObject.uniform("new", 29.9, 30.1))
+        batch = engine.query_batch([30.0], threshold=0.3, tolerance=0.0)
+        assert "new" in batch[0].answers
+        assert batch.table_misses == 1
+
+    def test_remove_invalidates_batch_state(self, rng):
+        objects = make_random_objects(rng, 10)
+        engine = CPNNEngine(objects)
+        before = engine.query_batch([30.0], threshold=0.05, tolerance=0.0)
+        target = before[0].answers[0]
+        assert engine.remove(target)
+        after = engine.query_batch([30.0], threshold=0.05, tolerance=0.0)
+        assert target not in after[0].answers
+        reference = engine.query(30.0, threshold=0.05, tolerance=0.0)
+        assert set(after[0].answers) == set(reference.answers)
+
+    def test_emptied_engine_raises(self):
+        engine = CPNNEngine([UncertainObject.uniform("solo", 0, 1)])
+        assert engine.remove("solo")
+        with pytest.raises(ValueError):
+            engine.query_batch([0.5])
+
+    def test_linear_scan_engine_matches_sequential(self, rng):
+        engine = CPNNEngine(
+            make_random_objects(rng, 12), EngineConfig(use_rtree=False)
+        )
+        points = query_points(rng, n=5)
+        batch = engine.query_batch(points, threshold=0.3, tolerance=0.0)
+        for q, result in zip(points, batch):
+            reference = engine.query(q, threshold=0.3, tolerance=0.0)
+            assert set(result.answers) == set(reference.answers)
+            assert result.fmin == reference.fmin
+
+    def test_prepared_queries_with_uniform_constraints(self, rng):
+        engine = CPNNEngine(make_random_objects(rng, 12))
+        points = query_points(rng, n=4)
+        prepared = [CPNNQuery(q, 0.25, 0.0) for q in points]
+        batch = engine.query_batch(prepared)
+        for q, result in zip(points, batch):
+            reference = engine.query(q, threshold=0.25, tolerance=0.0)
+            assert set(result.answers) == set(reference.answers)
+
+    def test_prepared_queries_with_mixed_constraints(self, rng):
+        engine = CPNNEngine(make_random_objects(rng, 12))
+        points = query_points(rng, n=4)
+        thresholds = [0.1, 0.3, 0.5, 0.7]
+        prepared = [
+            CPNNQuery(q, threshold, 0.0) for q, threshold in zip(points, thresholds)
+        ]
+        batch = engine.query_batch(prepared)
+        for query, result in zip(prepared, batch):
+            reference = engine.query(query)
+            assert set(result.answers) == set(reference.answers)
+
+    def test_2d_mixture_matches_sequential(self, rng):
+        objects = [
+            UncertainDisk("disk", (0.0, 0.0), 2.0),
+            UncertainSegment("seg", (1.0, 1.0), (4.0, 3.0)),
+            UncertainRectangle.from_bounds("rect", -3.0, -1.0, -1.0, 2.0),
+            UncertainDisk("far", (9.0, 9.0), 1.0),
+        ]
+        engine = CPNNEngine(objects)
+        points = [tuple(p) for p in rng.uniform(-4, 10, size=(8, 2))]
+        batch = engine.query_batch(points, threshold=0.2, tolerance=0.0)
+        for q, result in zip(points, batch):
+            reference = engine.query(q, threshold=0.2, tolerance=0.0)
+            assert set(result.answers) == set(reference.answers)
+
+    def test_batch_timings_populated(self, rng):
+        engine = CPNNEngine(make_random_objects(rng, 20))
+        batch = engine.query_batch(query_points(rng, n=6), 0.3, 0.0)
+        assert batch.timings.total > 0
+        assert batch.timings.initialization > 0
+
+    def test_answer_sets_property(self, rng):
+        engine = CPNNEngine(make_random_objects(rng, 10))
+        points = query_points(rng, n=3)
+        batch = engine.query_batch(points, 0.3, 0.0)
+        assert batch.answer_sets == [frozenset(r.answers) for r in batch.results]

@@ -80,6 +80,29 @@ class TestRemove:
         with pytest.raises(ValueError):
             engine.query(0.5)
 
+    def test_out_of_sync_index_raises_runtime_error(self, rng):
+        """A tracked-but-unindexed object must raise, even under -O.
+
+        Regression test: this guard used to be a bare ``assert`` that
+        optimised builds silently skip, leaving the engine's object
+        list and index divergent.
+        """
+        objects = make_random_objects(rng, 5)
+        engine = CPNNEngine(objects)
+        victim = objects[2]
+        # Sabotage: remove the object from the index behind the
+        # engine's back, leaving the object list out of sync.
+        assert engine._filter.tree.delete(victim.mbr, lambda item: item is victim)
+        with pytest.raises(RuntimeError, match="out of sync"):
+            engine.remove(victim.key)
+
+    def test_empty_engine_reports_clear_error(self):
+        engine = CPNNEngine([UncertainObject.uniform("solo", 0, 1)])
+        assert engine.remove("solo")
+        assert len(engine) == 0
+        with pytest.raises(ValueError):
+            engine.pnn(0.5)
+
     def test_insert_after_empty_recovers(self):
         engine = CPNNEngine([UncertainObject.uniform("a", 0, 1)])
         engine.remove("a")

@@ -1,0 +1,135 @@
+"""Property tests: query_batch ≡ a sequential query() loop.
+
+The batch path restructures orchestration (one filtering sweep, shared
+distributions, flat verifier sweeps) but shares every per-candidate
+arithmetic step with the sequential path, so at any tolerance the two
+must return identical answer sets — and at tolerance 0 both must agree
+with the exact ``{i : p_i ≥ P}`` semantics.  Exercised across all
+three strategies and across 1-D and 2-D object mixes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import CPNNEngine, EngineConfig, Strategy
+from repro.uncertainty.objects import UncertainObject
+from repro.uncertainty.twod import UncertainDisk, UncertainRectangle, UncertainSegment
+
+
+@st.composite
+def batch_cases_1d(draw):
+    n = draw(st.integers(2, 10))
+    objects = []
+    for i in range(n):
+        lo = draw(st.floats(-20, 20))
+        width = draw(st.floats(0.2, 10))
+        if draw(st.booleans()):
+            objects.append(UncertainObject.uniform(i, lo, lo + width))
+        else:
+            objects.append(UncertainObject.gaussian(i, lo, lo + width, bars=8))
+    n_points = draw(st.integers(1, 6))
+    points = [draw(st.floats(-25, 25)) for _ in range(n_points)]
+    threshold = draw(st.floats(0.05, 0.95))
+    return objects, points, threshold
+
+
+@st.composite
+def batch_cases_2d(draw):
+    n = draw(st.integers(2, 6))
+    objects = []
+    for i in range(n):
+        cx = draw(st.floats(-8, 8))
+        cy = draw(st.floats(-8, 8))
+        kind = draw(st.sampled_from(["disk", "segment", "rectangle"]))
+        if kind == "disk":
+            objects.append(
+                UncertainDisk(i, (cx, cy), draw(st.floats(0.3, 3)), distance_bins=24)
+            )
+        elif kind == "segment":
+            dx = draw(st.floats(0.3, 4))
+            dy = draw(st.floats(0.3, 4))
+            objects.append(
+                UncertainSegment(i, (cx, cy), (cx + dx, cy + dy), distance_bins=24)
+            )
+        else:
+            w = draw(st.floats(0.3, 4))
+            h = draw(st.floats(0.3, 4))
+            objects.append(
+                UncertainRectangle.from_bounds(
+                    i, cx, cy, cx + w, cy + h, distance_bins=24
+                )
+            )
+    n_points = draw(st.integers(1, 4))
+    points = [
+        (draw(st.floats(-10, 10)), draw(st.floats(-10, 10))) for _ in range(n_points)
+    ]
+    threshold = draw(st.floats(0.05, 0.95))
+    return objects, points, threshold
+
+
+@settings(max_examples=40, deadline=None)
+@given(batch_cases_1d(), st.sampled_from(Strategy.ALL))
+def test_batch_equals_sequential_1d(case, strategy):
+    objects, points, threshold = case
+    engine = CPNNEngine(objects)
+    batch = engine.query_batch(
+        points, threshold=threshold, tolerance=0.0, strategy=strategy
+    )
+    for q, result in zip(points, batch):
+        reference = engine.query(
+            q, threshold=threshold, tolerance=0.0, strategy=strategy
+        )
+        assert set(result.answers) == set(reference.answers)
+
+
+@settings(max_examples=20, deadline=None)
+@given(batch_cases_2d(), st.sampled_from(Strategy.ALL))
+def test_batch_equals_sequential_2d(case, strategy):
+    objects, points, threshold = case
+    engine = CPNNEngine(objects)
+    batch = engine.query_batch(
+        points, threshold=threshold, tolerance=0.0, strategy=strategy
+    )
+    for q, result in zip(points, batch):
+        reference = engine.query(
+            q, threshold=threshold, tolerance=0.0, strategy=strategy
+        )
+        assert set(result.answers) == set(reference.answers)
+
+
+@settings(max_examples=25, deadline=None)
+@given(batch_cases_1d(), st.floats(0.0, 0.3))
+def test_batch_answers_satisfy_cpnn_contract(case, tolerance):
+    """Batch answers obey Definition 1 against exact probabilities."""
+    objects, points, threshold = case
+    engine = CPNNEngine(objects)
+    batch = engine.query_batch(points, threshold=threshold, tolerance=tolerance)
+    slack = 1e-7
+    for q, result in zip(points, batch):
+        exact = engine.pnn(q)
+        answers = set(result.answers)
+        must = {k for k, p in exact.items() if p >= threshold + slack}
+        may = {k for k, p in exact.items() if p >= threshold - tolerance - slack}
+        assert must <= answers <= may
+
+
+@settings(max_examples=20, deadline=None)
+@given(batch_cases_1d())
+def test_batch_repeat_is_deterministic(case):
+    """Cache warm-up must not change any answer."""
+    objects, points, threshold = case
+    engine = CPNNEngine(objects)
+    first = engine.query_batch(points, threshold=threshold, tolerance=0.0)
+    second = engine.query_batch(points, threshold=threshold, tolerance=0.0)
+    assert first.answers == second.answers
+
+
+@settings(max_examples=15, deadline=None)
+@given(batch_cases_1d())
+def test_batch_linear_and_rtree_engines_agree(case):
+    objects, points, threshold = case
+    rtree = CPNNEngine(objects)
+    linear = CPNNEngine(objects, EngineConfig(use_rtree=False))
+    a = rtree.query_batch(points, threshold=threshold, tolerance=0.0)
+    b = linear.query_batch(points, threshold=threshold, tolerance=0.0)
+    assert [set(x.answers) for x in a] == [set(x.answers) for x in b]
