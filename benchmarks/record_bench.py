@@ -1,0 +1,130 @@
+"""Record a performance-trajectory snapshot: ``BENCH_columnar.json``.
+
+Runs the columnar phase-breakdown benchmark (scalar PR-1 replica vs
+columnar pipeline, per-phase timings) and the batch-throughput
+benchmark (sequential ``query()`` loop vs ``query_batch``), then
+writes one JSON document with the raw seconds, the relative speedups,
+and the workload shape.  Future PRs re-run this script and diff the
+committed snapshot to catch performance regressions without relying on
+absolute wall-clock numbers from someone else's machine.
+
+Usage::
+
+    python benchmarks/record_bench.py [--output BENCH_columnar.json]
+                                      [--repeats 3]
+
+Wall-clock numbers are machine-dependent; the speedup ratios are the
+comparable quantities.  CI uploads the JSON as a workflow artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, _HERE)
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    # Running outside pytest (which supplies pythonpath=src) against a
+    # non-installed checkout: use the src layout directly.
+    sys.path.insert(0, os.path.join(os.path.dirname(_HERE), "src"))
+
+import test_batch_throughput as throughput_bench  # noqa: E402
+import test_columnar_speedup as columnar_bench  # noqa: E402
+
+
+def measure_batch_throughput(repeats: int) -> dict:
+    """Best-of-``repeats`` sequential-loop vs query_batch timings."""
+    engine, points = throughput_bench.engine_and_points()
+    threshold = throughput_bench.THRESHOLD
+    tolerance = throughput_bench.TOLERANCE
+
+    def best_of(fn) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            tick = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - tick)
+        return best
+
+    sequential = best_of(
+        lambda: throughput_bench.run_sequential(engine, points)
+    )
+    batch = best_of(
+        lambda: engine.query_batch(
+            points, threshold=threshold, tolerance=tolerance
+        )
+    )
+    return {
+        "objects": throughput_bench.BATCH_OBJECTS,
+        "points": throughput_bench.BATCH_POINTS,
+        "threshold": threshold,
+        "tolerance": tolerance,
+        "sequential_s": sequential,
+        "query_batch_s": batch,
+        "speedup": sequential / batch,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default="BENCH_columnar.json",
+        help="where to write the snapshot (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="repetitions per pipeline; best run is recorded",
+    )
+    args = parser.parse_args(argv)
+
+    _, _, distributions = columnar_bench.workload()
+    sizes = [len(d) for d in distributions]
+    snapshot = {
+        "bench": "columnar-kernels",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "workload": {
+            "objects": columnar_bench.BENCH_OBJECTS,
+            "points": columnar_bench.BENCH_POINTS,
+            "mean_interval_length": columnar_bench.MEAN_LENGTH,
+            "avg_candidates": float(np.mean(sizes)),
+            "max_candidates": int(max(sizes)),
+            "strategy": "vr",
+        },
+        "phase_breakdown": {
+            "primary": columnar_bench.measure(
+                columnar_bench.PRIMARY, repeats=args.repeats
+            ),
+            "refinement_stress": columnar_bench.measure(
+                columnar_bench.REFINEMENT_STRESS, repeats=args.repeats
+            ),
+        },
+        "batch_throughput": measure_batch_throughput(args.repeats),
+    }
+    with open(args.output, "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    primary = snapshot["phase_breakdown"]["primary"]["speedup"]
+    print(
+        f"wrote {args.output}: primary combined speedup "
+        f"{primary['combined']:.2f}x "
+        f"(init {primary['initialization']:.2f}x), batch throughput "
+        f"{snapshot['batch_throughput']['speedup']:.2f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,8 +16,11 @@ serves that shape directly instead of looping over
 * **verification** applies each verifier across the whole
   candidate×query matrix with one flat ``tighten``/``classify`` sweep
   (:meth:`repro.core.verifiers.chain.VerifierChain.run_batch`);
-* **refinement** stays per-query (it is inherently sequential per
-  candidate), operating on slice-backed views of the flat state.
+* **refinement** runs one vectorised
+  :meth:`~repro.core.refinement.Refiner.refine_objects` sweep per
+  query over *all* of its surviving candidates at once (each query has
+  its own subregion grid, so the sweeps stay per-query), operating on
+  slice-backed views of the flat state.
 
 Per-candidate arithmetic is identical to the sequential path, so batch
 and sequential answers agree exactly; the speed-up comes purely from

@@ -81,7 +81,10 @@ class EngineConfig:
         proposed VR.
     chain_factory:
         Builds the verifier chain used by VR (default: RS → L-SR →
-        U-SR, Figure 5's order).
+        U-SR, Figure 5's order).  The engine calls it once at
+        construction and reuses the chain across queries — verifiers
+        are stateless, so per-query rebuilding would only add
+        allocation overhead to the hot path.
     bound_pad:
         Floating-point guard added around computed bounds
         (DESIGN.md §5).
@@ -175,6 +178,9 @@ class CPNNEngine:
                 f"all objects must share one dimensionality, got {sorted(dims)}"
             )
         self._config = config or EngineConfig()
+        #: The verifier chain, built once and reused by every VR query
+        #: (verifiers are stateless; see EngineConfig.chain_factory).
+        self._chain = self._config.chain_factory()
         if self._config.use_rtree:
             tree = str_bulk_load(
                 [(obj.mbr, obj) for obj in self._objects],
@@ -396,7 +402,7 @@ class CPNNEngine:
                 and q.tolerance == queries[0].tolerance
                 for q in queries[1:]
             )
-            chain = self._config.chain_factory()
+            chain = self._chain
             tick = time.perf_counter()
             if uniform:
                 outcomes = chain.run_batch(
@@ -417,12 +423,11 @@ class CPNNEngine:
             for prep, query, outcome in zip(prepared, queries, outcomes):
                 states = prep.states
                 finished = states.n_unknown == 0
-                refined = 0
-                for i in states.unknown_indices():
-                    prep.refiner.refine_object(
-                        int(i), states, query, use_verifier_slices=True
-                    )
-                    refined += 1
+                survivors = states.unknown_indices()
+                prep.refiner.refine_objects(
+                    survivors, states, query, use_verifier_slices=True
+                )
+                refined = int(survivors.size)
                 batch.results.append(
                     self._assemble(
                         prep,
@@ -579,7 +584,7 @@ class CPNNEngine:
     def _run_vr(self, prepared: _Prepared, query: CPNNQuery) -> CPNNResult:
         timings = prepared.timings
         states = prepared.states
-        chain = self._config.chain_factory()
+        chain = self._chain
 
         tick = time.perf_counter()
         outcome = chain.run(prepared.table, states, query)

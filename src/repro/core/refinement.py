@@ -33,6 +33,23 @@ subregion, so
   accumulated by the verifiers ... can facilitate the refinement
   process"), or are the vacuous ``[0, s_ij]`` for the *Refine*
   strategy that skips verification.
+* :meth:`Refiner.refine_objects` — the columnar variant of the above:
+  one vectorised sweep refines *all* still-unknown candidates
+  together, warming quadrature for every active candidate's next
+  subregion at once and classifying with
+  :func:`~repro.core.classifier.classify_arrays`.  Each candidate
+  visits its subregions in exactly the order, with exactly the
+  floating-point operations, of :meth:`Refiner.refine_object`, so
+  labels and bounds are bit-identical to the sequential loop.
+
+Columnar substrate
+------------------
+Survival matrices at quadrature nodes come from the subregion table's
+:class:`~repro.uncertainty.columnar.DistributionPack` (one batched
+kernel call, no per-object ``cdf`` dispatch), and the per-subregion
+weighted-exclusion vectors live in a lazily materialised dense
+``(|C|, M−1)`` matrix guarded by a filled-column mask instead of a
+``dict`` of vectors.
 """
 
 from __future__ import annotations
@@ -69,8 +86,11 @@ class Refiner:
         degree = max(table.size - 1, 1)
         self._nodes = nodes_for_degree(degree) + int(quadrature_margin)
         self._order = order
-        #: j -> (|C|,) weighted exclusion vector  Σ_n w_n Π_{k≠i}(1−D_k(x_jn)).
-        self._weighted_excl: dict[int, np.ndarray] = {}
+        #: Dense (|C|, M−1) matrix of weighted exclusion sums
+        #: ``W[i, j] = Σ_n w_n Π_{k≠i}(1−D_k(x_jn))``, materialised
+        #: lazily; ``_filled[j]`` marks the columns computed so far.
+        self._weighted: np.ndarray | None = None
+        self._filled: np.ndarray | None = None
         #: Object-subregion integrals consumed (diagnostics).
         self.integrations = 0
         #: Distinct subregions whose quadrature was evaluated.
@@ -89,19 +109,32 @@ class Refiner:
     # ------------------------------------------------------------------
 
     def _survival_matrix(self, xs: np.ndarray) -> np.ndarray:
-        """``1 − D_k(x)`` for every candidate ``k`` and node ``x``."""
-        rows = [1.0 - np.asarray(d.cdf(xs)) for d in self._table.distributions]
-        matrix = np.vstack(rows)
+        """``1 − D_k(x)`` for every candidate ``k`` and node ``x``.
+
+        One columnar kernel call over the packed histograms;
+        bit-identical to stacking per-candidate ``1 − d.cdf(xs)`` rows.
+        """
+        matrix = self._table.pack.sf_many(xs)
         np.clip(matrix, 0.0, 1.0, out=matrix)
         return matrix
 
+    def _weighted_matrix(self) -> np.ndarray:
+        """The dense weighted-exclusion matrix (allocated on first use)."""
+        if self._weighted is None:
+            table = self._table
+            self._weighted = np.zeros((table.size, table.n_inner))
+            self._filled = np.zeros(table.n_inner, dtype=bool)
+        return self._weighted
+
     def _ensure_weighted_excl(self, js) -> None:
-        """Materialise the weighted-exclusion vectors for subregions ``js``."""
-        cache = self._weighted_excl
-        missing_set = {int(j) for j in js} - cache.keys()
-        if not missing_set:
+        """Materialise weighted-exclusion columns for subregions ``js``."""
+        weighted_matrix = self._weighted_matrix()
+        requested = np.unique(np.asarray(js, dtype=np.intp))
+        if requested.size == 0:
             return
-        missing = np.fromiter(sorted(missing_set), dtype=int)
+        missing = requested[~self._filled[requested]]
+        if missing.size == 0:
+            return
         table = self._table
         n_objects = table.size
         xs_unit, ws = gauss_legendre_nodes(self._nodes)
@@ -120,11 +153,10 @@ class Refiner:
             log_excl = col_log[None, :] - logs
             excl = np.where(zero_excl > 0, 0.0, np.exp(log_excl))
             # (objects, chunk): weighted node sums per subregion.
-            weighted = np.einsum(
+            weighted_matrix[:, chunk] = np.einsum(
                 "imn,n->im", excl.reshape(n_objects, chunk.size, -1), ws
             )
-            for idx, j in enumerate(chunk):
-                self._weighted_excl[int(j)] = weighted[:, idx]
+            self._filled[chunk] = True
             self.subregions_evaluated += int(chunk.size)
 
     # ------------------------------------------------------------------
@@ -138,19 +170,23 @@ class Refiner:
             return 0.0
         self._ensure_weighted_excl(np.asarray([j]))
         self.integrations += 1
-        return 0.5 * s_ij * float(self._weighted_excl[int(j)][i])
+        return 0.5 * s_ij * float(self._weighted[i, j])
 
     def exact_probability(self, i: int) -> float:
-        """The full qualification probability of candidate ``i``."""
+        """The full qualification probability of candidate ``i``.
+
+        A masked dot product over the weighted-exclusion matrix — one
+        vectorised accumulation instead of a Python loop over
+        subregions, clamped to [0, 1] exactly as before.
+        """
         table = self._table
-        js = np.flatnonzero(table.s_inner[i] > 0.0)
+        s_row = np.asarray(table.s_inner[i], dtype=float)
+        js = np.flatnonzero(s_row > 0.0)
         self._ensure_weighted_excl(js)
-        total = 0.0
-        for j in js:
-            total += 0.5 * float(table.s_inner[i, j]) * float(
-                self._weighted_excl[int(j)][i]
-            )
         self.integrations += int(js.size)
+        if js.size == 0:
+            return 0.0
+        total = 0.5 * float(np.dot(s_row[js], self._weighted[i, js]))
         return min(max(total, 0.0), 1.0)
 
     def exact_all(self) -> np.ndarray:
@@ -158,10 +194,9 @@ class Refiner:
         table = self._table
         all_js = np.arange(table.n_inner)
         self._ensure_weighted_excl(all_js)
-        weighted = np.column_stack(
-            [self._weighted_excl[int(j)] for j in all_js]
-        ) if table.n_inner else np.zeros((table.size, 0))
-        result = 0.5 * np.einsum("ij,ij->i", table.s_inner, weighted)
+        result = 0.5 * np.einsum(
+            "ij,ij->i", table.s_inner, self._weighted_matrix()
+        )
         self.integrations += table.size * table.n_inner
         return np.clip(result, 0.0, 1.0)
 
@@ -223,7 +258,7 @@ class Refiner:
             self._ensure_weighted_excl(chunk)
             for j in chunk:
                 j = int(j)
-                p_ij = 0.5 * s_list[j] * float(self._weighted_excl[j][i])
+                p_ij = 0.5 * s_list[j] * float(self._weighted[i, j])
                 cur_lo += p_ij - lo_list[j]
                 cur_up += p_ij - up_list[j]
                 lo_list[j] = p_ij
@@ -252,6 +287,123 @@ class Refiner:
         states.lower[i] = best_lo
         states.upper[i] = best_up
         states.labels[i] = label
+        return integrated
+
+    def refine_objects(
+        self,
+        indices,
+        states: CandidateStates,
+        query: CPNNQuery,
+        use_verifier_slices: bool = True,
+        batch: int = 8,
+    ) -> int:
+        """Refine many candidates in one vectorised sweep.
+
+        Semantically a loop of :meth:`refine_object` over ``indices``
+        (candidates are independent: each reads only the shared table
+        and writes only its own state row), restructured so that every
+        step advances *all* still-unknown candidates by one subregion:
+        quadrature is warmed for the whole front of next subregions at
+        once, bound updates are flat array arithmetic, and labels come
+        from one :func:`classify_arrays` call.  Per-candidate
+        visitation order and floating-point operations are exactly
+        those of :meth:`refine_object`, so the resulting labels and
+        bounds are bit-identical to the sequential loop.
+
+        Returns the total number of object-subregion integrations.
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+        if idx.size == 0:
+            return 0
+        if idx.size == 1:
+            # The sweep's array plumbing costs more than it saves for a
+            # lone survivor; the scalar path is bit-identical.
+            return self.refine_object(
+                int(idx[0]), states, query, use_verifier_slices, batch=batch
+            )
+        table = self._table
+        s = np.asarray(table.s_inner[idx], dtype=float)
+        if use_verifier_slices:
+            lo = s * table.q_lower[idx]
+            up = s * table.q_upper[idx]
+        else:
+            lo = np.zeros_like(s)
+            up = s.copy()
+        cur_lo = lo.sum(axis=1)
+        cur_up = up.sum(axis=1)
+        pad = states.pad
+        threshold = query.threshold
+        tolerance = query.tolerance
+
+        relevant = (s > 0.0) | (up > lo)
+        n_relevant = relevant.sum(axis=1)
+        # Row-wise visitation order, irrelevant subregions pushed past
+        # the end; the stable full-row sort reproduces refine_object's
+        # "stable argsort of the relevant slice" tie-breaking.
+        if self._order == "widest":
+            key = np.where(relevant, -(up - lo), np.inf)
+        else:
+            key = np.where(
+                relevant,
+                np.arange(s.shape[1], dtype=float)[None, :],
+                np.inf,
+            )
+        order = np.argsort(key, axis=1, kind="stable")
+
+        best_lo = np.array(states.lower[idx], dtype=float)
+        best_up = np.array(states.upper[idx], dtype=float)
+        labels = np.zeros(idx.size, dtype=np.int8)
+        integrated = 0
+        step = 0
+        batch = max(batch, 1)
+        while True:
+            active = np.flatnonzero((labels == _UNKNOWN) & (step < n_relevant))
+            if active.size == 0:
+                break
+            if step % batch == 0:
+                # Warm the whole front's next batch of subregions in
+                # one quadrature pass — the same per-object look-ahead
+                # refine_object uses, so the chunks fed to the
+                # quadrature kernel stay big even when classification
+                # needs only a step or two.
+                window = order[active, step : step + batch]
+                valid = (
+                    np.arange(step, step + window.shape[1])[None, :]
+                    < n_relevant[active, None]
+                )
+                self._ensure_weighted_excl(window[valid])
+            js = order[active, step]
+            p = 0.5 * s[active, js] * self._weighted[idx[active], js]
+            cur_lo[active] += p - lo[active, js]
+            cur_up[active] += p - up[active, js]
+            integrated += int(active.size)
+            cand_lo = np.minimum(np.maximum(cur_lo[active] - pad, 0.0), 1.0)
+            cand_up = np.minimum(np.maximum(cur_up[active] + pad, 0.0), 1.0)
+            b_lo = np.maximum(best_lo[active], cand_lo)
+            b_up = np.minimum(best_up[active], cand_up)
+            crossed = b_lo > b_up
+            if np.any(crossed):
+                midpoint = 0.5 * (b_lo[crossed] + b_up[crossed])
+                b_lo[crossed] = midpoint
+                b_up[crossed] = midpoint
+            best_lo[active] = b_lo
+            best_up[active] = b_up
+            labels[active] = classify_arrays(b_lo, b_up, threshold, tolerance)
+            step += 1
+        self.integrations += integrated
+
+        exhausted = np.flatnonzero(labels == _UNKNOWN)
+        if exhausted.size:
+            # Every subregion is exact now: collapse to the exact value
+            # and break the tie with it, as refine_object does.
+            exact = np.minimum(np.maximum(cur_lo[exhausted], 0.0), 1.0)
+            best_lo[exhausted] = np.minimum(np.maximum(exact - pad, 0.0), 1.0)
+            best_up[exhausted] = np.minimum(np.maximum(exact + pad, 0.0), 1.0)
+            labels[exhausted] = np.where(exact >= threshold, _SATISFY, _FAIL)
+
+        states.lower[idx] = best_lo
+        states.upper[idx] = best_up
+        states.labels[idx] = labels
         return integrated
 
     @staticmethod

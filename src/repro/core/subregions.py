@@ -26,6 +26,11 @@ polynomial on each subregion — see :mod:`repro.core.refinement`.
 
 Implementation notes
 --------------------
+* The cdf matrix ``D_i(e_j)`` and the end-point grid are built from a
+  :class:`~repro.uncertainty.columnar.DistributionPack` — one batched
+  kernel call over the packed candidate histograms instead of one
+  ``cdf`` call per candidate.  The pack's kernels are bit-identical to
+  the scalar path, so every matrix below is unchanged by this.
 * Products ``Z`` are evaluated in log-space with explicit zero-factor
   bookkeeping, so hundreds of factors neither underflow nor divide by
   zero (the paper's Equation 3 divides ``Y_j`` by ``1 − D_i(e_j)``,
@@ -44,12 +49,17 @@ from typing import Hashable, Sequence
 
 import numpy as np
 
+from repro.uncertainty.columnar import DistributionPack
 from repro.uncertainty.distance import DistanceDistribution
 
 __all__ = ["SubregionTable"]
 
 #: Relative tolerance for deduplicating end-points.
 _EDGE_RTOL = 1e-12
+
+#: Candidate sets at or below this size skip the columnar machinery —
+#: plain loops win on latency there (results are bit-identical).
+_SMALL_SET = 8
 
 
 def _subdivide(edges: np.ndarray, parts: int) -> np.ndarray:
@@ -94,16 +104,39 @@ class SubregionTable:
             raise ValueError("candidate set must not be empty")
         if grid_refinement < 1:
             raise ValueError("grid_refinement must be >= 1")
-        ordered = sorted(distributions, key=lambda d: (d.near, d.far))
-        self._distributions: tuple[DistanceDistribution, ...] = tuple(ordered)
-        self._fmin = min(d.far for d in ordered)
-        self._fmax = max(d.far for d in ordered)
+        if len(distributions) <= _SMALL_SET:
+            # Tiny candidate sets are cheaper through plain Python
+            # loops than through the columnar machinery; the pack is
+            # still materialised lazily if refinement asks for it.
+            # Both branches produce bit-identical tables.
+            ordered = sorted(distributions, key=lambda d: (d.near, d.far))
+            self._distributions = tuple(ordered)
+            self._pack = None
+            self._fmin = min(d.far for d in ordered)
+            self._fmax = max(d.far for d in ordered)
+        else:
+            # Sort by (near, far) as the paper prescribes — the keys
+            # come from the pack's flat columns (one lexsort) instead
+            # of one Python key tuple per candidate; np.lexsort is
+            # stable, so the order matches
+            # sorted(key=lambda d: (d.near, d.far)) exactly.
+            unsorted_pack = DistributionPack(distributions)
+            perm = np.lexsort((unsorted_pack.far, unsorted_pack.near))
+            if np.array_equal(perm, np.arange(perm.size)):
+                self._distributions = tuple(distributions)
+                self._pack = unsorted_pack
+            else:
+                self._distributions = tuple(
+                    map(distributions.__getitem__, perm.tolist())
+                )
+                self._pack = unsorted_pack.take(perm)
+            fars = self._pack.far
+            self._fmin = float(fars.min())
+            self._fmax = float(fars.max())
         self._edges = self._build_edges()
         if grid_refinement > 1:
             self._edges = _subdivide(self._edges, grid_refinement)
-        self._cdf_matrix = np.vstack(
-            [np.asarray(d.cdf(self._edges)) for d in ordered]
-        )
+        self._cdf_matrix = self._build_cdf_matrix()
         # Clamp tiny interpolation drift so downstream algebra stays in [0, 1].
         np.clip(self._cdf_matrix, 0.0, 1.0, out=self._cdf_matrix)
 
@@ -118,20 +151,38 @@ class SubregionTable:
         implicitly through :attr:`s_right`, which avoids degenerate
         zero-width edges when all far points coincide.
         """
-        n_min = min(d.near for d in self._distributions)
+        if self._pack is None:
+            n_min = min(d.near for d in self._distributions)
+        else:
+            n_min = float(self._pack.near.min())
         if not self._fmin > n_min:
             raise ValueError(
                 "f_min must exceed the smallest near point; the candidate "
                 "set is degenerate (a zero-width distance support?)"
             )
-        pool = [np.asarray([n_min, self._fmin])]
-        for dist in self._distributions:
-            edges = dist.breakpoints
-            inside = edges[(edges > n_min) & (edges < self._fmin)]
-            pool.append(inside)
-            if n_min < dist.near < self._fmin:
-                pool.append(np.asarray([dist.near]))
-        merged = np.sort(np.concatenate(pool))
+        if self._pack is None:
+            pool = [np.asarray([n_min, self._fmin])]
+            for dist in self._distributions:
+                edges = dist.breakpoints
+                inside = edges[(edges > n_min) & (edges < self._fmin)]
+                pool.append(inside)
+                if n_min < dist.near < self._fmin:
+                    pool.append(np.asarray([dist.near]))
+            merged = np.sort(np.concatenate(pool))
+        else:
+            # Same multiset of end-points, pooled from the pack's flat
+            # columns instead of one masking pass per candidate.
+            nears = self._pack.near
+            breakpoints = self._pack.edges_flat
+            inside = breakpoints[
+                (breakpoints > n_min) & (breakpoints < self._fmin)
+            ]
+            nears_inside = nears[(nears > n_min) & (nears < self._fmin)]
+            merged = np.sort(
+                np.concatenate(
+                    (np.asarray([n_min, self._fmin]), inside, nears_inside)
+                )
+            )
         scale = max(abs(float(merged[0])), abs(float(merged[-1])), 1.0)
         threshold = _EDGE_RTOL * scale
         keep = np.empty(merged.size, dtype=bool)
@@ -142,6 +193,20 @@ class SubregionTable:
         edges[-1] = self._fmin
         return edges
 
+    def _build_cdf_matrix(self) -> np.ndarray:
+        """``D_i(e_j)`` for all candidates and end-points, (|C|, M).
+
+        One columnar pack call replaces the per-candidate ``d.cdf``
+        loop; the result is bit-identical (see
+        :mod:`repro.uncertainty.columnar`).  Overridable so benchmarks
+        can pit the scalar loop against the columnar kernel.
+        """
+        if self._pack is None:
+            return np.vstack(
+                [np.asarray(d.cdf(self._edges)) for d in self._distributions]
+            )
+        return self._pack.cdf_many(self._edges)
+
     # ------------------------------------------------------------------
     # Shape and identity
     # ------------------------------------------------------------------
@@ -150,6 +215,17 @@ class SubregionTable:
     def distributions(self) -> tuple[DistanceDistribution, ...]:
         """Candidates sorted by near point (the paper's X_1 .. X_|C|)."""
         return self._distributions
+
+    @property
+    def pack(self) -> DistributionPack:
+        """Columnar view of the candidates' histograms (row-aligned).
+
+        Materialised lazily for small candidate sets, whose table is
+        built through plain loops.
+        """
+        if self._pack is None:
+            self._pack = DistributionPack(self._distributions)
+        return self._pack
 
     @property
     def keys(self) -> tuple[Hashable, ...]:

@@ -16,6 +16,7 @@ Everything in the query engine operates on two derived artifacts:
   histogram about ``q``.
 """
 
+from repro.uncertainty.columnar import DistributionPack
 from repro.uncertainty.distance import DistanceDistribution
 from repro.uncertainty.histogram import Histogram, HistogramError
 from repro.uncertainty.objects import UncertainObject
@@ -35,6 +36,7 @@ from repro.uncertainty.twod import (
 
 __all__ = [
     "DistanceDistribution",
+    "DistributionPack",
     "Histogram",
     "HistogramError",
     "HistogramPdf",

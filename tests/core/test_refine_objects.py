@@ -1,0 +1,150 @@
+"""Property tests: vectorised refine_objects ≡ sequential refine_object.
+
+:meth:`Refiner.refine_objects` restructures incremental refinement
+(Section IV-D) into one columnar sweep over all surviving candidates.
+Candidates are independent, and the sweep replays each candidate's
+subregion visitation order and floating-point operations exactly, so
+labels and bounds must equal the sequential loop's **bit for bit** —
+including the number of object-subregion integrations performed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.refinement import Refiner
+from repro.core.state import CandidateStates
+from repro.core.subregions import SubregionTable
+from repro.core.types import CPNNQuery
+from repro.core.verifiers.chain import default_chain
+from tests.conftest import make_random_objects
+
+
+def prepared_states(dists, query, use_chain):
+    table = SubregionTable(dists)
+    states = CandidateStates(table.keys)
+    if use_chain:
+        default_chain().run(table, states, query)
+    return table, states
+
+
+def refine_both_ways(dists, query, use_verifier_slices, order):
+    """(sequential states, batch states, integration counts)."""
+    table_a, states_a = prepared_states(dists, query, use_verifier_slices)
+    refiner_a = Refiner(table_a, order=order)
+    survivors = states_a.unknown_indices()
+    for i in survivors:
+        refiner_a.refine_object(
+            int(i), states_a, query, use_verifier_slices=use_verifier_slices
+        )
+
+    table_b, states_b = prepared_states(dists, query, use_verifier_slices)
+    refiner_b = Refiner(table_b, order=order)
+    integrated = refiner_b.refine_objects(
+        states_b.unknown_indices(),
+        states_b,
+        query,
+        use_verifier_slices=use_verifier_slices,
+    )
+    return states_a, states_b, refiner_a.integrations, integrated
+
+
+@pytest.mark.parametrize("use_verifier_slices", [True, False])
+@pytest.mark.parametrize("order", ["widest", "left"])
+def test_labels_and_bounds_bit_identical(rng, use_verifier_slices, order):
+    for _ in range(10):
+        objects = make_random_objects(rng, int(rng.integers(2, 24)))
+        q = float(rng.uniform(0.0, 60.0))
+        query = CPNNQuery(
+            q,
+            threshold=float(rng.uniform(0.05, 0.6)),
+            tolerance=float(rng.choice([0.0, 0.01, 0.05])),
+        )
+        dists = [obj.distance_distribution(q) for obj in objects]
+        seq, batch, n_seq, n_batch = refine_both_ways(
+            dists, query, use_verifier_slices, order
+        )
+        assert np.array_equal(seq.labels, batch.labels)
+        assert np.array_equal(seq.lower, batch.lower)
+        assert np.array_equal(seq.upper, batch.upper)
+        assert n_seq == n_batch
+
+
+def test_threshold_boundary_cases(rng):
+    """Exact-at-threshold candidates classify the same way in both paths."""
+    from repro.uncertainty.objects import UncertainObject
+
+    objects = [
+        UncertainObject.uniform("A", 0.0, 2.0),
+        UncertainObject.uniform("B", 0.0, 2.0),
+        UncertainObject.uniform("C", 0.5, 2.5),
+    ]
+    for threshold in (0.5, 0.25, 1.0):
+        query = CPNNQuery(0.0, threshold=threshold, tolerance=0.0)
+        dists = [obj.distance_distribution(0.0) for obj in objects]
+        seq, batch, _, _ = refine_both_ways(dists, query, False, "widest")
+        assert np.array_equal(seq.labels, batch.labels)
+        assert np.array_equal(seq.lower, batch.lower)
+        assert np.array_equal(seq.upper, batch.upper)
+
+
+def test_empty_and_singleton_index_sets(rng):
+    objects = make_random_objects(rng, 5)
+    q = 30.0
+    query = CPNNQuery(q, threshold=0.3, tolerance=0.0)
+    dists = [obj.distance_distribution(q) for obj in objects]
+    table = SubregionTable(dists)
+    states = CandidateStates(table.keys)
+    refiner = Refiner(table)
+    assert refiner.refine_objects([], states, query) == 0
+    assert np.all(states.labels == 0)  # untouched
+
+    # singleton set routes through the scalar path and still classifies
+    refiner.refine_objects(np.asarray([2]), states, query)
+    assert states.labels[2] != 0
+    assert np.all(np.delete(states.labels, 2) == 0)
+
+
+def test_subset_refinement_leaves_others_untouched(rng):
+    objects = make_random_objects(rng, 12)
+    q = 25.0
+    query = CPNNQuery(q, threshold=0.3, tolerance=0.0)
+    dists = [obj.distance_distribution(q) for obj in objects]
+    table = SubregionTable(dists)
+    states = CandidateStates(table.keys)
+    refiner = Refiner(table)
+    subset = np.asarray([1, 4, 7])
+    refiner.refine_objects(subset, states, query)
+    untouched = np.setdiff1d(np.arange(table.size), subset)
+    assert np.all(states.labels[subset] != 0)
+    assert np.all(states.labels[untouched] == 0)
+    assert np.all(states.lower[untouched] == 0.0)
+    assert np.all(states.upper[untouched] == 1.0)
+
+
+def test_warm_ahead_batch_width_changes_nothing(rng):
+    """The quadrature look-ahead window is a latency knob, not semantics."""
+    objects = make_random_objects(rng, 10)
+    q = 30.0
+    query = CPNNQuery(q, threshold=0.2, tolerance=0.0)
+    dists = [obj.distance_distribution(q) for obj in objects]
+    reference = None
+    for batch in (1, 3, 8, 64):
+        table = SubregionTable(dists)
+        states = CandidateStates(table.keys)
+        Refiner(table).refine_objects(
+            states.unknown_indices(),
+            states,
+            query,
+            use_verifier_slices=False,
+            batch=batch,
+        )
+        snapshot = (
+            states.labels.tobytes(),
+            states.lower.tobytes(),
+            states.upper.tobytes(),
+        )
+        if reference is None:
+            reference = snapshot
+        assert snapshot == reference
