@@ -1,7 +1,7 @@
 """Shared fixtures for the benchmark suite.
 
 Each module regenerates one figure/table of the paper's Section V as a
-set of pytest-benchmark measurements (see DESIGN.md §3 for the
+set of pytest-benchmark measurements (see DESIGN.md §9 for the
 mapping).  Sizes are scaled down from the paper's 53,144-interval
 dataset so the whole suite runs in minutes; the experiment CLI
 (``python -m repro.experiments all``) runs the full-scale versions and
@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.engine import CPNNEngine, EngineConfig
+from repro.core.engine import EngineConfig, UncertainEngine
 from repro.datasets.longbeach import long_beach_surrogate
 from repro.datasets.queries import random_query_points
 
@@ -25,15 +25,15 @@ BENCH_QUERIES = 5
 
 
 @pytest.fixture(scope="session")
-def uniform_engine() -> CPNNEngine:
+def uniform_engine() -> UncertainEngine:
     """Engine over the uniform-pdf Long Beach surrogate."""
-    return CPNNEngine(long_beach_surrogate(n=BENCH_SIZE))
+    return UncertainEngine(long_beach_surrogate(n=BENCH_SIZE))
 
 
 @pytest.fixture(scope="session")
-def gaussian_engine() -> CPNNEngine:
+def gaussian_engine() -> UncertainEngine:
     """Engine over the Gaussian-pdf surrogate (Figure 14's setting)."""
-    return CPNNEngine(long_beach_surrogate(n=4_000, pdf="gaussian", bars=300))
+    return UncertainEngine(long_beach_surrogate(n=4_000, pdf="gaussian", bars=300))
 
 
 @pytest.fixture(scope="session")

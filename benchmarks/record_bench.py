@@ -2,9 +2,10 @@
 
 Runs the columnar phase-breakdown benchmark (scalar PR-1 replica vs
 columnar pipeline, per-phase timings) and the batch-throughput
-benchmark (sequential ``query()`` loop vs ``query_batch``), then
-writes one JSON document with the raw seconds, the relative speedups,
-and the workload shape.  Future PRs re-run this script and diff the
+benchmarks (sequential ``execute`` loop vs ``execute_batch`` for
+C-PNN specs, plus the routed k-NN and range batch paths against their
+pre-façade scalar loops), then writes one JSON document with the raw
+seconds, the relative speedups, and the workload shape.  Future PRs re-run this script and diff the
 committed snapshot to catch performance regressions without relying on
 absolute wall-clock numbers from someone else's machine.
 
@@ -24,7 +25,6 @@ import json
 import os
 import platform
 import sys
-import time
 
 import numpy as np
 
@@ -41,36 +41,74 @@ import test_batch_throughput as throughput_bench  # noqa: E402
 import test_columnar_speedup as columnar_bench  # noqa: E402
 
 
+#: Shared best-of-N timing loop — the same reduction the pytest
+#: speedup gates use, so the snapshot and the gates measure alike.
+_best_of = throughput_bench._best_of
+
+
 def measure_batch_throughput(repeats: int) -> dict:
-    """Best-of-``repeats`` sequential-loop vs query_batch timings."""
+    """Best-of-``repeats`` sequential execute() loop vs execute_batch."""
     engine, points = throughput_bench.engine_and_points()
-    threshold = throughput_bench.THRESHOLD
-    tolerance = throughput_bench.TOLERANCE
-
-    def best_of(fn) -> float:
-        best = float("inf")
-        for _ in range(repeats):
-            tick = time.perf_counter()
-            fn()
-            best = min(best, time.perf_counter() - tick)
-        return best
-
-    sequential = best_of(
-        lambda: throughput_bench.run_sequential(engine, points)
+    specs = throughput_bench.pnn_specs(points)
+    sequential = _best_of(
+        repeats, lambda: throughput_bench.run_sequential(engine, points)
     )
-    batch = best_of(
-        lambda: engine.query_batch(
-            points, threshold=threshold, tolerance=tolerance
-        )
-    )
+    batch = _best_of(repeats, lambda: engine.execute_batch(specs))
     return {
         "objects": throughput_bench.BATCH_OBJECTS,
         "points": throughput_bench.BATCH_POINTS,
-        "threshold": threshold,
-        "tolerance": tolerance,
+        "threshold": throughput_bench.THRESHOLD,
+        "tolerance": throughput_bench.TOLERANCE,
         "sequential_s": sequential,
-        "query_batch_s": batch,
+        "execute_batch_s": batch,
         "speedup": sequential / batch,
+    }
+
+
+def measure_knn_throughput(repeats: int) -> dict:
+    """k-NN execute_batch vs the pre-façade CKNNEngine scalar loop.
+
+    The scalar baseline is orders of magnitude slower (it skips MBR
+    filtering and integrates against all objects), so it is timed once
+    on a small point sample and the speedup compares per-query times —
+    the same protocol as the acceptance gate in
+    ``test_batch_throughput.py``.
+    """
+    engine, points = throughput_bench.engine_and_points()
+    specs = throughput_bench.knn_specs(points)
+    legacy_per_query = _best_of(
+        1, lambda: throughput_bench.run_knn_legacy(engine, points)
+    ) / throughput_bench.KNN_LEGACY_POINTS
+    batch_per_query = _best_of(
+        repeats, lambda: engine.execute_batch(specs)
+    ) / len(specs)
+    return {
+        "objects": throughput_bench.BATCH_OBJECTS,
+        "points": len(specs),
+        "k": throughput_bench.KNN_K,
+        "threshold": throughput_bench.KNN_THRESHOLD,
+        "scalar_loop_s_per_query": legacy_per_query,
+        "execute_batch_s_per_query": batch_per_query,
+        "speedup": legacy_per_query / batch_per_query,
+    }
+
+
+def measure_range_throughput(repeats: int) -> dict:
+    """Range execute_batch vs the pre-façade scalar loop."""
+    engine, points = throughput_bench.engine_and_points()
+    specs = throughput_bench.range_specs(points)
+    legacy = _best_of(
+        repeats, lambda: throughput_bench.run_range_legacy(engine, points)
+    )
+    batch = _best_of(repeats, lambda: engine.execute_batch(specs))
+    return {
+        "objects": throughput_bench.BATCH_OBJECTS,
+        "points": len(specs),
+        "radius": throughput_bench.RANGE_RADIUS,
+        "threshold": throughput_bench.RANGE_THRESHOLD,
+        "scalar_loop_s": legacy,
+        "execute_batch_s": batch,
+        "speedup": legacy / batch,
     }
 
 
@@ -112,6 +150,8 @@ def main(argv=None) -> int:
             ),
         },
         "batch_throughput": measure_batch_throughput(args.repeats),
+        "knn_batch_throughput": measure_knn_throughput(args.repeats),
+        "range_batch_throughput": measure_range_throughput(args.repeats),
     }
     with open(args.output, "w") as handle:
         json.dump(snapshot, handle, indent=2, sort_keys=False)
@@ -121,7 +161,9 @@ def main(argv=None) -> int:
         f"wrote {args.output}: primary combined speedup "
         f"{primary['combined']:.2f}x "
         f"(init {primary['initialization']:.2f}x), batch throughput "
-        f"{snapshot['batch_throughput']['speedup']:.2f}x"
+        f"{snapshot['batch_throughput']['speedup']:.2f}x, "
+        f"knn batch {snapshot['knn_batch_throughput']['speedup']:.0f}x, "
+        f"range batch {snapshot['range_batch_throughput']['speedup']:.2f}x"
     )
     return 0
 

@@ -8,20 +8,21 @@ distance-cdf construction is the dominant initialisation cost here
 import numpy as np
 import pytest
 
-from repro.core.engine import CPNNEngine
+from repro.core.engine import UncertainEngine
+from repro.core.types import CPNNQuery
 from repro.datasets.planar import planar_disks, planar_mixed_objects
 
 _ENGINES = {}
 
 
-def engine_for(kind: str) -> CPNNEngine:
+def engine_for(kind: str) -> UncertainEngine:
     if kind not in _ENGINES:
         rng = np.random.default_rng(11)
         if kind == "disks":
             objects = planar_disks(2_000, rng=rng)
         else:
             objects = planar_mixed_objects(2_000, rng=rng)
-        _ENGINES[kind] = CPNNEngine(objects)
+        _ENGINES[kind] = UncertainEngine(objects)
     return _ENGINES[kind]
 
 
@@ -39,7 +40,9 @@ def test_2d_query(benchmark, kind, strategy):
     benchmark.name = strategy
     benchmark(
         lambda: [
-            engine.query(q, threshold=0.3, tolerance=0.01, strategy=strategy)
+            engine.execute(
+                CPNNQuery(tuple(q), threshold=0.3, tolerance=0.01), strategy=strategy
+            )
             for q in pts
         ]
     )

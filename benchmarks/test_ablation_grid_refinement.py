@@ -9,8 +9,9 @@ check the net tightening materialises."""
 import numpy as np
 import pytest
 
-from repro.core.engine import CPNNEngine, EngineConfig
+from repro.core.engine import EngineConfig, UncertainEngine
 from repro.core.subregions import SubregionTable
+from repro.core.types import CPNNQuery
 from repro.core.verifiers import LowerSubregionVerifier, UpperSubregionVerifier
 from repro.datasets.longbeach import long_beach_surrogate
 
@@ -19,10 +20,10 @@ GRIDS = [1, 2, 4]
 _ENGINES = {}
 
 
-def engine_for(grid: int) -> CPNNEngine:
+def engine_for(grid: int) -> UncertainEngine:
     if grid not in _ENGINES:
         objects = long_beach_surrogate(n=8_000)
-        _ENGINES[grid] = CPNNEngine(objects, EngineConfig(grid_refinement=grid))
+        _ENGINES[grid] = UncertainEngine(objects, EngineConfig(grid_refinement=grid))
     return _ENGINES[grid]
 
 
@@ -33,7 +34,9 @@ def test_vr_query_time_vs_grid(benchmark, bench_queries, grid):
     benchmark.name = f"g={grid}"
     benchmark(
         lambda: [
-            engine.query(q, threshold=0.3, tolerance=0.01, strategy="vr")
+            engine.execute(
+                CPNNQuery(float(q), threshold=0.3, tolerance=0.01), strategy="vr"
+            )
             for q in bench_queries
         ]
     )

@@ -7,7 +7,7 @@ reason filtering stays flat in Figure 9 while Basic grows."""
 import numpy as np
 import pytest
 
-from repro.core.engine import CPNNEngine, EngineConfig
+from repro.core.engine import EngineConfig, UncertainEngine
 from repro.datasets.longbeach import long_beach_surrogate
 from repro.datasets.queries import random_query_points
 
@@ -21,10 +21,10 @@ def objects_for(n: int):
     return _OBJECTS[n]
 
 
-def engine_for(n: int, use_rtree: bool, fanout: int = 16) -> CPNNEngine:
+def engine_for(n: int, use_rtree: bool, fanout: int = 16) -> UncertainEngine:
     key = (n, use_rtree, fanout)
     if key not in _ENGINES:
-        _ENGINES[key] = CPNNEngine(
+        _ENGINES[key] = UncertainEngine(
             objects_for(n),
             EngineConfig(use_rtree=use_rtree, rtree_max_entries=fanout),
         )

@@ -1,22 +1,23 @@
 """Ablation: incremental-refinement subregion ordering.
 
-DESIGN.md §4 notes the paper's technical report (with its refinement
+DESIGN.md §3 notes the paper's technical report (with its refinement
 details) is not retrievable; we default to widest-bound-gap-first and
 benchmark it against left-to-right here.  Widest-first converges in
 fewer integrations, which shows up as lower Refine-strategy times."""
 
 import pytest
 
-from repro.core.engine import CPNNEngine, EngineConfig
+from repro.core.engine import EngineConfig, UncertainEngine
+from repro.core.types import CPNNQuery
 from repro.datasets.longbeach import long_beach_surrogate
 
 _ENGINES = {}
 
 
-def engine_for(order: str) -> CPNNEngine:
+def engine_for(order: str) -> UncertainEngine:
     if order not in _ENGINES:
         objects = long_beach_surrogate(n=8_000)
-        _ENGINES[order] = CPNNEngine(objects, EngineConfig(refinement_order=order))
+        _ENGINES[order] = UncertainEngine(objects, EngineConfig(refinement_order=order))
     return _ENGINES[order]
 
 
@@ -28,7 +29,9 @@ def test_refinement_order(benchmark, bench_queries, order, strategy):
     benchmark.name = order
     benchmark(
         lambda: [
-            engine.query(q, threshold=0.3, tolerance=0.01, strategy=strategy)
+            engine.execute(
+                CPNNQuery(float(q), threshold=0.3, tolerance=0.01), strategy=strategy
+            )
             for q in bench_queries
         ]
     )

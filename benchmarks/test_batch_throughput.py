@@ -1,20 +1,39 @@
-"""Bench: batch query throughput vs a sequential query() loop.
+"""Bench: batch façade throughput vs sequential / pre-façade loops.
 
 The workload the batch subsystem targets: many query points (moving
-clients, repeated probes) against one object set.  Measures the
-steady-state throughput of ``query_batch`` against the equivalent
-sequential loop, checks the ≥ 2× acceptance bar, and verifies that
-batch and sequential answer sets agree exactly at tolerance 0.
+clients, repeated probes) against one object set, now issued through
+``execute_batch`` for all three spec families:
+
+* **C-PNN** — ``execute_batch`` vs a sequential ``execute`` loop
+  (≥ 2× acceptance bar, answer sets asserted identical);
+* **k-NN** — ``execute_batch`` vs the pre-façade scalar path (a
+  ``CKNNEngine.query`` loop, which builds every object's distance
+  distribution and integrates against all objects).  The routed path's
+  MBR ``f_min^k`` filtering + columnar kernels must win by ≥ 2×
+  (``KNN_BATCH_SPEEDUP_FLOOR`` overrides the floor; answers and
+  records are asserted bit-identical first);
+* **range** — ``execute_batch`` vs the pre-façade
+  ``constrained_range_query`` loop (identity asserted; speedup
+  reported by ``record_bench.py``, no gate — both paths are dominated
+  by per-object record construction).
 """
 
 import os
 import time
+import warnings
 
 import numpy as np
 import pytest
 
-from repro.core.engine import CPNNEngine
+from repro.core.engine import UncertainEngine
+from repro.core.knn import CKNNEngine
+from repro.core.range_query import constrained_range_query
+from repro.core.types import CKNNQuery, CPNNQuery, CRangeQuery
 from repro.datasets.longbeach import long_beach_surrogate
+
+# The pre-façade baselines below are exercised on purpose: they are the
+# reference scalar paths the routed engine must match bit for bit.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 #: Objects in the benchmark engine (acceptance floor: ≥ 500).
 BATCH_OBJECTS = 2_000
@@ -22,15 +41,27 @@ BATCH_OBJECTS = 2_000
 #: Query points per batch (acceptance floor: ≥ 100).
 BATCH_POINTS = 100
 
+#: k-NN spec batch size, and how many of those points the (much
+#: slower) scalar baseline is timed on — the speedup compares
+#: per-query times, so the baseline sample can stay small.
+KNN_POINTS = 40
+KNN_LEGACY_POINTS = 4
+KNN_K = 3
+KNN_THRESHOLD = 0.3
+
+RANGE_POINTS = 40
+RANGE_RADIUS = 40.0
+RANGE_THRESHOLD = 0.5
+
 THRESHOLD = 0.3
 TOLERANCE = 0.0
 
 _STATE: dict = {}
 
 
-def engine_and_points() -> tuple[CPNNEngine, list[float]]:
+def engine_and_points() -> tuple[UncertainEngine, list[float]]:
     if not _STATE:
-        engine = CPNNEngine(long_beach_surrogate(n=BATCH_OBJECTS))
+        engine = UncertainEngine(long_beach_surrogate(n=BATCH_OBJECTS))
         rng = np.random.default_rng(20080407)
         points = [float(q) for q in rng.uniform(0.0, 10_000.0, size=BATCH_POINTS)]
         _STATE["engine"] = engine
@@ -38,38 +69,104 @@ def engine_and_points() -> tuple[CPNNEngine, list[float]]:
     return _STATE["engine"], _STATE["points"]
 
 
-def run_sequential(engine: CPNNEngine, points: list[float]):
+def pnn_specs(points) -> list[CPNNQuery]:
     return [
-        engine.query(q, threshold=THRESHOLD, tolerance=TOLERANCE) for q in points
+        CPNNQuery(q, threshold=THRESHOLD, tolerance=TOLERANCE) for q in points
     ]
+
+
+def knn_specs(points) -> list[CKNNQuery]:
+    return [
+        CKNNQuery(q, threshold=KNN_THRESHOLD, k=KNN_K)
+        for q in points[:KNN_POINTS]
+    ]
+
+
+def range_specs(points) -> list[CRangeQuery]:
+    return [
+        CRangeQuery(q, threshold=RANGE_THRESHOLD, radius=RANGE_RADIUS)
+        for q in points[:RANGE_POINTS]
+    ]
+
+
+def run_sequential(engine: UncertainEngine, points: list[float]):
+    return [engine.execute(spec) for spec in pnn_specs(points)]
+
+
+def run_knn_legacy(engine: UncertainEngine, points: list[float]):
+    """The pre-façade scalar k-NN path (no filtering, no cache)."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = CKNNEngine(engine.objects, k=KNN_K)
+    return [
+        legacy.query(q, threshold=KNN_THRESHOLD)
+        for q in points[:KNN_LEGACY_POINTS]
+    ]
+
+
+def run_range_legacy(engine: UncertainEngine, points: list[float]):
+    """The pre-façade scalar range path."""
+    return [
+        constrained_range_query(
+            engine.objects, q, RANGE_RADIUS, RANGE_THRESHOLD
+        )
+        for q in points[:RANGE_POINTS]
+    ]
+
+
+def _records_equal(a, b) -> bool:
+    return len(a) == len(b) and all(
+        (x.key, x.label, x.lower, x.upper, x.exact)
+        == (y.key, y.label, y.lower, y.upper, y.exact)
+        for x, y in zip(a, b)
+    )
+
+
+def _best_of(runs: int, fn) -> float:
+    best = float("inf")
+    for _ in range(runs):
+        tick = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - tick)
+    return best
 
 
 def test_sequential_loop(benchmark):
     engine, points = engine_and_points()
     benchmark.group = "batch throughput"
-    benchmark.name = f"sequential query() x {BATCH_POINTS}"
+    benchmark.name = f"sequential execute() x {BATCH_POINTS}"
     benchmark(run_sequential, engine, points)
 
 
-def test_query_batch(benchmark):
+def test_execute_batch(benchmark):
     engine, points = engine_and_points()
     benchmark.group = "batch throughput"
-    benchmark.name = f"query_batch({BATCH_POINTS} points)"
-    benchmark(
-        engine.query_batch, points, threshold=THRESHOLD, tolerance=TOLERANCE
-    )
+    benchmark.name = f"execute_batch({BATCH_POINTS} C-PNN specs)"
+    benchmark(engine.execute_batch, pnn_specs(points))
 
 
-def test_query_batch_repeated_probes(benchmark):
+def test_execute_batch_repeated_probes(benchmark):
     """Moving-client trace: every point probed is one of 20 hot spots."""
     engine, points = engine_and_points()
     rng = np.random.default_rng(7)
     trace = [points[i] for i in rng.integers(0, 20, size=BATCH_POINTS)]
     benchmark.group = "batch throughput"
-    benchmark.name = f"query_batch, {BATCH_POINTS} probes of 20 hot spots"
-    benchmark(
-        engine.query_batch, trace, threshold=THRESHOLD, tolerance=TOLERANCE
-    )
+    benchmark.name = f"execute_batch, {BATCH_POINTS} probes of 20 hot spots"
+    benchmark(engine.execute_batch, pnn_specs(trace))
+
+
+def test_execute_batch_knn(benchmark):
+    engine, points = engine_and_points()
+    benchmark.group = "batch throughput"
+    benchmark.name = f"execute_batch({KNN_POINTS} k-NN specs, k={KNN_K})"
+    benchmark(engine.execute_batch, knn_specs(points))
+
+
+def test_execute_batch_range(benchmark):
+    engine, points = engine_and_points()
+    benchmark.group = "batch throughput"
+    benchmark.name = f"execute_batch({RANGE_POINTS} range specs)"
+    benchmark(engine.execute_batch, range_specs(points))
 
 
 def test_batch_speedup_and_equivalence():
@@ -77,15 +174,15 @@ def test_batch_speedup_and_equivalence():
 
     Measured at steady state (warm caches, best-of-3): the LRU
     distribution/table caches are part of the batch subsystem's design
-    for repeated-probe workloads, while ``query()`` deliberately has no
-    caches.  The steady-state margin is ~3.5×, leaving headroom for
-    noisy CI runners; a cold first batch is still faster than the
-    loop, just by less (~1.5–2×).
+    for repeated-probe workloads, while the single-spec ``execute``
+    path deliberately has no caches.  The steady-state margin is
+    ~3.5×, leaving headroom for noisy CI runners; a cold first batch
+    is still faster than the loop, just by less (~1.5–2×).
     """
     engine, points = engine_and_points()
 
     sequential = run_sequential(engine, points)
-    batch = engine.query_batch(points, threshold=THRESHOLD, tolerance=TOLERANCE)
+    batch = engine.execute_batch(pnn_specs(points))
     for reference, result in zip(sequential, batch):
         assert set(result.answers) == set(reference.answers)
 
@@ -95,34 +192,69 @@ def test_batch_speedup_and_equivalence():
             "runners; answer equality above still ran"
         )
 
-    def best_of(runs: int, fn) -> float:
-        best = float("inf")
-        for _ in range(runs):
-            tick = time.perf_counter()
-            fn()
-            best = min(best, time.perf_counter() - tick)
-        return best
-
-    seq_time = best_of(3, lambda: run_sequential(engine, points))
-    batch_time = best_of(
-        3,
-        lambda: engine.query_batch(
-            points, threshold=THRESHOLD, tolerance=TOLERANCE
-        ),
-    )
+    seq_time = _best_of(3, lambda: run_sequential(engine, points))
+    batch_time = _best_of(3, lambda: engine.execute_batch(pnn_specs(points)))
     speedup = seq_time / batch_time
     assert speedup >= 2.0, (
-        f"query_batch must be ≥2x a sequential loop, got {speedup:.2f}x "
+        f"execute_batch must be ≥2x a sequential loop, got {speedup:.2f}x "
         f"(sequential {seq_time * 1e3:.1f} ms, batch {batch_time * 1e3:.1f} ms)"
     )
 
 
+def test_knn_batch_speedup_and_equivalence():
+    """Acceptance: k-NN ``execute_batch`` ≥ 2× the pre-façade scalar loop.
+
+    The scalar :class:`CKNNEngine` path builds every object's distance
+    distribution per query and integrates undecided candidates against
+    all objects; the routed path prunes with the MBR ``f_min^k`` rule
+    first and serves bounds from columnar kernels, so the real margin
+    is orders of magnitude (the baseline is therefore timed on a small
+    point sample and compared per query).  Records are asserted
+    **bit-identical** before any timing.  ``KNN_BATCH_SPEEDUP_FLOOR``
+    overrides the 2× floor (CI uses a generous value; shared runners
+    make wall-clock ratios noisy).
+    """
+    engine, points = engine_and_points()
+    specs = knn_specs(points)
+
+    legacy = run_knn_legacy(engine, points)
+    batch = engine.execute_batch(specs)
+    for (legacy_answers, legacy_records), result in zip(legacy, batch):
+        assert result.answers == legacy_answers
+        assert _records_equal(result.records, legacy_records)
+
+    floor = float(os.environ.get("KNN_BATCH_SPEEDUP_FLOOR", "2.0"))
+    legacy_per_query = _best_of(
+        1, lambda: run_knn_legacy(engine, points)
+    ) / KNN_LEGACY_POINTS
+    batch_per_query = _best_of(
+        3, lambda: engine.execute_batch(specs)
+    ) / len(specs)
+    speedup = legacy_per_query / batch_per_query
+    assert speedup >= floor, (
+        f"k-NN execute_batch must be ≥{floor:.1f}x the scalar loop per "
+        f"query, got {speedup:.2f}x (scalar {legacy_per_query * 1e3:.1f} "
+        f"ms/q, batch {batch_per_query * 1e3:.1f} ms/q)"
+    )
+
+
+def test_range_batch_equivalence():
+    """Range ``execute_batch`` is bit-identical to the scalar loop."""
+    engine, points = engine_and_points()
+    batch = engine.execute_batch(range_specs(points))
+    for (legacy_answers, legacy_records), result in zip(
+        run_range_legacy(engine, points), batch
+    ):
+        assert result.answers == legacy_answers
+        assert _records_equal(result.records, legacy_records)
+
+
 def test_batch_answers_stable_across_cache_states():
     """Cold and warm batches return identical answers."""
-    engine = CPNNEngine(long_beach_surrogate(n=600))
+    engine = UncertainEngine(long_beach_surrogate(n=600))
     rng = np.random.default_rng(11)
     points = [float(q) for q in rng.uniform(0.0, 10_000.0, size=50)]
-    cold = engine.query_batch(points, threshold=THRESHOLD, tolerance=TOLERANCE)
-    warm = engine.query_batch(points, threshold=THRESHOLD, tolerance=TOLERANCE)
+    cold = engine.execute_batch(pnn_specs(points))
+    warm = engine.execute_batch(pnn_specs(points))
     assert cold.answers == warm.answers
     assert warm.table_hits == len(points)

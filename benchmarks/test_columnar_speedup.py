@@ -37,7 +37,7 @@ import time
 
 import numpy as np
 
-from repro.core.engine import CPNNEngine
+from repro.core.engine import UncertainEngine
 from repro.core.refinement import Refiner
 from repro.core.state import CandidateStates
 from repro.core.subregions import _EDGE_RTOL, SubregionTable
@@ -81,7 +81,7 @@ def workload():
     measures.
     """
     if not _STATE:
-        engine = CPNNEngine(
+        engine = UncertainEngine(
             long_beach_surrogate(n=BENCH_OBJECTS, mean_length=MEAN_LENGTH)
         )
         rng = np.random.default_rng(20080407)

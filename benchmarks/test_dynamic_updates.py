@@ -7,16 +7,17 @@ cost against the bulk-loaded R-tree without rebuilds."""
 import numpy as np
 import pytest
 
-from repro.core.engine import CPNNEngine
+from repro.core.engine import UncertainEngine
+from repro.core.types import CPNNQuery
 from repro.datasets.longbeach import long_beach_surrogate
 from repro.uncertainty.objects import UncertainObject
 
-_ENGINE: list[CPNNEngine] = []
+_ENGINE: list[UncertainEngine] = []
 
 
-def engine() -> CPNNEngine:
+def engine() -> UncertainEngine:
     if not _ENGINE:
-        _ENGINE.append(CPNNEngine(long_beach_surrogate(n=10_000)))
+        _ENGINE.append(UncertainEngine(long_beach_surrogate(n=10_000)))
     return _ENGINE[0]
 
 
@@ -49,6 +50,8 @@ def test_query_after_churn(benchmark):
         eng.insert(UncertainObject.uniform(("steady", i), center - 5, center + 5))
     benchmark.group = "dynamic updates"
     benchmark.name = "query after churn"
-    benchmark(lambda: eng.query(5_000.0, threshold=0.3, tolerance=0.01))
+    benchmark(
+        lambda: eng.execute(CPNNQuery(5_000.0, threshold=0.3, tolerance=0.01))
+    )
     for i in range(200):
         eng.remove(("steady", i))

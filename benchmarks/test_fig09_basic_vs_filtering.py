@@ -2,22 +2,22 @@
 table size grows.  The paper's observation: Basic's share of the total
 time dominates beyond |T| ≈ 5000."""
 
+import numpy as np
 import pytest
 
-from repro.core.engine import CPNNEngine
+from repro.core.engine import UncertainEngine
+from repro.core.types import CPNNQuery
 from repro.datasets.longbeach import long_beach_surrogate
 from repro.datasets.queries import random_query_points
 
-import numpy as np
-
 SIZES = [2_000, 8_000, 24_000]
 
-_ENGINES: dict[int, CPNNEngine] = {}
+_ENGINES: dict[int, UncertainEngine] = {}
 
 
-def engine_for(n: int) -> CPNNEngine:
+def engine_for(n: int) -> UncertainEngine:
     if n not in _ENGINES:
-        _ENGINES[n] = CPNNEngine(long_beach_surrogate(n=n))
+        _ENGINES[n] = UncertainEngine(long_beach_surrogate(n=n))
     return _ENGINES[n]
 
 
@@ -41,7 +41,9 @@ def test_basic_evaluation(benchmark, size):
     benchmark.group = f"fig9 |T|={size}"
     benchmark(
         lambda: [
-            engine.query(q, threshold=0.3, tolerance=0.0, strategy="basic")
+            engine.execute(
+                CPNNQuery(float(q), threshold=0.3, tolerance=0.0), strategy="basic"
+            )
             for q in pts
         ]
     )

@@ -7,6 +7,8 @@ without integration."""
 
 import pytest
 
+from repro.core.types import CPNNQuery
+
 THRESHOLDS = [0.1, 0.3, 0.7]
 STRATEGIES = ["basic", "refine", "vr"]
 
@@ -18,8 +20,9 @@ def test_query_time(benchmark, uniform_engine, bench_queries, strategy, threshol
     benchmark.name = strategy
     benchmark(
         lambda: [
-            uniform_engine.query(
-                q, threshold=threshold, tolerance=0.01, strategy=strategy
+            uniform_engine.execute(
+                CPNNQuery(float(q), threshold=threshold, tolerance=0.01),
+                strategy=strategy,
             )
             for q in bench_queries
         ]

@@ -57,7 +57,10 @@ def test_full_vr_including_refinement(
     benchmark.group = "fig11 phases"
     benchmark(
         lambda: [
-            uniform_engine.query(q, threshold=threshold, tolerance=0.01, strategy="vr")
+            uniform_engine.execute(
+                CPNNQuery(float(q), threshold=threshold, tolerance=0.01),
+                strategy="vr",
+            )
             for q in bench_queries
         ]
     )

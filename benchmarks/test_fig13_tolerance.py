@@ -6,6 +6,8 @@ time should (weakly) decrease with Δ."""
 
 import pytest
 
+from repro.core.types import CPNNQuery
+
 TOLERANCES = [0.0, 0.08, 0.16]
 
 
@@ -14,8 +16,9 @@ def test_vr_time_vs_tolerance(benchmark, uniform_engine, bench_queries, toleranc
     benchmark.group = "fig13 tolerance"
     benchmark(
         lambda: [
-            uniform_engine.query(
-                q, threshold=0.3, tolerance=tolerance, strategy="vr"
+            uniform_engine.execute(
+                CPNNQuery(float(q), threshold=0.3, tolerance=tolerance),
+                strategy="vr",
             )
             for q in bench_queries
         ]
@@ -30,8 +33,9 @@ def test_refinement_work_shrinks_with_tolerance(
 
     def run():
         return sum(
-            uniform_engine.query(
-                q, threshold=0.3, tolerance=tolerance, strategy="vr"
+            uniform_engine.execute(
+                CPNNQuery(float(q), threshold=0.3, tolerance=tolerance),
+                strategy="vr",
             ).refined_objects
             for q in bench_queries
         )

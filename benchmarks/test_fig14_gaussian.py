@@ -8,6 +8,8 @@ P = 1 everything is cheap."""
 
 import pytest
 
+from repro.core.types import CPNNQuery
+
 THRESHOLDS = [0.3, 0.7, 1.0]
 STRATEGIES = ["basic", "refine", "vr"]
 
@@ -21,8 +23,9 @@ def test_gaussian_query_time(
     benchmark.name = strategy
     benchmark(
         lambda: [
-            gaussian_engine.query(
-                q, threshold=threshold, tolerance=0.01, strategy=strategy
+            gaussian_engine.execute(
+                CPNNQuery(float(q), threshold=threshold, tolerance=0.01),
+                strategy=strategy,
             )
             for q in bench_queries
         ]

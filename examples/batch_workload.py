@@ -5,7 +5,7 @@ A fleet of clients moves along a corridor, each issuing a C-PNN probe
 at every step ("which sensors could be nearest to me, with ≥ 30%
 probability?").  The same points get probed again and again as clients
 revisit locations, which is exactly the workload
-``CPNNEngine.query_batch`` amortises:
+``UncertainEngine.execute_batch`` amortises:
 
 * filtering runs once per batch as a vectorised MBR sweep,
 * distance distributions and whole subregion tables are LRU-cached
@@ -20,7 +20,7 @@ import time
 
 import numpy as np
 
-from repro import CPNNEngine, UncertainObject
+from repro import CPNNQuery, UncertainEngine, UncertainObject
 
 N_SENSORS = 1_500
 N_CLIENTS = 40
@@ -55,21 +55,21 @@ def client_trace(rng: np.random.Generator) -> list[list[float]]:
 
 def main() -> None:
     rng = np.random.default_rng(42)
-    engine = CPNNEngine(build_sensors(rng))
+    engine = UncertainEngine(build_sensors(rng))
     steps = client_trace(rng)
 
     print(f"{N_SENSORS} uncertain sensors, {N_CLIENTS} clients, {N_STEPS} steps")
     print()
     total_batch = total_seq = 0.0
     for step, points in enumerate(steps):
+        specs = [CPNNQuery(q, threshold=THRESHOLD, tolerance=0.0) for q in points]
+
         tick = time.perf_counter()
-        batch = engine.query_batch(points, threshold=THRESHOLD, tolerance=0.0)
+        batch = engine.execute_batch(specs)
         batch_time = time.perf_counter() - tick
 
         tick = time.perf_counter()
-        sequential = [
-            engine.query(q, threshold=THRESHOLD, tolerance=0.0) for q in points
-        ]
+        sequential = [engine.execute(spec) for spec in specs]
         seq_time = time.perf_counter() - tick
 
         assert all(

@@ -7,10 +7,10 @@ measurement.  Identification then asks: given a probe measurement,
 which enrolled identities are probably the nearest match?
 
 This example enrolls identities with truncated-Gaussian uncertainty on
-a 1-D feature, then runs:
+a 1-D feature, then runs — all through the one ``execute`` façade:
 
-* a C-PNN ("who is the single best match with ≥50% confidence?"),
-* the k-NN extension ("which identities are in the top 3?"), and
+* a C-PNN spec ("who is the single best match with ≥50% confidence?"),
+* a k-NN spec ("which identities are in the top 3?"), and
 * a comparison of all three evaluation strategies, echoing the paper's
   Figure 14 observation that verifiers help *most* on Gaussian pdfs.
 
@@ -21,7 +21,7 @@ import time
 
 import numpy as np
 
-from repro import CKNNEngine, CPNNEngine, Strategy, UncertainObject
+from repro import CKNNQuery, CPNNQuery, Strategy, UncertainEngine, UncertainObject
 
 
 def enroll_population(rng: np.random.Generator, n: int = 40):
@@ -42,11 +42,11 @@ def enroll_population(rng: np.random.Generator, n: int = 40):
 def main() -> None:
     rng = np.random.default_rng(42)
     identities = enroll_population(rng)
-    engine = CPNNEngine(identities)
+    engine = UncertainEngine(identities)
     probe = 47.3
 
     print(f"=== Probe measurement: {probe} ===")
-    result = engine.query(probe, threshold=0.5, tolerance=0.01)
+    result = engine.execute(CPNNQuery(probe, threshold=0.5, tolerance=0.01))
     if result.answers:
         print(f"  confident identification: {result.answers}")
     else:
@@ -57,17 +57,22 @@ def main() -> None:
 
     print()
     print("=== Top-3 candidate identities (probabilistic 3-NN) ===")
-    answers, records = CKNNEngine(identities, k=3).query(probe, threshold=0.5)
-    scored = [r for r in records if r.exact is not None]
+    knn = engine.execute(CKNNQuery(probe, threshold=0.5, k=3))
+    scored = [r for r in knn.records if r.exact is not None]
     for record in sorted(scored, key=lambda r: -r.exact)[:5]:
-        marker = "*" if record.key in answers else " "
+        marker = "*" if record.key in knn.answers else " "
         print(f" {marker} {record.key}: P[in top-3] = {record.exact:6.1%}")
+    print(
+        f"  ({len(engine)} identities, {len(engine) - knn.refined_objects} "
+        "settled without exact integration)"
+    )
 
     print()
     print("=== Strategy comparison on the Gaussian workload ===")
+    spec = CPNNQuery(probe, threshold=0.5, tolerance=0.01)
     for strategy in Strategy.ALL:
         tick = time.perf_counter()
-        res = engine.query(probe, threshold=0.5, tolerance=0.01, strategy=strategy)
+        res = engine.execute(spec, strategy=strategy)
         elapsed = 1e3 * (time.perf_counter() - tick)
         print(
             f"  {strategy:6s}: {elapsed:7.2f} ms, answers={list(res.answers)}, "

@@ -8,15 +8,26 @@ Section I motivates two sources of 2-D location uncertainty:
 * *location privacy* (the Casper system, reference [7]): users
   deliberately blur their position into a region before sending it.
 
-Here a dispatcher asks: "which courier is nearest to this pickup
-point, with at least 40% confidence?"  Couriers are disks (dead
-reckoning), privacy-conscious users are rectangles (cloaked regions),
-and one is a segment (constrained to a road).
+Here a dispatcher asks three questions about the same fleet, all
+through the one ``execute`` façade: "which courier is nearest to this
+pickup point, with at least 40% confidence?" (C-PNN), "who are the
+best two candidates?" (k-NN), and "who is certainly close by?"
+(range).  Couriers are disks (dead reckoning), privacy-conscious
+users are rectangles (cloaked regions), and one is a segment
+(constrained to a road).
 
 Run:  python examples/location_privacy.py
 """
 
-from repro import CPNNEngine, UncertainDisk, UncertainRectangle, UncertainSegment
+from repro import (
+    CKNNQuery,
+    CPNNQuery,
+    CRangeQuery,
+    UncertainDisk,
+    UncertainEngine,
+    UncertainRectangle,
+    UncertainSegment,
+)
 
 
 def main() -> None:
@@ -31,7 +42,7 @@ def main() -> None:
         UncertainSegment("cargo-1", a=(0.0, 6.0), b=(4.0, 6.5)),
     ]
     pickup = (4.0, 3.5)
-    engine = CPNNEngine(couriers)
+    engine = UncertainEngine(couriers)
 
     print(f"=== Exact PNN probabilities for pickup at {pickup} ===")
     probabilities = engine.pnn(pickup)
@@ -40,7 +51,7 @@ def main() -> None:
 
     print()
     print("=== C-PNN: who is nearest with ≥40% confidence (Δ = 0.05)? ===")
-    result = engine.query(pickup, threshold=0.4, tolerance=0.05)
+    result = engine.execute(CPNNQuery(pickup, threshold=0.4, tolerance=0.05))
     if result.answers:
         for key in result.answers:
             record = result.record_for(key)
@@ -58,17 +69,34 @@ def main() -> None:
     print(f"  refined objects            : {result.refined_objects}")
 
     print()
-    print("=== Same pipeline, k-NN extension: best 2 couriers ===")
-    from repro import CKNNEngine
-
-    answers, records = CKNNEngine(couriers, k=2).query(pickup, threshold=0.5)
-    for record in sorted(records, key=lambda r: -(r.exact if r.exact is not None else r.upper)):
-        marker = "*" if record.key in answers else " "
+    print("=== Same engine, k-NN spec: best 2 couriers ===")
+    knn = engine.execute(CKNNQuery(pickup, threshold=0.5, k=2))
+    ordered = sorted(
+        knn.records, key=lambda r: -(r.exact if r.exact is not None else r.upper)
+    )
+    for record in ordered:
+        marker = "*" if record.key in knn.answers else " "
         if record.exact is not None:
             shown = f"{record.exact:.1%}"
         else:
             shown = f"in [{record.lower:.1%}, {record.upper:.1%}] (verifier only)"
         print(f" {marker} {record.key:8s}: P[in top-2] = {shown}")
+
+    print()
+    print("=== Same engine, range spec: within 3 km of the pickup (P ≥ 0.9) ===")
+    nearby = engine.execute(CRangeQuery(pickup, threshold=0.9, radius=3.0))
+    for key in nearby.answers:
+        record = nearby.record_for(key)
+        certainty = "certain" if record.exact is None else f"{record.lower:.1%}"
+        print(f"  {key:8s}: {certainty}")
+    print(
+        f"  ({nearby.refined_objects} couriers needed a cdf evaluation; "
+        "bounding boxes decided the rest)"
+    )
+
+    print()
+    print("=== What would run, before running it ===")
+    print(engine.explain(CKNNQuery(pickup, threshold=0.5, k=2)).describe())
 
 
 if __name__ == "__main__":

@@ -15,7 +15,7 @@ Run:  python examples/moving_objects.py
 
 import numpy as np
 
-from repro import CPNNEngine, UncertainObject
+from repro import CPNNQuery, UncertainEngine, UncertainObject
 
 
 class Vehicle:
@@ -48,7 +48,7 @@ def main() -> None:
         Vehicle(f"car-{i:02d}", float(rng.uniform(0, 200)), report_threshold=4.0)
         for i in range(30)
     ]
-    engine = CPNNEngine([v.database_object() for v in vehicles])
+    engine = UncertainEngine([v.database_object() for v in vehicles])
     incident = 100.0
 
     print(f"=== Monitoring incident at x = {incident} over 5 ticks ===")
@@ -62,7 +62,7 @@ def main() -> None:
                 vehicle.last_report = vehicle.position
                 engine.insert(vehicle.database_object())
                 reports += 1
-        result = engine.query(incident, threshold=0.4, tolerance=0.05)
+        result = engine.execute(CPNNQuery(incident, threshold=0.4, tolerance=0.05))
         nearest = ", ".join(str(k) for k in result.answers) or "(nobody ≥ 40%)"
         top = max(engine.pnn(incident).items(), key=lambda kv: kv[1])
         print(
@@ -74,7 +74,7 @@ def main() -> None:
     print("=== Why updates are cheap ===")
     print("  the R-tree absorbs insert/remove without rebuilding;")
     print(f"  engine still holds {len(engine)} objects and answers in")
-    timings = engine.query(incident, threshold=0.4, tolerance=0.05).timings
+    timings = engine.execute(CPNNQuery(incident, threshold=0.4, tolerance=0.05)).timings
     print(f"  {1e3 * timings.total:.2f} ms end-to-end.")
 
 

@@ -11,7 +11,7 @@ threshold.
 Run:  python examples/quickstart.py
 """
 
-from repro import CPNNEngine, CPNNQuery, UncertainObject
+from repro import CPNNQuery, UncertainEngine, UncertainObject
 
 
 def main() -> None:
@@ -25,7 +25,7 @@ def main() -> None:
         UncertainObject.gaussian("D", 0.2, 3.8),
     ]
     q = 2.0
-    engine = CPNNEngine(objects)
+    engine = UncertainEngine(objects)
 
     print("=== PNN: exact qualification probabilities ===")
     for key, p in sorted(engine.pnn(q).items()):
@@ -33,7 +33,7 @@ def main() -> None:
 
     print()
     print("=== C-PNN: threshold P = 0.3, tolerance Δ = 0.02 ===")
-    result = engine.query(CPNNQuery(q, threshold=0.3, tolerance=0.02))
+    result = engine.execute(CPNNQuery(q, threshold=0.3, tolerance=0.02))
     print(f"  answers: {sorted(result.answers)}")
     for record in sorted(result.records, key=lambda r: str(r.key)):
         print(

@@ -18,7 +18,7 @@ Run:  python examples/sensor_monitoring.py
 
 import numpy as np
 
-from repro import CPNNEngine, Histogram, UncertainObject
+from repro import CPNNQuery, CRangeQuery, Histogram, UncertainEngine, UncertainObject
 
 
 def build_sensor_field(rng: np.random.Generator, n_sensors: int = 24):
@@ -38,16 +38,25 @@ def build_sensor_field(rng: np.random.Generator, n_sensors: int = 24):
 def main() -> None:
     rng = np.random.default_rng(7)
     sensors = build_sensor_field(rng)
-    engine = CPNNEngine(sensors)
+    engine = UncertainEngine(sensors)
 
     centroid = 15.0
     print(f"=== Which sensor is closest to the {centroid}°C centroid? ===")
-    result = engine.query(centroid, threshold=0.25, tolerance=0.01)
+    result = engine.execute(CPNNQuery(centroid, threshold=0.25, tolerance=0.01))
     print(f"  confident answers (P ≥ 0.25): {sorted(result.answers)}")
     probabilities = engine.pnn(centroid)
     top = sorted(probabilities.items(), key=lambda kv: -kv[1])[:5]
     for key, p in top:
         print(f"  {key}: {p:6.1%}")
+
+    print()
+    print("=== Which sensors read within 2°C of the centroid (P ≥ 0.8)? ===")
+    in_band = engine.execute(CRangeQuery(centroid, threshold=0.8, radius=2.0))
+    print(f"  {len(in_band.answers)} sensors: {sorted(in_band.answers)}")
+    print(
+        f"  ({in_band.refined_objects} needed a cdf evaluation; the rest "
+        "were decided by their bounding boxes alone)"
+    )
 
     print()
     print("=== Minimum-temperature query (PNN with q → −∞) ===")

@@ -1,20 +1,28 @@
-"""The paper's contribution: C-PNN evaluation with probabilistic verifiers.
+"""The paper's contribution: probabilistic-neighborhood queries with verifiers.
 
 Public entry points:
 
-* :class:`~repro.core.engine.CPNNEngine` — full pipeline with the
-  Basic / Refine / VR strategies of Section V;
-* :class:`~repro.core.types.CPNNQuery` — query point + threshold +
-  tolerance (Definition 1);
+* :class:`~repro.core.engine.UncertainEngine` — the unified engine:
+  ``execute``/``execute_batch`` over typed query specs, plus
+  ``explain`` (:class:`~repro.core.engine.CPNNEngine` remains as the
+  legacy alias);
+* :class:`~repro.core.types.QuerySpec` and its concrete specs
+  :class:`~repro.core.types.CPNNQuery` (Definition 1),
+  :class:`~repro.core.types.CKNNQuery`,
+  :class:`~repro.core.types.CRangeQuery`;
+* :class:`~repro.core.types.QueryResult` /
+  :class:`~repro.core.batch.BatchResult` — the uniform result shapes;
 * :class:`~repro.core.subregions.SubregionTable` and the verifiers in
   :mod:`repro.core.verifiers` for direct use;
-* :mod:`repro.core.knn` — the probabilistic k-NN extension.
+* :mod:`repro.core.knn` / :mod:`repro.core.range_query` — the scalar
+  reference implementations of the k-NN and range extensions (their
+  engine-routed equivalents are bit-identical).
 """
 
 from repro.core.batch import BatchResult, DistributionCache
 from repro.core.bounds import ProbabilityBound
 from repro.core.classifier import classify
-from repro.core.engine import CPNNEngine, EngineConfig, Strategy
+from repro.core.engine import CPNNEngine, EngineConfig, Strategy, UncertainEngine
 from repro.core.knn import (
     CKNNEngine,
     knn_probability_bounds,
@@ -25,7 +33,18 @@ from repro.core.refinement import Refiner
 from repro.core.state import CandidateStates
 from repro.core.storage import SubregionStore, subregion_bounds_from_store
 from repro.core.subregions import SubregionTable
-from repro.core.types import AnswerRecord, CPNNQuery, CPNNResult, Label, PhaseTimings
+from repro.core.types import (
+    AnswerRecord,
+    CKNNQuery,
+    CPNNQuery,
+    CPNNResult,
+    CRangeQuery,
+    Label,
+    PhaseTimings,
+    QueryPlan,
+    QueryResult,
+    QuerySpec,
+)
 from repro.core.verifiers import (
     LowerSubregionVerifier,
     RightmostSubregionVerifier,
@@ -38,9 +57,11 @@ __all__ = [
     "AnswerRecord",
     "BatchResult",
     "CKNNEngine",
+    "CKNNQuery",
     "CPNNEngine",
     "CPNNQuery",
     "CPNNResult",
+    "CRangeQuery",
     "CandidateStates",
     "DistributionCache",
     "EngineConfig",
@@ -48,11 +69,15 @@ __all__ = [
     "LowerSubregionVerifier",
     "PhaseTimings",
     "ProbabilityBound",
+    "QueryPlan",
+    "QueryResult",
+    "QuerySpec",
     "Refiner",
     "RightmostSubregionVerifier",
     "Strategy",
     "SubregionStore",
     "SubregionTable",
+    "UncertainEngine",
     "UpperSubregionVerifier",
     "VerifierChain",
     "classify",

@@ -1,11 +1,12 @@
-"""Batch C-PNN evaluation: one amortised pass over many query points.
+"""Batch evaluation substrate: one amortised pass over many specs.
 
 The workloads that motivate probabilistic NN queries — moving clients
 re-probing as they travel, periodic sensor sweeps, privacy-preserving
 location services — issue *many* query points against *one* slowly
-changing object set.  :meth:`repro.core.engine.CPNNEngine.query_batch`
-serves that shape directly instead of looping over
-:meth:`~repro.core.engine.CPNNEngine.query`:
+changing object set.
+:meth:`repro.core.engine.UncertainEngine.execute_batch` serves that
+shape directly instead of looping over
+:meth:`~repro.core.engine.UncertainEngine.execute`.  For C-PNN specs:
 
 * **filtering** runs as a single vectorised MBR sweep for the whole
   batch (:class:`repro.index.filtering.BatchMbrFilter`) instead of one
@@ -22,6 +23,9 @@ serves that shape directly instead of looping over
   its own subregion grid, so the sweeps stay per-query), operating on
   slice-backed views of the flat state.
 
+k-NN and range specs share the same MBR sweep and distribution cache
+(see :meth:`~repro.core.engine.UncertainEngine.execute_batch`).
+
 Per-candidate arithmetic is identical to the sequential path, so batch
 and sequential answers agree exactly; the speed-up comes purely from
 amortising per-query orchestration overhead.
@@ -33,7 +37,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Hashable, Iterator, Sequence
 
-from repro.core.types import CPNNResult, PhaseTimings
+from repro.core.types import PhaseTimings, QueryResult
 from repro.uncertainty.distance import DistanceDistribution
 
 __all__ = ["BatchResult", "DistributionCache", "LruCache", "point_key"]
@@ -155,18 +159,21 @@ class DistributionCache:
 
 @dataclass
 class BatchResult:
-    """Outcome of one :meth:`CPNNEngine.query_batch` call.
+    """Outcome of one :meth:`UncertainEngine.execute_batch` (or legacy
+    ``query_batch``) call.
 
     Attributes
     ----------
     results:
-        One :class:`~repro.core.types.CPNNResult` per query point, in
-        input order.  Per-result timings for the *shared* phases
-        (filtering, initialisation, and VR's flat verification sweep)
-        are zero — they cannot be attributed to single queries; see
-        :attr:`timings` for the batch totals.  The basic/refine
+        One :class:`~repro.core.types.QueryResult` per spec, in input
+        order.  For C-PNN specs, per-result timings for the *shared*
+        phases (filtering, initialisation, and VR's flat verification
+        sweep) are zero — they cannot be attributed to single queries;
+        see :attr:`timings` for the batch totals.  (The basic/refine
         strategies run refinement per query, so those results carry
-        their own ``timings.refinement``.
+        their own ``timings.refinement``; k-NN/range results carry
+        their full per-spec phase timings except the shared filtering
+        sweep.)
     timings:
         Wall-clock totals of the four batch phases (filtering once for
         the whole batch, shared initialisation, the flat verification
@@ -179,7 +186,7 @@ class BatchResult:
         entirely for that point.
     """
 
-    results: list[CPNNResult] = field(default_factory=list)
+    results: list[QueryResult] = field(default_factory=list)
     timings: PhaseTimings = field(default_factory=PhaseTimings)
     cache_hits: int = 0
     cache_misses: int = 0
@@ -189,10 +196,10 @@ class BatchResult:
     def __len__(self) -> int:
         return len(self.results)
 
-    def __iter__(self) -> Iterator[CPNNResult]:
+    def __iter__(self) -> Iterator[QueryResult]:
         return iter(self.results)
 
-    def __getitem__(self, index: int) -> CPNNResult:
+    def __getitem__(self, index: int) -> QueryResult:
         return self.results[index]
 
     @property

@@ -1,6 +1,22 @@
-"""The C-PNN query engine: filtering → verification → refinement.
+"""The unified query engine: one façade over C-PNN, k-NN, and range.
 
-Implements the three evaluation strategies compared in Section V:
+The paper's framework (Section III) is one pipeline — filtering →
+verification → refinement — and :class:`UncertainEngine` serves all
+three query families through it behind a single typed surface:
+
+* :meth:`UncertainEngine.execute` takes a
+  :class:`~repro.core.types.QuerySpec` (:class:`CPNNQuery`,
+  :class:`CKNNQuery`, or :class:`CRangeQuery`), dispatches on its type,
+  and always returns the same :class:`~repro.core.types.QueryResult`
+  shape;
+* :meth:`UncertainEngine.execute_batch` does the same for a whole
+  (possibly mixed) batch of specs, amortising filtering, distribution
+  construction, and verification batch-wide;
+* :meth:`UncertainEngine.explain` returns the evaluation plan for a
+  spec without computing any probability.
+
+For C-PNN specs the engine implements the three evaluation strategies
+compared in Section V:
 
 * **Basic** — exact qualification probabilities for every candidate
   (numerical integration per [5]); answers are ``{i : p_i ≥ P}``.
@@ -10,6 +26,14 @@ Implements the three evaluation strategies compared in Section V:
   U-SR) settles most candidates algebraically; survivors fall through
   to incremental refinement seeded with the verifier's per-subregion
   bounds.
+
+k-NN and range specs route through the same substrate — MBR filtering
+(:mod:`repro.index.filtering`), the LRU distribution cache
+(:mod:`repro.core.batch`), and the columnar kernels
+(:mod:`repro.uncertainty.columnar`) — with answers bit-identical to
+their reference scalar paths (:class:`~repro.core.knn.CKNNEngine`,
+:func:`~repro.core.range_query.constrained_range_query`); see
+DESIGN.md §3.
 
 All strategies share the same filtering phase and produce identical
 answer sets when the tolerance is 0 (a property-based test); with a
@@ -22,11 +46,16 @@ refinement) are disjoint; the paper's three-phase accounting charges
 initialisation (distance pdfs/cdfs + the subregion table) to
 verification, which the Figure 11 driver reconstructs by summing the
 two fields.
+
+The pre-façade entry points — :meth:`UncertainEngine.query`,
+:meth:`UncertainEngine.query_batch`, and the :class:`CPNNEngine` name —
+remain as thin deprecation shims (DESIGN.md §7).
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Sequence
 
@@ -40,10 +69,22 @@ from repro.core.batch import (
     point_key,
 )
 from repro.core.bounds import DEFAULT_BOUND_PAD
+from repro.core.knn import knn_routed_eval
+from repro.core.range_query import range_routed_eval
 from repro.core.refinement import Refiner
 from repro.core.state import CandidateStates
 from repro.core.subregions import SubregionTable
-from repro.core.types import AnswerRecord, CPNNQuery, CPNNResult, Label, PhaseTimings
+from repro.core.types import (
+    AnswerRecord,
+    CKNNQuery,
+    CPNNQuery,
+    CRangeQuery,
+    Label,
+    PhaseTimings,
+    QueryPlan,
+    QueryResult,
+    QuerySpec,
+)
 from repro.core.verifiers.chain import VerifierChain, default_chain
 from repro.index.filtering import (
     BatchMbrFilter,
@@ -53,7 +94,7 @@ from repro.index.filtering import (
 )
 from repro.index.str_pack import str_bulk_load
 
-__all__ = ["CPNNEngine", "EngineConfig", "Strategy"]
+__all__ = ["CPNNEngine", "EngineConfig", "Strategy", "UncertainEngine"]
 
 _UNKNOWN, _SATISFY, _FAIL = 0, 1, 2
 
@@ -72,7 +113,7 @@ class Strategy:
 
 @dataclass
 class EngineConfig:
-    """Tuning knobs for :class:`CPNNEngine`.
+    """Tuning knobs for :class:`UncertainEngine`.
 
     Attributes
     ----------
@@ -85,6 +126,16 @@ class EngineConfig:
         construction and reuses the chain across queries — verifiers
         are stateless, so per-query rebuilding would only add
         allocation overhead to the hot path.
+    pipeline:
+        Optional hook composing verifier chains *per spec type*: called
+        with the spec's class (e.g. :class:`CPNNQuery`) the first time
+        that type is executed, it may return a
+        :class:`~repro.core.verifiers.chain.VerifierChain` to use for
+        that family, or ``None`` to keep ``chain_factory``'s chain.
+        The result is cached per type.  Today only specs evaluated
+        through the subregion verification framework (C-PNN) consult
+        it; the type argument exists so future families can branch
+        without changing the signature.
     bound_pad:
         Floating-point guard added around computed bounds
         (DESIGN.md §5).
@@ -106,21 +157,22 @@ class EngineConfig:
         grid-refinement ablation bench).
     distribution_cache_size:
         Capacity of the LRU cache of distance distributions used by
-        :meth:`CPNNEngine.query_batch` (entries are keyed by
-        ``(object, query point)``, so repeated probes skip the
+        the batch paths and the routed k-NN/range paths (entries are
+        keyed by ``(object, query point)``, so repeated probes skip the
         histogram fold).  0 disables the cache.
     table_cache_size:
         Capacity (in query points) of the LRU cache of fully built
-        subregion tables used by :meth:`CPNNEngine.query_batch`.  A
-        repeated probe skips filtering *and* initialisation for that
-        point.  Invalidated whenever the object set changes.  0
-        disables the cache.  Note the bound is entry-count, not bytes:
-        each table pins its distributions plus O(|C|·M) matrices, so
-        size this to the working set of hot probe points, not higher.
+        subregion tables used by the C-PNN batch path.  A repeated
+        probe skips filtering *and* initialisation for that point.
+        Invalidated whenever the object set changes.  0 disables the
+        cache.  Note the bound is entry-count, not bytes: each table
+        pins its distributions plus O(|C|·M) matrices, so size this to
+        the working set of hot probe points, not higher.
     """
 
     strategy: str = Strategy.VR
     chain_factory: Callable[[], VerifierChain] = default_chain
+    pipeline: Callable[[type], VerifierChain | None] | None = None
     bound_pad: float = DEFAULT_BOUND_PAD
     refinement_order: str = "widest"
     quadrature_margin: int = 1
@@ -141,6 +193,8 @@ class EngineConfig:
             raise ValueError("distribution_cache_size must be >= 0")
         if self.table_cache_size < 0:
             raise ValueError("table_cache_size must be >= 0")
+        if self.pipeline is not None and not callable(self.pipeline):
+            raise ValueError("pipeline must be callable or None")
 
 
 @dataclass
@@ -154,8 +208,14 @@ class _Prepared:
     timings: PhaseTimings = field(default_factory=PhaseTimings)
 
 
-class CPNNEngine:
-    """Evaluates C-PNN (and exact PNN) queries over uncertain objects.
+class UncertainEngine:
+    """Evaluates probabilistic queries over uncertain objects.
+
+    One engine serves all three query families — C-PNN (the paper's
+    Definition 1), constrained probabilistic k-NN, and constrained
+    probabilistic range — through :meth:`execute` /
+    :meth:`execute_batch`, which dispatch on the spec type and share
+    the filtering / caching / columnar substrate.
 
     Parameters
     ----------
@@ -163,14 +223,14 @@ class CPNNEngine:
         Any sequence of objects satisfying the
         :class:`~repro.uncertainty.objects.SpatialUncertain` protocol
         (1-D intervals, 2-D disks/segments/rectangles, or a mixture of
-        same-dimension objects).
+        same-dimension objects).  May be empty: an empty engine answers
+        every ``execute``/``execute_batch`` spec with an empty result
+        (DESIGN.md §8) until objects are inserted.
     config:
         Optional :class:`EngineConfig`.
     """
 
     def __init__(self, objects: Sequence, config: EngineConfig | None = None):
-        if not objects:
-            raise ValueError("engine requires at least one object")
         self._objects = tuple(objects)
         dims = {obj.mbr.dim for obj in self._objects}
         if len(dims) > 1:
@@ -181,20 +241,18 @@ class CPNNEngine:
         #: The verifier chain, built once and reused by every VR query
         #: (verifiers are stateless; see EngineConfig.chain_factory).
         self._chain = self._config.chain_factory()
-        if self._config.use_rtree:
-            tree = str_bulk_load(
-                [(obj.mbr, obj) for obj in self._objects],
-                max_entries=self._config.rtree_max_entries,
-            )
-            self._filter = PnnFilter(tree)
-        else:
-            self._filter = lambda q: filter_candidates(self._objects, q)
-        #: Vectorised whole-batch filter for query_batch.  Built with
-        #: the rest of the index substrate for R-tree engines (it
-        #: filters over the same MBRs the tree holds) and rebuilt
-        #: lazily after dynamic updates.
+        #: Per-spec-type chains resolved through EngineConfig.pipeline.
+        self._chains: dict[type, VerifierChain] = {}
+        self._filter: PnnFilter | Callable | None = None
+        self._build_filter()
+        #: Vectorised whole-batch filter shared by query_batch and the
+        #: routed k-NN/range paths.  Built with the rest of the index
+        #: substrate for R-tree engines (it filters over the same MBRs
+        #: the tree holds) and rebuilt lazily after dynamic updates.
         self._batch_filter: BatchMbrFilter | None = (
-            BatchMbrFilter(self._objects) if self._config.use_rtree else None
+            BatchMbrFilter(self._objects)
+            if self._config.use_rtree and self._objects
+            else None
         )
         self._distribution_cache: DistributionCache | None = (
             DistributionCache(self._config.distribution_cache_size)
@@ -207,6 +265,19 @@ class CPNNEngine:
             if self._config.table_cache_size
             else None
         )
+
+    def _build_filter(self) -> None:
+        """(Re)build the single-query PNN filter for the object set."""
+        if not self._objects:
+            self._filter = None
+        elif self._config.use_rtree:
+            tree = str_bulk_load(
+                [(obj.mbr, obj) for obj in self._objects],
+                max_entries=self._config.rtree_max_entries,
+            )
+            self._filter = PnnFilter(tree)
+        else:
+            self._filter = lambda q: filter_candidates(self._objects, q)
 
     # ------------------------------------------------------------------
 
@@ -230,16 +301,20 @@ class CPNNEngine:
         """Add an uncertain object; later queries see it immediately."""
         if self._objects and obj.mbr.dim != self._objects[0].mbr.dim:
             raise ValueError("object dimensionality mismatch")
+        was_empty = not self._objects
         self._objects = self._objects + (obj,)
         self._invalidate_batch_state()
-        if isinstance(self._filter, PnnFilter):
+        if was_empty:
+            self._build_filter()
+        elif isinstance(self._filter, PnnFilter):
             self._filter.tree.insert(obj.mbr, obj)
 
     def remove(self, key: Hashable) -> bool:
         """Remove the object with identifier ``key``; True if found.
 
-        The engine may become empty, in which case queries raise until
-        an object is inserted again.
+        The engine may become empty, in which case the legacy ``query``
+        entry points raise until an object is inserted again (the
+        ``execute`` façade returns empty results instead, DESIGN.md §8).
         """
         victim = None
         for obj in self._objects:
@@ -259,6 +334,8 @@ class CPNNEngine:
                     "index out of sync with object list: "
                     f"object {victim.key!r} was tracked but not indexed"
                 )
+        if not self._objects:
+            self._filter = None
         return True
 
     def _invalidate_batch_state(self, removed=None) -> None:
@@ -277,7 +354,238 @@ class CPNNEngine:
             self._distribution_cache.evict_object(removed)
 
     # ------------------------------------------------------------------
-    # Public query API
+    # The unified façade: execute / execute_batch / explain
+    # ------------------------------------------------------------------
+
+    def execute(self, spec, strategy: str | None = None) -> QueryResult:
+        """Answer one query spec; dispatches on the spec type.
+
+        ``spec`` may be a :class:`CPNNQuery`, :class:`CKNNQuery`,
+        :class:`CRangeQuery`, or a bare query point (normalised to a
+        :class:`CPNNQuery` with the Section V defaults).  ``strategy``
+        overrides the configured evaluation strategy for C-PNN specs;
+        it is validated for every spec but otherwise ignored by the
+        other families (they have a single evaluation pipeline).
+
+        Always returns a :class:`~repro.core.types.QueryResult`; an
+        empty engine yields an empty result for every spec type.
+        """
+        spec = self._as_spec(spec)
+        strategy = self._as_strategy(strategy)
+        if not self._objects:
+            return QueryResult(answers=(), spec=spec)
+        if isinstance(spec, CKNNQuery):
+            results, filter_seconds = self._knn_group([spec])
+            results[0].timings.filtering = filter_seconds
+            return results[0]
+        if isinstance(spec, CRangeQuery):
+            results, filter_seconds = self._range_group([spec])
+            results[0].timings.filtering = filter_seconds
+            return results[0]
+        result = self._execute_pnn(spec, strategy)
+        result.spec = spec
+        return result
+
+    def execute_batch(self, specs: Sequence, strategy: str | None = None) -> BatchResult:
+        """Answer a batch of specs, amortising work batch-wide.
+
+        Semantically equivalent to ``[execute(s) for s in specs]`` —
+        per-candidate arithmetic is shared with the single-spec path,
+        so answers and records agree exactly — but work is restructured
+        around the batch: each family's filtering runs as one
+        vectorised MBR sweep, distance distributions go through the
+        engine's LRU cache, and C-PNN verification/refinement run as
+        flat sweeps (see :mod:`repro.core.batch`).  Specs of different
+        types may be mixed freely; ``results`` aligns with ``specs``.
+
+        An empty ``specs`` sequence yields an empty
+        :class:`~repro.core.batch.BatchResult`; an empty engine yields
+        one empty :class:`~repro.core.types.QueryResult` per spec.
+        """
+        specs = [self._as_spec(s) for s in specs]
+        self._as_strategy(strategy)  # reject typos even in k-NN/range-only batches
+        batch = BatchResult()
+        if not specs:
+            return batch
+        if not self._objects:
+            batch.results = [QueryResult(answers=(), spec=s) for s in specs]
+            return batch
+        slots: list[QueryResult | None] = [None] * len(specs)
+        knn_idx = [i for i, s in enumerate(specs) if isinstance(s, CKNNQuery)]
+        range_idx = [i for i, s in enumerate(specs) if isinstance(s, CRangeQuery)]
+        pnn_idx = [
+            i
+            for i, s in enumerate(specs)
+            if not isinstance(s, (CKNNQuery, CRangeQuery))
+        ]
+        if pnn_idx:
+            sub = self._pnn_batch([specs[i] for i in pnn_idx], strategy)
+            for i, result in zip(pnn_idx, sub.results):
+                slots[i] = result
+            for phase in ("filtering", "initialization", "verification", "refinement"):
+                setattr(
+                    batch.timings,
+                    phase,
+                    getattr(batch.timings, phase) + getattr(sub.timings, phase),
+                )
+            batch.cache_hits += sub.cache_hits
+            batch.cache_misses += sub.cache_misses
+            batch.table_hits += sub.table_hits
+            batch.table_misses += sub.table_misses
+        for indices, runner in ((knn_idx, self._knn_group), (range_idx, self._range_group)):
+            if not indices:
+                continue
+            results, filter_seconds = runner([specs[i] for i in indices])
+            batch.timings.filtering += filter_seconds
+            for i, result in zip(indices, results):
+                slots[i] = result
+                timings = result.timings
+                batch.timings.initialization += timings.initialization
+                batch.timings.verification += timings.verification
+                batch.timings.refinement += timings.refinement
+                batch.cache_hits += result.cache_hits
+                batch.cache_misses += result.cache_misses
+        batch.results = slots
+        return batch
+
+    def explain(self, spec, strategy: str | None = None) -> QueryPlan:
+        """The evaluation plan for ``spec``, without computing answers.
+
+        Runs only the filtering phase (cheap — no distribution is
+        built, no probability computed) and reports which pipeline
+        stages ``execute`` would run, what the filter keeps, and the
+        engine's cache state.
+        """
+        spec = self._as_spec(spec)
+        caches = {}
+        cache = self._distribution_cache
+        caches["distribution_cache"] = (
+            {
+                "maxsize": cache.maxsize,
+                "entries": len(cache),
+                "hits": cache.hits,
+                "misses": cache.misses,
+            }
+            if cache is not None
+            else "disabled"
+        )
+        table_cache = self._table_cache
+        caches["table_cache"] = (
+            {"maxsize": table_cache.maxsize, "entries": len(table_cache)}
+            if table_cache is not None
+            else "disabled"
+        )
+        n = len(self._objects)
+        if isinstance(spec, CKNNQuery):
+            family = "cknn"
+        elif isinstance(spec, CRangeQuery):
+            family = "crange"
+        else:
+            family = "cpnn"
+        if not self._objects:
+            return QueryPlan(
+                spec=spec,
+                family=family,
+                strategy=None,
+                index="none",
+                stages=["empty engine: return an empty result"],
+                caches=caches,
+            )
+        index = "rtree" if isinstance(self._filter, PnnFilter) else "linear"
+        if family == "cknn":
+            k = min(spec.k, n)
+            if k >= n:
+                return QueryPlan(
+                    spec=spec,
+                    family=family,
+                    strategy=None,
+                    index=index,
+                    stages=[
+                        f"k={spec.k} covers all {n} objects: "
+                        "every object qualifies with probability 1"
+                    ],
+                    candidates=n,
+                    pruned=0,
+                    fmin=float("inf"),
+                    caches=caches,
+                )
+            survivors, fmin_k = self._ensure_batch_filter().kth_filter(
+                [spec.q], [k]
+            )[0]
+            return QueryPlan(
+                spec=spec,
+                family=family,
+                strategy=None,
+                index=index,
+                stages=[
+                    f"MBR filtering with f_min^{k} (vectorised sweep)",
+                    "distance distributions for survivors (LRU cache)",
+                    "RS-style k-NN bounds via columnar cdf kernels",
+                    "exact Poisson-binomial integration for undecided objects",
+                ],
+                candidates=int(survivors.size),
+                pruned=n - int(survivors.size),
+                fmin=fmin_k,
+                caches=caches,
+            )
+        if family == "crange":
+            mindist, maxdist = self._ensure_batch_filter().matrices([spec.q])
+            sure_in = int(np.count_nonzero(maxdist[0] <= spec.radius))
+            sure_out = int(np.count_nonzero(mindist[0] > spec.radius))
+            straddle = n - sure_in - sure_out
+            return QueryPlan(
+                spec=spec,
+                family=family,
+                strategy=None,
+                index=index,
+                stages=[
+                    "MBR range classification (vectorised sweep): "
+                    f"{sure_in} certainly inside, {sure_out} certainly outside",
+                    f"exact region-distance re-check for {straddle} straddling objects",
+                    "cdf(radius) via columnar kernel for true straddlers (LRU cache)",
+                ],
+                candidates=straddle,
+                pruned=sure_in + sure_out,
+                fmin=float(spec.radius),
+                caches=caches,
+            )
+        strategy = self._as_strategy(strategy)
+        filter_result = self._filter(spec.q)
+        stages = ["PNN filtering (f_min pruning rule)"]
+        verifiers: tuple[str, ...] = ()
+        if strategy == Strategy.VR:
+            chain = self._chain_for(type(spec))
+            verifiers = tuple(v.name for v in chain.verifiers)
+            stages += [
+                "distance distributions + subregion table",
+                "verifier chain: " + " → ".join(verifiers),
+                "incremental refinement of surviving candidates",
+            ]
+        elif strategy == Strategy.REFINE:
+            stages += [
+                "distance distributions + subregion table",
+                "incremental refinement of all candidates",
+            ]
+        else:
+            stages += [
+                "distance distributions + subregion table",
+                "exact integration of every candidate (Basic)",
+            ]
+        return QueryPlan(
+            spec=spec,
+            family=family,
+            strategy=strategy,
+            index=index,
+            stages=stages,
+            verifiers=verifiers,
+            candidates=len(filter_result.candidates),
+            pruned=n - len(filter_result.candidates),
+            fmin=filter_result.fmin,
+            caches=caches,
+        )
+
+    # ------------------------------------------------------------------
+    # Legacy entry points (deprecation shims; see DESIGN.md §7)
     # ------------------------------------------------------------------
 
     def query(
@@ -286,22 +594,27 @@ class CPNNEngine:
         threshold: float | None = None,
         tolerance: float | None = None,
         strategy: str | None = None,
-    ) -> CPNNResult:
-        """Answer a C-PNN query.
+    ) -> QueryResult:
+        """Answer a C-PNN query (deprecated; use :meth:`execute`).
 
         ``q`` may be a bare query point or a prepared
         :class:`~repro.core.types.CPNNQuery`; ``threshold``/
-        ``tolerance`` override the query's values when given.
+        ``tolerance`` override the query's values when given.  Unlike
+        :meth:`execute`, raises :class:`ValueError` on an empty engine
+        (the pre-façade behaviour).
         """
+        warnings.warn(
+            "query() is deprecated; use execute(CPNNQuery(q, threshold, "
+            "tolerance)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if not self._objects:
+            raise ValueError("cannot query an empty engine (insert objects first)")
         query = self._as_query(q, threshold, tolerance)
-        strategy = self._as_strategy(strategy)
-
-        prepared = self._prepare(query)
-        if strategy == Strategy.BASIC:
-            return self._run_basic(prepared, query)
-        if strategy == Strategy.REFINE:
-            return self._run_refine(prepared, query)
-        return self._run_vr(prepared, query)
+        result = self._execute_pnn(query, self._as_strategy(strategy))
+        result.spec = query
+        return result
 
     def query_batch(
         self,
@@ -310,35 +623,161 @@ class CPNNEngine:
         tolerance: float | None = None,
         strategy: str | None = None,
     ) -> BatchResult:
-        """Answer one C-PNN query per point, amortising work batch-wide.
+        """Batch C-PNN evaluation (deprecated; use :meth:`execute_batch`).
 
         Semantically equivalent to calling :meth:`query` once per point
-        with the same ``threshold``/``tolerance``/``strategy`` — the
-        per-candidate arithmetic is shared with the sequential path, so
-        answers agree exactly — but the phases are restructured around
-        the batch (see :mod:`repro.core.batch`): filtering is a single
-        vectorised MBR sweep, distance distributions go through the
-        engine's LRU cache, and the VR verifier chain runs as flat
-        sweeps over the whole candidate×query matrix.
+        with the same ``threshold``/``tolerance``/``strategy``; see
+        :meth:`execute_batch` for the amortisation details.  Raises
+        :class:`ValueError` on an empty engine when ``points`` is
+        non-empty (the pre-façade behaviour).
+        """
+        warnings.warn(
+            "query_batch() is deprecated; use execute_batch([CPNNQuery(...)"
+            ", ...]) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._as_strategy(strategy)  # validate even for an empty batch
+        points = list(points)
+        if not points:
+            return BatchResult()
+        if not self._objects:
+            raise ValueError("cannot query an empty engine (insert objects first)")
+        queries = [self._as_query(p, threshold, tolerance) for p in points]
+        return self._pnn_batch(queries, strategy)
 
-        Returns a :class:`~repro.core.batch.BatchResult` whose
-        ``results`` align with ``points``; batch-level phase timings
-        and distribution-cache traffic ride along.  An empty ``points``
-        sequence yields an empty result.
+    def pnn(self, q) -> dict[Hashable, float]:
+        """Exact PNN: qualification probability of every candidate.
+
+        Objects pruned by filtering have probability 0 and are omitted,
+        matching the paper's PNN semantics of returning only non-zero
+        probabilities.
+        """
+        if not self._objects:
+            raise ValueError("cannot query an empty engine (insert objects first)")
+        query = CPNNQuery(q, threshold=1.0, tolerance=0.0)
+        prepared = self._prepare(query)
+        probabilities = prepared.refiner.exact_all()
+        return {
+            key: float(p)
+            for key, p in zip(prepared.table.keys, probabilities)
+        }
+
+    # ------------------------------------------------------------------
+    # Spec/strategy normalisation and shared filtering helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _as_spec(spec) -> QuerySpec:
+        """Normalise a bare point into a default CPNNQuery."""
+        if isinstance(spec, QuerySpec):
+            return spec
+        return CPNNQuery(spec)
+
+    @staticmethod
+    def _as_query(
+        q, threshold: float | None, tolerance: float | None
+    ) -> CPNNQuery:
+        """Normalise a bare point or prepared query plus overrides."""
+        if isinstance(q, QuerySpec) and not isinstance(q, CPNNQuery):
+            raise TypeError(
+                f"{type(q).__name__} specs go through execute(), not query()"
+            )
+        if isinstance(q, CPNNQuery):
+            if threshold is None and tolerance is None:
+                return q
+            return CPNNQuery(
+                q.q,
+                threshold if threshold is not None else q.threshold,
+                tolerance if tolerance is not None else q.tolerance,
+            )
+        return CPNNQuery(
+            q,
+            threshold if threshold is not None else 0.3,
+            tolerance if tolerance is not None else 0.01,
+        )
+
+    def _as_strategy(self, strategy: str | None) -> str:
+        strategy = strategy or self._config.strategy
+        if strategy not in Strategy.ALL:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        return strategy
+
+    def _chain_for(self, spec_type: type) -> VerifierChain:
+        """The verifier chain serving ``spec_type`` (pipeline hook)."""
+        chain = self._chains.get(spec_type)
+        if chain is None:
+            custom = (
+                self._config.pipeline(spec_type)
+                if self._config.pipeline is not None
+                else None
+            )
+            if custom is not None and not isinstance(custom, VerifierChain):
+                raise TypeError(
+                    "EngineConfig.pipeline must return a VerifierChain or None, "
+                    f"got {type(custom).__name__}"
+                )
+            chain = custom if custom is not None else self._chain
+            self._chains[spec_type] = chain
+        return chain
+
+    def _ensure_batch_filter(self) -> BatchMbrFilter:
+        """The vectorised MBR filter, (re)built after dynamic updates."""
+        if self._batch_filter is None:
+            self._batch_filter = BatchMbrFilter(self._objects)
+        return self._batch_filter
+
+    def _filter_batch(self, points: Sequence) -> list[FilterResult]:
+        """Filter every point, in one vectorised pass when possible.
+
+        R-tree engines filter over object MBRs, which is exactly what
+        the tree's branch-and-bound computes, so the whole batch runs
+        as one matrix sweep.  Linear-scan engines use per-object
+        ``mindist``/``maxdist`` (which may be tighter than the MBR for
+        2-D regions), so they keep the reference scan per point.
+        """
+        if isinstance(self._filter, PnnFilter):
+            points = [p.q if isinstance(p, QuerySpec) else p for p in points]
+            return self._ensure_batch_filter()(points)
+        return [
+            self._filter(p.q if isinstance(p, QuerySpec) else p) for p in points
+        ]
+
+    # ------------------------------------------------------------------
+    # C-PNN evaluation (single + batch)
+    # ------------------------------------------------------------------
+
+    def _execute_pnn(self, query: CPNNQuery, strategy: str) -> QueryResult:
+        prepared = self._prepare(query)
+        if strategy == Strategy.BASIC:
+            return self._run_basic(prepared, query)
+        if strategy == Strategy.REFINE:
+            return self._run_refine(prepared, query)
+        return self._run_vr(prepared, query)
+
+    def _pnn_batch(
+        self, queries: list[CPNNQuery], strategy: str | None
+    ) -> BatchResult:
+        """One amortised pass over many C-PNN queries.
+
+        The phases are restructured around the batch (see
+        :mod:`repro.core.batch`): filtering is a single vectorised MBR
+        sweep, distance distributions go through the engine's LRU
+        cache, and the VR verifier chain runs as flat sweeps over the
+        whole candidate×query matrix.  Per-candidate arithmetic is
+        shared with the single-query path, so answers agree exactly.
         """
         strategy = self._as_strategy(strategy)
-        points = list(points)
         batch = BatchResult()
-        if not points:
+        if not queries:
             return batch
-        queries = [self._as_query(p, threshold, tolerance) for p in points]
         cache = self._distribution_cache
         hits_before = cache.hits if cache is not None else 0
         misses_before = cache.misses if cache is not None else 0
         timings = batch.timings
 
         tick = time.perf_counter()
-        filter_results = self._filter_batch(points)
+        filter_results = self._filter_batch([q.q for q in queries])
         timings.filtering = time.perf_counter() - tick
 
         tick = time.perf_counter()
@@ -394,18 +833,20 @@ class CPNNEngine:
 
         if strategy == Strategy.VR:
             # The flat sweep classifies the whole batch against one
-            # threshold/tolerance pair.  Prepared CPNNQuery points with
-            # heterogeneous constraints keep working through the
-            # sequential chain, query by query.
+            # threshold/tolerance pair and one verifier chain.  Specs
+            # with heterogeneous constraints — or different PNN-family
+            # spec types, whose chains may differ through the pipeline
+            # hook — keep working through the sequential chain, query
+            # by query, so batch == loop holds per spec.
             uniform = all(
                 q.threshold == queries[0].threshold
                 and q.tolerance == queries[0].tolerance
+                and type(q) is type(queries[0])
                 for q in queries[1:]
             )
-            chain = self._chain
             tick = time.perf_counter()
             if uniform:
-                outcomes = chain.run_batch(
+                outcomes = self._chain_for(type(queries[0])).run_batch(
                     tables,
                     flat_states,
                     offsets,
@@ -414,7 +855,7 @@ class CPNNEngine:
                 )
             else:
                 outcomes = [
-                    chain.run(table, prep.states, query)
+                    self._chain_for(type(query)).run(table, prep.states, query)
                     for table, prep, query in zip(tables, prepared, queries)
                 ]
             timings.verification = time.perf_counter() - tick
@@ -448,6 +889,8 @@ class CPNNEngine:
                 result.timings.refinement for result in batch.results
             )
 
+        for result, query in zip(batch.results, queries):
+            result.spec = query
         if cache is not None:
             batch.cache_hits = cache.hits - hits_before
             batch.cache_misses = cache.misses - misses_before
@@ -455,70 +898,163 @@ class CPNNEngine:
             batch.cache_misses = distributions_built
         return batch
 
-    def pnn(self, q) -> dict[Hashable, float]:
-        """Exact PNN: qualification probability of every candidate.
+    # ------------------------------------------------------------------
+    # Routed k-NN / range evaluation (single + batch share these)
+    # ------------------------------------------------------------------
 
-        Objects pruned by filtering have probability 0 and are omitted,
-        matching the paper's PNN semantics of returning only non-zero
-        probabilities.
+    def _knn_group(
+        self, specs: list[CKNNQuery]
+    ) -> tuple[list[QueryResult], float]:
+        """Evaluate k-NN specs through the shared substrate.
+
+        One vectorised ``f_min^k`` MBR sweep filters every spec's
+        point; survivors' distance distributions go through the LRU
+        cache and the columnar bound/integration kernels
+        (:func:`~repro.core.knn.knn_routed_eval`).  Returns the results
+        (answers bit-identical to the scalar
+        :meth:`~repro.core.knn.CKNNEngine.query` path) and the shared
+        filtering seconds.
         """
-        query = CPNNQuery(q, threshold=1.0, tolerance=0.0)
-        prepared = self._prepare(query)
-        probabilities = prepared.refiner.exact_all()
-        return {
-            key: float(p)
-            for key, p in zip(prepared.table.keys, probabilities)
-        }
-
-    # ------------------------------------------------------------------
-    # Query normalisation and batch filtering
-    # ------------------------------------------------------------------
-
-    @staticmethod
-    def _as_query(
-        q, threshold: float | None, tolerance: float | None
-    ) -> CPNNQuery:
-        """Normalise a bare point or prepared query plus overrides."""
-        if isinstance(q, CPNNQuery):
-            if threshold is None and tolerance is None:
-                return q
-            return CPNNQuery(
-                q.q,
-                threshold if threshold is not None else q.threshold,
-                tolerance if tolerance is not None else q.tolerance,
+        n = len(self._objects)
+        keys = [obj.key for obj in self._objects]
+        cache = self._distribution_cache
+        ks = [min(spec.k, n) for spec in specs]
+        nontrivial = [i for i, spec in enumerate(specs) if spec.k < n]
+        filter_seconds = 0.0
+        filtered: dict[int, tuple[np.ndarray, float]] = {}
+        if nontrivial:
+            tick = time.perf_counter()
+            swept = self._ensure_batch_filter().kth_filter(
+                [specs[i].q for i in nontrivial], [ks[i] for i in nontrivial]
             )
-        return CPNNQuery(
-            q,
-            threshold if threshold is not None else 0.3,
-            tolerance if tolerance is not None else 0.01,
-        )
+            filter_seconds = time.perf_counter() - tick
+            filtered = dict(zip(nontrivial, swept))
+        results = []
+        for b, (spec, k) in enumerate(zip(specs, ks)):
+            timings = PhaseTimings()
+            if spec.k >= n:
+                # Every object is trivially among the k nearest — the
+                # scalar path's early return, replicated before any
+                # distribution is built.
+                records = [
+                    AnswerRecord(
+                        key=key, label=Label.SATISFY, lower=1.0, upper=1.0, exact=1.0
+                    )
+                    for key in keys
+                ]
+                results.append(
+                    QueryResult(
+                        answers=tuple(keys),
+                        records=records,
+                        fmin=float("inf"),
+                        timings=timings,
+                        finished_after_verification=True,
+                        spec=spec,
+                    )
+                )
+                continue
+            survivors, fmin_k = filtered[b]
+            hits_before = cache.hits if cache is not None else 0
+            misses_before = cache.misses if cache is not None else 0
+            tick = time.perf_counter()
+            candidates = [self._objects[i] for i in survivors]
+            distributions = distributions_for(candidates, spec.q, cache)
+            timings.initialization = time.perf_counter() - tick
+            tick = time.perf_counter()
+            answers, records, n_exact, exact_seconds = knn_routed_eval(
+                distributions,
+                survivors,
+                keys,
+                k,
+                spec.threshold,
+                n,
+                quadrature_margin=self._config.quadrature_margin,
+            )
+            timings.verification = time.perf_counter() - tick - exact_seconds
+            timings.refinement = exact_seconds
+            results.append(
+                QueryResult(
+                    answers=answers,
+                    records=records,
+                    fmin=fmin_k,
+                    timings=timings,
+                    finished_after_verification=n_exact == 0,
+                    refined_objects=n_exact,
+                    spec=spec,
+                    cache_hits=(cache.hits - hits_before) if cache is not None else 0,
+                    cache_misses=(cache.misses - misses_before)
+                    if cache is not None
+                    else len(distributions),
+                )
+            )
+        return results, filter_seconds
 
-    def _as_strategy(self, strategy: str | None) -> str:
-        strategy = strategy or self._config.strategy
-        if strategy not in Strategy.ALL:
-            raise ValueError(f"unknown strategy {strategy!r}")
-        return strategy
+    def _range_group(
+        self, specs: list[CRangeQuery]
+    ) -> tuple[list[QueryResult], float]:
+        """Evaluate range specs through the shared substrate.
 
-    def _filter_batch(self, points: Sequence) -> list[FilterResult]:
-        """Filter every point, in one vectorised pass when possible.
-
-        R-tree engines filter over object MBRs, which is exactly what
-        the tree's branch-and-bound computes, so the whole batch runs
-        as one matrix sweep.  Linear-scan engines use per-object
-        ``mindist``/``maxdist`` (which may be tighter than the MBR for
-        2-D regions), so they keep the reference scan per point.
+        One vectorised MBR distance sweep classifies every (spec,
+        object) pair; only straddling objects re-check exact region
+        distances, and only true straddlers build distributions (LRU
+        cache) and evaluate ``cdf(radius)`` through the columnar kernel
+        (:func:`~repro.core.range_query.range_routed_eval`).  Answers
+        are bit-identical to the scalar
+        :func:`~repro.core.range_query.constrained_range_query`.
         """
-        if isinstance(self._filter, PnnFilter):
-            if self._batch_filter is None:
-                self._batch_filter = BatchMbrFilter(self._objects)
-            points = [p.q if isinstance(p, CPNNQuery) else p for p in points]
-            return self._batch_filter(points)
-        return [
-            self._filter(p.q if isinstance(p, CPNNQuery) else p) for p in points
-        ]
+        cache = self._distribution_cache
+        tick = time.perf_counter()
+        mindist, maxdist = self._ensure_batch_filter().matrices(
+            [spec.q for spec in specs]
+        )
+        filter_seconds = time.perf_counter() - tick
+        results = []
+        for b, spec in enumerate(specs):
+            timings = PhaseTimings()
+            hits_before = cache.hits if cache is not None else 0
+            misses_before = cache.misses if cache is not None else 0
+            tick = time.perf_counter()
+            built: list[int] = []
+            build_seconds = [0.0]
+
+            def provider(objs, _q=spec.q, _built=built, _secs=build_seconds):
+                inner = time.perf_counter()
+                distributions = distributions_for(objs, _q, cache)
+                _secs[0] += time.perf_counter() - inner
+                _built.append(len(objs))
+                return distributions
+
+            answers, records, n_evaluated = range_routed_eval(
+                self._objects,
+                spec.q,
+                spec.radius,
+                spec.threshold,
+                mindist[b],
+                maxdist[b],
+                provider,
+            )
+            elapsed = time.perf_counter() - tick
+            timings.initialization = build_seconds[0]
+            timings.verification = elapsed - build_seconds[0]
+            results.append(
+                QueryResult(
+                    answers=answers,
+                    records=records,
+                    fmin=float(spec.radius),
+                    timings=timings,
+                    finished_after_verification=n_evaluated == 0,
+                    refined_objects=n_evaluated,
+                    spec=spec,
+                    cache_hits=(cache.hits - hits_before) if cache is not None else 0,
+                    cache_misses=(cache.misses - misses_before)
+                    if cache is not None
+                    else sum(built),
+                )
+            )
+        return results, filter_seconds
 
     # ------------------------------------------------------------------
-    # Phases
+    # C-PNN phases
     # ------------------------------------------------------------------
 
     def _prepare(self, query: CPNNQuery) -> _Prepared:
@@ -543,7 +1079,7 @@ class CPNNEngine:
         timings.initialization = time.perf_counter() - tick
         return _Prepared(filter_result, table, states, refiner, timings)
 
-    def _run_basic(self, prepared: _Prepared, query: CPNNQuery) -> CPNNResult:
+    def _run_basic(self, prepared: _Prepared, query: CPNNQuery) -> QueryResult:
         timings = prepared.timings
         tick = time.perf_counter()
         probabilities = prepared.refiner.exact_all()
@@ -561,7 +1097,7 @@ class CPNNEngine:
             exact=probabilities,
         )
 
-    def _run_refine(self, prepared: _Prepared, query: CPNNQuery) -> CPNNResult:
+    def _run_refine(self, prepared: _Prepared, query: CPNNQuery) -> QueryResult:
         timings = prepared.timings
         states = prepared.states
         tick = time.perf_counter()
@@ -581,10 +1117,10 @@ class CPNNEngine:
             refined=refined,
         )
 
-    def _run_vr(self, prepared: _Prepared, query: CPNNQuery) -> CPNNResult:
+    def _run_vr(self, prepared: _Prepared, query: CPNNQuery) -> QueryResult:
         timings = prepared.timings
         states = prepared.states
-        chain = self._chain
+        chain = self._chain_for(type(query))
 
         tick = time.perf_counter()
         outcome = chain.run(prepared.table, states, query)
@@ -617,7 +1153,7 @@ class CPNNEngine:
         finished_after_verification: bool,
         refined: int,
         exact: np.ndarray | None = None,
-    ) -> CPNNResult:
+    ) -> QueryResult:
         states = prepared.states
         table = prepared.table
         records = []
@@ -638,7 +1174,7 @@ class CPNNEngine:
             )
             if label is Label.SATISFY:
                 answers.append(key)
-        return CPNNResult(
+        return QueryResult(
             answers=tuple(answers),
             records=records,
             fmin=prepared.filter_result.fmin,
@@ -647,3 +1183,19 @@ class CPNNEngine:
             finished_after_verification=finished_after_verification,
             refined_objects=refined,
         )
+
+
+class CPNNEngine(UncertainEngine):
+    """Legacy name of :class:`UncertainEngine`, kept as a thin shim.
+
+    Identical in every respect except that construction requires a
+    non-empty object sequence (the pre-façade contract; an
+    :class:`UncertainEngine` may start empty and answers ``execute``
+    specs with empty results).  New code should construct
+    :class:`UncertainEngine` directly.
+    """
+
+    def __init__(self, objects: Sequence, config: EngineConfig | None = None):
+        if not objects:
+            raise ValueError("engine requires at least one object")
+        super().__init__(objects, config)

@@ -27,6 +27,8 @@ module provides that extension on top of the same substrate:
 
 from __future__ import annotations
 
+import time
+import warnings
 from typing import Hashable, Sequence
 
 import numpy as np
@@ -34,14 +36,20 @@ import numpy as np
 from repro.core.types import AnswerRecord, CPNNQuery, Label
 from repro.numerics.poisson_binomial import prob_at_most_vectorized
 from repro.numerics.quadrature import gauss_legendre_nodes, nodes_for_degree
+from repro.uncertainty.columnar import DistributionPack
 from repro.uncertainty.distance import DistanceDistribution
 
 __all__ = [
     "CKNNEngine",
     "knn_probability_bounds",
     "knn_qualification_probabilities",
+    "knn_routed_eval",
     "kth_smallest_far",
 ]
+
+#: Cap on ``|survivors| * points`` cells evaluated per exact-integration
+#: chunk — bounds the transient cdf matrices regardless of grid size.
+_EXACT_MAX_CELLS = 1 << 22
 
 
 def kth_smallest_far(distributions: Sequence[DistanceDistribution], k: int) -> float:
@@ -152,9 +160,185 @@ def knn_qualification_probabilities(
     return results
 
 
+def _routed_exact(
+    pack: DistributionPack,
+    distributions: Sequence[DistanceDistribution],
+    needed: np.ndarray,
+    k: int,
+    fmin_k: float,
+    total: int,
+    quadrature_margin: int,
+) -> dict[int, float]:
+    """Exact ``p_i(k)`` for the survivor positions in ``needed``.
+
+    Bit-identical replay of :func:`knn_qualification_probabilities`
+    restricted to the filtered candidate set: the quadrature degree
+    still comes from the *total* object count (so the node set is
+    unchanged), pruned objects contribute neither breakpoints (their
+    supports lie beyond ``f_min^k``, outside every integration range)
+    nor Poisson-binomial factors (their "closer" probability is exactly
+    0 at every node, an exact no-op of the row-sequential DP), and the
+    per-segment accumulation replays the scalar loop's float operations
+    in order.  The survivor cdf matrix is evaluated through the
+    :class:`~repro.uncertainty.columnar.DistributionPack` kernels
+    instead of one ``cdf`` call per other object per segment.
+    """
+    degree = total - 1
+    n_nodes = nodes_for_degree(degree) + int(quadrature_margin)
+    xs_unit, ws = gauss_legendre_nodes(n_nodes)
+    out: dict[int, float] = {}
+    per_chunk = max(1, _EXACT_MAX_CELLS // max(pack.size * n_nodes, 1))
+    for i in needed:
+        i = int(i)
+        dist = distributions[i]
+        lo = dist.near
+        hi = min(dist.far, fmin_k)
+        if hi <= lo:
+            out[i] = 0.0
+            continue
+        grid = _breakpoint_grid(distributions, lo, hi)
+        segments = [(a, b) for a, b in zip(grid[:-1], grid[1:]) if b > a]
+        total_p = 0.0
+        for start in range(0, len(segments), per_chunk):
+            chunk = segments[start : start + per_chunk]
+            halves = []
+            xs_parts = []
+            for a, b in chunk:
+                half = 0.5 * (b - a)
+                halves.append(half)
+                xs_parts.append(0.5 * (a + b) + half * xs_unit)
+            xs_all = np.concatenate(xs_parts)
+            closer = np.delete(pack.cdf_many(xs_all), i, axis=0)
+            at_most = prob_at_most_vectorized(closer, k - 1)
+            density = np.asarray(dist.pdf(xs_all))
+            for s, half in enumerate(halves):
+                sl = slice(s * n_nodes, (s + 1) * n_nodes)
+                total_p += half * float(ws @ (density[sl] * at_most[sl]))
+        out[i] = min(max(total_p, 0.0), 1.0)
+    return out
+
+
+def knn_routed_eval(
+    distributions: Sequence[DistanceDistribution],
+    survivor_indices: np.ndarray,
+    keys: Sequence[Hashable],
+    k: int,
+    threshold: float,
+    total: int,
+    quadrature_margin: int = 1,
+) -> tuple[tuple, list[AnswerRecord], int, float]:
+    """Constrained k-NN over a *filtered* candidate set.
+
+    ``distributions`` are the distance distributions of the objects
+    surviving ``f_min^k`` MBR filtering (positions ``survivor_indices``
+    in the full, ``total``-object collection whose keys are ``keys``),
+    in insertion order.  Returns ``(answers, records, n_exact,
+    exact_seconds)`` with one record per object — **bit-identical** to
+    the unfiltered scalar path (:meth:`CKNNEngine.query`):
+
+    * pruned objects get the bounds the scalar path would compute for
+      them, ``(0, 0)``, without touching their pdfs (their supports lie
+      strictly beyond ``f_min^k``);
+    * ``f_min^k`` over survivors equals the all-object value (the k
+      smallest far points always survive MBR filtering);
+    * the RS-style lower cut is taken among survivor near points; when
+      that differs from the all-object cut, both cuts exceed
+      ``f_min^k``, where ``min(lower, upper)`` collapses to ``upper``
+      either way;
+    * exact integrals replay :func:`knn_qualification_probabilities`'s
+      float operations with the all-object quadrature degree
+      (see :func:`_routed_exact`).
+
+    Requires ``1 <= k < total`` (the ``k >= total`` trivial case is the
+    caller's) and ``len(distributions) >= k`` (guaranteed by the
+    filter).
+    """
+    m = len(distributions)
+    pack = DistributionPack(distributions)
+    fmin_k = float(np.sort(pack.far)[k - 1])
+    upper = np.asarray(pack.cdf_many(fmin_k), dtype=float)
+    nears = pack.near
+    if m >= k + 1:
+        sorted_nears = np.sort(nears)
+        cut_low = float(sorted_nears[k - 1])
+        cut_high = float(sorted_nears[k])
+        at_low = np.asarray(pack.cdf_many(cut_low), dtype=float)
+        at_high = np.asarray(pack.cdf_many(cut_high), dtype=float)
+        first_idx = np.searchsorted(sorted_nears, nears, side="left")
+        lower = np.where(first_idx <= k - 1, at_high, at_low)
+        lower = np.minimum(lower, upper)
+    else:
+        # Exactly k survivors: the scalar path's k-th smallest "other"
+        # near point is beyond the pruning radius, where the clamped
+        # lower bound collapses to the upper bound.
+        lower = upper.copy()
+
+    fail = upper < threshold
+    satisfy = ~fail & (lower >= threshold)
+    needed = np.flatnonzero(~fail & ~satisfy)
+    exact: dict[int, float] = {}
+    exact_seconds = 0.0
+    if needed.size:
+        tick = time.perf_counter()
+        exact = _routed_exact(
+            pack, distributions, needed, k, fmin_k, total, quadrature_margin
+        )
+        exact_seconds = time.perf_counter() - tick
+
+    position = {int(g): i for i, g in enumerate(survivor_indices)}
+    answers: list[Hashable] = []
+    records: list[AnswerRecord] = []
+    for j in range(total):
+        i = position.get(j)
+        if i is None:
+            records.append(
+                AnswerRecord(
+                    key=keys[j], label=Label.FAIL, lower=0.0, upper=0.0, exact=None
+                )
+            )
+            continue
+        if fail[i]:
+            records.append(
+                AnswerRecord(
+                    key=keys[j],
+                    label=Label.FAIL,
+                    lower=float(lower[i]),
+                    upper=float(upper[i]),
+                    exact=None,
+                )
+            )
+            continue
+        if satisfy[i]:
+            records.append(
+                AnswerRecord(
+                    key=keys[j],
+                    label=Label.SATISFY,
+                    lower=float(lower[i]),
+                    upper=float(upper[i]),
+                    exact=None,
+                )
+            )
+            answers.append(keys[j])
+            continue
+        p = exact[i]
+        label = Label.SATISFY if p >= threshold else Label.FAIL
+        records.append(
+            AnswerRecord(key=keys[j], label=label, lower=p, upper=p, exact=p)
+        )
+        if label is Label.SATISFY:
+            answers.append(keys[j])
+    return tuple(answers), records, len(needed), exact_seconds
+
+
 class CKNNEngine:
     """Constrained probabilistic k-NN: threshold/tolerance semantics of
     Definition 1 applied to k-NN qualification probabilities.
+
+    .. deprecated::
+        Superseded by ``UncertainEngine.execute(CKNNQuery(...))``, which
+        adds MBR filtering, distribution caching, columnar bound
+        kernels, and the batch path while returning bit-identical
+        answers.  Kept as the reference scalar implementation.
 
     The verification stage uses the RS-style bound
     ``p_i(k).u ≤ D_i(f_min^k)``; objects that survive it are resolved
@@ -163,6 +347,12 @@ class CKNNEngine:
     """
 
     def __init__(self, objects: Sequence, k: int) -> None:
+        warnings.warn(
+            "CKNNEngine is deprecated; use "
+            "UncertainEngine.execute(CKNNQuery(q, k=...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if not objects:
             raise ValueError("CKNNEngine requires at least one object")
         if k < 1:

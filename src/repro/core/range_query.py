@@ -24,11 +24,15 @@ objects, whose bounds are 0/1 — so the answer is in fact exact).
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+import warnings
+from typing import Callable, Hashable, Sequence
+
+import numpy as np
 
 from repro.core.types import AnswerRecord, Label
+from repro.uncertainty.columnar import DistributionPack
 
-__all__ = ["range_probabilities", "constrained_range_query"]
+__all__ = ["constrained_range_query", "range_probabilities", "range_routed_eval"]
 
 
 def range_probabilities(
@@ -63,6 +67,12 @@ def constrained_range_query(
     and exact evaluations alike — range probabilities are cheap enough
     that no partial bounds are ever needed).
     """
+    warnings.warn(
+        "constrained_range_query is deprecated; use "
+        "UncertainEngine.execute(CRangeQuery(q, radius=...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if not objects:
         raise ValueError("need at least one object")
     if not 0.0 < threshold <= 1.0:
@@ -86,3 +96,68 @@ def constrained_range_query(
         if label is Label.SATISFY:
             answers.append(obj.key)
     return tuple(answers), records
+
+
+def range_routed_eval(
+    objects: Sequence,
+    q,
+    radius: float,
+    threshold: float,
+    mbr_mindist: np.ndarray,
+    mbr_maxdist: np.ndarray,
+    distribution_provider: Callable[[list], Sequence],
+) -> tuple[tuple, list[AnswerRecord], int]:
+    """Constrained range query over MBR-prefiltered objects.
+
+    ``mbr_mindist`` / ``mbr_maxdist`` are one row of
+    :meth:`repro.index.filtering.BatchMbrFilter.matrices` for ``q``.
+    Objects certainly inside (MBR ``maxdist <= radius``) or certainly
+    outside (MBR ``mindist > radius``) are decided without touching
+    their pdfs; only MBR-straddling objects re-check their exact region
+    distances (which 2-D regions may bound tighter than the MBR), and
+    only true straddlers have their distance distributions built — via
+    ``distribution_provider`` so the engine can route them through its
+    LRU cache — and their cdfs evaluated in one
+    :class:`~repro.uncertainty.columnar.DistributionPack` kernel call.
+
+    Returns ``(answers, records, n_evaluated)`` — bit-identical to
+    :func:`constrained_range_query` over the full object sequence: the
+    per-object branch structure is the scalar path's, and the pack cdf
+    kernel reproduces per-object ``cdf(radius)`` bit for bit.
+    """
+    sure_in = mbr_maxdist <= radius
+    probability = np.where(sure_in, 1.0, 0.0)
+    straddle = ~sure_in & (mbr_mindist <= radius)
+    exact: dict[int, float] = {}
+    pending: list[tuple[int, object]] = []
+    for j in np.flatnonzero(straddle):
+        j = int(j)
+        obj = objects[j]
+        if obj.maxdist(q) <= radius:
+            probability[j] = 1.0
+        elif obj.mindist(q) > radius:
+            probability[j] = 0.0
+        else:
+            pending.append((j, obj))
+    if pending:
+        distributions = distribution_provider([obj for _, obj in pending])
+        evaluated = np.asarray(
+            DistributionPack(distributions).cdf_many(float(radius)), dtype=float
+        )
+        for (j, _), p in zip(pending, evaluated):
+            probability[j] = p
+            exact[j] = float(p)
+    satisfies = probability >= threshold
+    answers: list[Hashable] = []
+    records: list[AnswerRecord] = []
+    for j, obj in enumerate(objects):
+        p = float(probability[j])
+        label = Label.SATISFY if satisfies[j] else Label.FAIL
+        records.append(
+            AnswerRecord(
+                key=obj.key, label=label, lower=p, upper=p, exact=exact.get(j)
+            )
+        )
+        if label is Label.SATISFY:
+            answers.append(obj.key)
+    return tuple(answers), records, len(pending)

@@ -1,7 +1,20 @@
-"""Query types and answer labels for the C-PNN (Definition 1).
+"""Typed query specs, answer labels, and the unified result shape.
 
-A Constrained Probabilistic Nearest-Neighbor query is a query point
-plus two quality constraints:
+All three query families are variants of one probabilistic-neighborhood
+problem (Definition 1 generalised): a query point plus two quality
+constraints, optionally specialised by ``k`` (k-NN) or a ``radius``
+(range).  The spec hierarchy mirrors that:
+
+* :class:`QuerySpec` — the shared base: point ``q``, threshold ``P``,
+  tolerance ``Δ``;
+* :class:`CPNNQuery` — the paper's C-PNN (Definition 1);
+* :class:`CKNNQuery` — constrained probabilistic k-NN (``k`` nearest);
+* :class:`CRangeQuery` — constrained probabilistic range (``radius``).
+
+``UncertainEngine.execute`` dispatches on the spec type and always
+returns the same :class:`QueryResult` shape (DESIGN.md §4).
+
+The constraints (Definition 1):
 
 * **threshold** ``P ∈ (0, 1]`` — only objects whose qualification
   probability is (or may be) at least ``P`` are returned;
@@ -21,11 +34,22 @@ import enum
 from dataclasses import dataclass, field
 from typing import Hashable
 
-__all__ = ["CPNNQuery", "Label"]
+__all__ = [
+    "AnswerRecord",
+    "CKNNQuery",
+    "CPNNQuery",
+    "CPNNResult",
+    "CRangeQuery",
+    "Label",
+    "PhaseTimings",
+    "QueryPlan",
+    "QueryResult",
+    "QuerySpec",
+]
 
 
 class Label(enum.Enum):
-    """Classification of a candidate against the C-PNN conditions.
+    """Classification of a candidate against the query's conditions.
 
     Mirrors the three outcomes of the paper's classifier (Section
     III-B): *satisfy* objects are answers, *fail* objects can never be
@@ -39,8 +63,8 @@ class Label(enum.Enum):
 
 
 @dataclass(frozen=True)
-class CPNNQuery:
-    """A C-PNN query: point ``q`` with threshold ``P`` and tolerance ``Δ``.
+class QuerySpec:
+    """Base of the typed query-spec hierarchy.
 
     Attributes
     ----------
@@ -62,6 +86,54 @@ class CPNNQuery:
             raise ValueError("threshold P must lie in (0, 1]")
         if not 0.0 <= self.tolerance <= 1.0:
             raise ValueError("tolerance Δ must lie in [0, 1]")
+
+
+@dataclass(frozen=True)
+class CPNNQuery(QuerySpec):
+    """A C-PNN query: point ``q`` with threshold ``P`` and tolerance ``Δ``.
+
+    The paper's Definition 1, unchanged — the spec carries no extra
+    fields beyond the :class:`QuerySpec` base.
+    """
+
+
+@dataclass(frozen=True)
+class CKNNQuery(QuerySpec):
+    """A constrained probabilistic k-NN query (Section VI future work).
+
+    Returns the objects whose probability of being among the ``k``
+    nearest neighbours of ``q`` is at least ``threshold``.  The k-NN
+    bounds are either exact or the verifier's algebraic pair, so
+    ``tolerance`` is currently inert (kept for the shared contract);
+    its default is 0 accordingly.
+    """
+
+    tolerance: float = 0.0
+    k: int = field(kw_only=True)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if int(self.k) != self.k or self.k < 1:
+            raise ValueError("k must be an integer >= 1")
+
+
+@dataclass(frozen=True)
+class CRangeQuery(QuerySpec):
+    """A constrained probabilistic range query.
+
+    Returns the objects within ``radius`` of ``q`` with probability at
+    least ``threshold``.  Range probabilities are evaluated exactly
+    (either by a bounding-box decision or one cdf lookup), so
+    ``tolerance`` never changes the answer; its default is 0.
+    """
+
+    tolerance: float = 0.0
+    radius: float = field(kw_only=True)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.radius < 0.0:
+            raise ValueError("radius must be non-negative")
 
 
 @dataclass
@@ -94,8 +166,12 @@ class AnswerRecord:
 
 
 @dataclass
-class CPNNResult:
-    """Outcome of a C-PNN evaluation.
+class QueryResult:
+    """Uniform outcome of one :meth:`UncertainEngine.execute` call.
+
+    Every spec type — C-PNN, k-NN, range — produces this same shape
+    (DESIGN.md §4); fields that a family does not populate keep their
+    defaults.
 
     Attributes
     ----------
@@ -103,20 +179,31 @@ class CPNNResult:
         Keys of the objects labelled *satisfy*, i.e. the query answer.
     records:
         Per-candidate diagnostics (final bound, label, exact
-        probability when it was computed).
+        probability when it was computed).  C-PNN results carry one
+        record per *filtered candidate*; k-NN and range results carry
+        one record per object (pruned objects have 0/0 bounds),
+        matching their pre-façade scalar paths.
     fmin:
-        The filtering radius used to prune.
+        The filtering radius used to prune (``f_min`` for PNN,
+        ``f_min^k`` for k-NN, the query radius for range queries).
     timings:
         Per-phase wall-clock times (Figure 11's decomposition).
     unknown_after_verifier:
         Fraction of candidates still unknown after each verifier in
         the chain ran (Figure 12's series); empty when verification
-        was skipped.
+        was skipped or the family has a single-stage verifier.
     finished_after_verification:
         Whether the query needed no refinement at all (Figure 13's
         metric).
     refined_objects:
-        Number of candidates that entered the refinement phase.
+        Number of candidates that entered the exact-evaluation /
+        refinement phase.
+    spec:
+        The (normalised) spec that produced this result, when it came
+        through the ``execute``/``execute_batch`` façade.
+    cache_hits / cache_misses:
+        Distance-distribution cache traffic attributable to this
+        query, for paths routed through the engine's LRU cache.
     """
 
     answers: tuple
@@ -126,9 +213,90 @@ class CPNNResult:
     unknown_after_verifier: dict[str, float] = field(default_factory=dict)
     finished_after_verification: bool = False
     refined_objects: int = 0
+    spec: QuerySpec | None = None
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def record_for(self, key: Hashable) -> AnswerRecord:
         for record in self.records:
             if record.key == key:
                 return record
         raise KeyError(key)
+
+
+#: Legacy name of :class:`QueryResult` (pre-façade API), kept as an
+#: alias so existing imports and isinstance checks continue to work.
+CPNNResult = QueryResult
+
+
+@dataclass
+class QueryPlan:
+    """The plan/stats view returned by :meth:`UncertainEngine.explain`.
+
+    A cheap, side-effect-free description of how ``execute`` would
+    evaluate a spec: which pipeline stages run, which index serves the
+    filtering phase, what the filter would keep, and the current state
+    of the engine's caches.  Only the filtering phase is actually
+    executed (no distributions are built, no probability is computed).
+
+    Attributes
+    ----------
+    spec:
+        The normalised spec being explained.
+    family:
+        ``'cpnn'`` / ``'cknn'`` / ``'crange'``.
+    strategy:
+        The evaluation strategy a C-PNN spec would use; ``None`` for
+        families without strategy variants.
+    index:
+        ``'rtree'`` or ``'linear'`` — what serves single-query PNN
+        filtering (batch paths always use the vectorised MBR sweep).
+    stages:
+        Human-readable pipeline stages, in execution order.
+    verifiers:
+        Names of the verifier chain a C-PNN spec would run (empty for
+        other families or non-VR strategies).
+    candidates:
+        Objects surviving the filtering phase (for range specs: the
+        objects whose bounding boxes straddle the range and therefore
+        need probability evaluation).
+    pruned:
+        Objects eliminated by filtering alone (for range specs this
+        counts both certain-outside *and* certain-inside objects —
+        everything decided without touching a pdf).
+    fmin:
+        The pruning radius filtering would use (``f_min``,
+        ``f_min^k``, or the query radius).
+    caches:
+        Snapshot of the engine's cache configuration and counters.
+    """
+
+    spec: QuerySpec
+    family: str
+    strategy: str | None
+    index: str
+    stages: list[str] = field(default_factory=list)
+    verifiers: tuple[str, ...] = ()
+    candidates: int = 0
+    pruned: int = 0
+    fmin: float = float("nan")
+    caches: dict = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """A printable multi-line summary of the plan."""
+        lines = [
+            f"{type(self.spec).__name__} @ q={self.spec.q!r} "
+            f"(P={self.spec.threshold}, Δ={self.spec.tolerance})",
+            f"  family    : {self.family}"
+            + (f"  strategy: {self.strategy}" if self.strategy else ""),
+            f"  index     : {self.index}",
+            f"  filtering : {self.candidates} candidates "
+            f"({self.pruned} pruned), radius {self.fmin:.6g}",
+        ]
+        if self.verifiers:
+            lines.append("  verifiers : " + " → ".join(self.verifiers))
+        for i, stage in enumerate(self.stages, 1):
+            lines.append(f"  stage {i}   : {stage}")
+        for name, stats in self.caches.items():
+            lines.append(f"  cache     : {name} {stats}")
+        return "\n".join(lines)

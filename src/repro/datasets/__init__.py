@@ -6,7 +6,7 @@ uncertainty regions with uniform pdfs", with randomly generated query
 points and an average candidate-set size of 96.  The dataset itself is
 a census.gov download that is not available offline, so
 :mod:`repro.datasets.longbeach` generates a statistically matched
-surrogate (see DESIGN.md §4 for the substitution argument); generic
+surrogate (see DESIGN.md §10 for the substitution argument); generic
 synthetic workloads live in :mod:`repro.datasets.synthetic`.
 """
 

@@ -10,7 +10,7 @@ Run from the command line::
     python -m repro.experiments fig10
     python -m repro.experiments all --queries 20
 
-Index (see DESIGN.md §3 for the full mapping):
+Index (see DESIGN.md §9 for the full mapping):
 
 =========  ====================================================
 fig9       Basic vs Filtering time as table size grows

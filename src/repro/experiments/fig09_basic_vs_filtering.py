@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.types import CPNNQuery
 from repro.experiments.report import ExperimentResult, Series
 from repro.experiments.workloads import DEFAULT_QUERY_SEED, cached_engine, query_points
 
@@ -49,7 +50,9 @@ def run(params: Fig09Params | None = None) -> ExperimentResult:
         engine = cached_engine(n, mean_length=params.mean_length)
         filter_times, basic_times, cand_sizes = [], [], []
         for q in query_points(params.n_queries, seed=params.seed):
-            res = engine.query(q, threshold=0.3, tolerance=0.0, strategy="basic")
+            res = engine.execute(
+                CPNNQuery(float(q), threshold=0.3, tolerance=0.0), strategy="basic"
+            )
             filter_times.append(res.timings.filtering)
             basic_times.append(res.timings.refinement)
             cand_sizes.append(len(res.records))

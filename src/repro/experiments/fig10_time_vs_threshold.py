@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.types import CPNNQuery
 from repro.experiments.report import ExperimentResult, Series
 from repro.experiments.workloads import DEFAULT_QUERY_SEED, cached_engine, query_points
 
@@ -53,10 +54,10 @@ def run(params: Fig10Params | None = None) -> ExperimentResult:
         for name in ("basic", "refine", "vr"):
             times = []
             for q in points:
-                res = engine.query(
-                    q,
-                    threshold=threshold,
-                    tolerance=params.tolerance,
+                res = engine.execute(
+                    CPNNQuery(
+                        float(q), threshold=threshold, tolerance=params.tolerance
+                    ),
                     strategy=name,
                 )
                 times.append(res.timings.total)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.types import CPNNQuery
 from repro.experiments.report import ExperimentResult, Series
 from repro.experiments.workloads import DEFAULT_QUERY_SEED, cached_engine, query_points
 
@@ -49,8 +50,9 @@ def run(params: Fig11Params | None = None) -> ExperimentResult:
     for threshold in params.thresholds:
         f, v, r, n_ref = [], [], [], []
         for q in points:
-            res = engine.query(
-                q, threshold=threshold, tolerance=params.tolerance, strategy="vr"
+            res = engine.execute(
+                CPNNQuery(float(q), threshold=threshold, tolerance=params.tolerance),
+                strategy="vr",
             )
             f.append(res.timings.filtering)
             # The paper's three-phase accounting charges initialisation

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.types import CPNNQuery
 from repro.experiments.report import ExperimentResult, Series
 from repro.experiments.workloads import DEFAULT_QUERY_SEED, cached_engine, query_points
 
@@ -55,8 +56,9 @@ def run(params: Fig12Params | None = None) -> ExperimentResult:
     for threshold in params.thresholds:
         sums = {name: [] for name in _VERIFIER_ORDER}
         for q in points:
-            res = engine.query(
-                q, threshold=threshold, tolerance=params.tolerance, strategy="vr"
+            res = engine.execute(
+                CPNNQuery(float(q), threshold=threshold, tolerance=params.tolerance),
+                strategy="vr",
             )
             last = 1.0
             for name in _VERIFIER_ORDER:

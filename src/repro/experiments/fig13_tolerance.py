@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.types import CPNNQuery
 from repro.experiments.report import ExperimentResult, Series
 from repro.experiments.workloads import DEFAULT_QUERY_SEED, cached_engine, query_points
 
@@ -49,8 +50,9 @@ def run(params: Fig13Params | None = None) -> ExperimentResult:
     for tolerance in params.tolerances:
         flags, r_times = [], []
         for q in points:
-            res = engine.query(
-                q, threshold=params.threshold, tolerance=tolerance, strategy="vr"
+            res = engine.execute(
+                CPNNQuery(float(q), threshold=params.threshold, tolerance=tolerance),
+                strategy="vr",
             )
             flags.append(1.0 if res.finished_after_verification else 0.0)
             r_times.append(res.timings.refinement)

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.types import CPNNQuery
 from repro.experiments.report import ExperimentResult, Series
 from repro.experiments.workloads import DEFAULT_QUERY_SEED, cached_engine, query_points
 
@@ -57,10 +58,10 @@ def run(params: Fig14Params | None = None) -> ExperimentResult:
         for name in ("basic", "refine", "vr"):
             times = []
             for q in points:
-                res = engine.query(
-                    q,
-                    threshold=threshold,
-                    tolerance=params.tolerance,
+                res = engine.execute(
+                    CPNNQuery(
+                        float(q), threshold=threshold, tolerance=params.tolerance
+                    ),
                     strategy=name,
                 )
                 times.append(res.timings.total)

@@ -11,7 +11,7 @@ from functools import lru_cache
 
 import numpy as np
 
-from repro.core.engine import CPNNEngine, EngineConfig
+from repro.core.engine import EngineConfig, UncertainEngine
 from repro.datasets.longbeach import LONG_BEACH_DOMAIN, long_beach_surrogate
 from repro.datasets.queries import random_query_points
 
@@ -26,11 +26,11 @@ def cached_engine(
     pdf: str = "uniform",
     bars: int = 300,
     mean_length: float | None = None,
-) -> CPNNEngine:
-    """A C-PNN engine over the Long Beach surrogate (memoised)."""
+) -> UncertainEngine:
+    """An engine over the Long Beach surrogate (memoised)."""
     kwargs = {} if mean_length is None else {"mean_length": mean_length}
     objects = long_beach_surrogate(n=n, pdf=pdf, bars=bars, **kwargs)
-    return CPNNEngine(objects, EngineConfig())
+    return UncertainEngine(objects, EngineConfig())
 
 
 def query_points(n_queries: int, seed: int = DEFAULT_QUERY_SEED) -> np.ndarray:

@@ -134,11 +134,16 @@ class BatchMbrFilter:
             raise ValueError("query point dimensionality mismatch")
         return matrix
 
-    def __call__(self, points: Sequence) -> list[FilterResult]:
-        """Filter every query point; returns one result per point.
+    def matrices(self, points: Sequence) -> tuple[np.ndarray, np.ndarray]:
+        """MBR ``mindist`` / ``maxdist`` of every (query, object) pair.
 
-        ``stats`` counters are left at zero — there is no tree
-        traversal to count.
+        Returns two ``(B, N)`` matrices.  The arithmetic mirrors
+        :meth:`repro.index.geometry.Rect.mindist` / ``maxdist``
+        operation for operation, so the values are bit-identical to the
+        per-object methods (for 1-D objects they also equal the
+        objects' own ``mindist``/``maxdist``; 2-D regions may be
+        strictly tighter than their MBR, so callers needing the exact
+        region distances must re-check straddling objects).
         """
         queries = self._as_matrix(points)  # (B, d)
         diff_lo = self._lows[None, :, :] - queries[:, None, :]  # lo - q
@@ -152,14 +157,49 @@ class BatchMbrFilter:
         np.multiply(gap, gap, out=gap)
         mindist = gap.sum(axis=2)
         np.sqrt(mindist, out=mindist)
+        return mindist, maxdist
+
+    def __call__(self, points: Sequence) -> list[FilterResult]:
+        """Filter every query point; returns one result per point.
+
+        ``stats`` counters are left at zero — there is no tree
+        traversal to count.
+        """
+        mindist, maxdist = self.matrices(points)
         fmins = maxdist.min(axis=1)
         keep = mindist <= fmins[:, None]
         results = []
-        for b in range(queries.shape[0]):
+        for b in range(keep.shape[0]):
             candidates = tuple(
                 self._objects[i] for i in np.flatnonzero(keep[b])
             )
             results.append(
                 FilterResult(candidates=candidates, fmin=float(fmins[b]))
             )
+        return results
+
+    def kth_filter(
+        self, points: Sequence, ks: Sequence[int]
+    ) -> list[tuple[np.ndarray, float]]:
+        """k-NN filtering: survivors of the ``f_min^k`` pruning rule.
+
+        For query ``b`` with ``ks[b] = k``, let ``f_min^k`` be the
+        k-th smallest MBR ``maxdist``: any object whose MBR ``mindist``
+        exceeds it certainly has at least ``k`` objects closer, so its
+        probability of being among the ``k`` nearest is exactly zero
+        (the generalisation of reference [8]'s PNN rule).  Returns, per
+        query, the surviving object *indices* (ascending insertion
+        order) and the pruning radius.  Guaranteed to keep at least
+        ``k`` objects.  ``ks[b]`` must lie in [1, N].
+        """
+        mindist, maxdist = self.matrices(points)
+        results = []
+        n = len(self._objects)
+        for b, k in enumerate(ks):
+            k = int(k)
+            if not 1 <= k <= n:
+                raise ValueError("k must lie in [1, number of objects]")
+            fmin_k = float(np.partition(maxdist[b], k - 1)[k - 1])
+            survivors = np.flatnonzero(mindist[b] <= fmin_k)
+            results.append((survivors, fmin_k))
         return results

@@ -12,6 +12,10 @@ from repro.uncertainty.objects import UncertainObject
 from repro.uncertainty.twod import UncertainDisk, UncertainRectangle, UncertainSegment
 from tests.conftest import make_random_objects
 
+# This module exercises the pre-facade entry points on purpose: it is
+# the regression suite for the deprecation shims (DESIGN.md §7).
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 def query_points(rng, n=12, domain=(-5.0, 65.0)):
     return [float(q) for q in rng.uniform(*domain, size=n)]

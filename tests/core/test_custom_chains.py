@@ -16,6 +16,10 @@ from repro.core.verifiers import (
 )
 from tests.conftest import make_random_objects
 
+# This module exercises the pre-facade entry points on purpose: it is
+# the regression suite for the deprecation shims (DESIGN.md §7).
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 def chain_of(*verifiers):
     return lambda: VerifierChain(list(verifiers))

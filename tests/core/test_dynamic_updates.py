@@ -6,6 +6,10 @@ from repro.core.engine import CPNNEngine, EngineConfig
 from repro.uncertainty.objects import UncertainObject
 from tests.conftest import make_random_objects
 
+# This module exercises the pre-facade entry points on purpose: it is
+# the regression suite for the deprecation shims (DESIGN.md §7).
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 class TestInsert:
     def test_inserted_object_visible(self, rng):

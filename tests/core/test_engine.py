@@ -8,6 +8,10 @@ from repro.core.types import CPNNQuery, Label
 from repro.uncertainty.objects import UncertainObject
 from tests.conftest import make_random_objects, two_object_textbook_case
 
+# This module exercises the pre-facade entry points on purpose: it is
+# the regression suite for the deprecation shims (DESIGN.md §7).
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 class TestConfiguration:
     def test_default_strategy_is_vr(self):

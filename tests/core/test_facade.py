@@ -1,0 +1,418 @@
+"""Unit tests for the unified query façade.
+
+``UncertainEngine.execute`` / ``execute_batch`` / ``explain`` over the
+typed spec hierarchy, the ``pipeline`` verifier-chain hook, the
+uniform empty-input semantics, and the deprecation shims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import CPNNEngine, EngineConfig, Strategy, UncertainEngine
+from repro.core.knn import CKNNEngine
+from repro.core.range_query import constrained_range_query
+from repro.core.types import (
+    CKNNQuery,
+    CPNNQuery,
+    CRangeQuery,
+    Label,
+    QueryPlan,
+    QueryResult,
+    QuerySpec,
+)
+from repro.core.verifiers import RightmostSubregionVerifier, VerifierChain
+from repro.uncertainty.objects import UncertainObject
+from tests.conftest import make_random_objects
+
+
+def records_tuple(result):
+    return [
+        (r.key, r.label, r.lower, r.upper, r.exact) for r in result.records
+    ]
+
+
+class TestSpecHierarchy:
+    def test_common_base(self):
+        assert issubclass(CPNNQuery, QuerySpec)
+        assert issubclass(CKNNQuery, QuerySpec)
+        assert issubclass(CRangeQuery, QuerySpec)
+
+    def test_defaults(self):
+        assert CPNNQuery(1.0).threshold == 0.3
+        assert CPNNQuery(1.0).tolerance == 0.01
+        # k-NN / range answers are exact, so their tolerance defaults to 0.
+        assert CKNNQuery(1.0, k=2).tolerance == 0.0
+        assert CRangeQuery(1.0, radius=1.0).tolerance == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CPNNQuery(1.0, threshold=0.0)
+        with pytest.raises(ValueError):
+            CPNNQuery(1.0, tolerance=1.5)
+        with pytest.raises(ValueError):
+            CKNNQuery(1.0, k=0)
+        with pytest.raises(ValueError):
+            CKNNQuery(1.0, k=1.5)
+        with pytest.raises(ValueError):
+            CRangeQuery(1.0, radius=-0.1)
+
+    def test_k_and_radius_are_keyword_only(self):
+        with pytest.raises(TypeError):
+            CKNNQuery(1.0, 0.3, 0.0, 2)  # noqa: too many positional args
+
+
+class TestExecuteDispatch:
+    def test_each_family_returns_query_result(self, rng):
+        engine = UncertainEngine(make_random_objects(rng, 8))
+        for spec in (
+            CPNNQuery(30.0, 0.3, 0.0),
+            CKNNQuery(30.0, threshold=0.3, k=2),
+            CRangeQuery(30.0, threshold=0.3, radius=5.0),
+        ):
+            result = engine.execute(spec)
+            assert isinstance(result, QueryResult)
+            assert result.spec is spec
+            assert result.timings.total >= 0.0
+
+    def test_bare_point_becomes_default_cpnn(self, rng):
+        engine = UncertainEngine(make_random_objects(rng, 6))
+        result = engine.execute(30.0)
+        assert isinstance(result.spec, CPNNQuery)
+        assert result.spec.threshold == 0.3
+
+    def test_strategy_override(self, rng):
+        engine = UncertainEngine(make_random_objects(rng, 8))
+        spec = CPNNQuery(30.0, 0.3, 0.0)
+        vr = engine.execute(spec, strategy=Strategy.VR)
+        basic = engine.execute(spec, strategy=Strategy.BASIC)
+        assert set(vr.answers) == set(basic.answers)
+        assert basic.refined_objects == len(basic.records)
+        with pytest.raises(ValueError):
+            engine.execute(spec, strategy="nope")
+        # Typos are rejected for every spec family and batch shape.
+        with pytest.raises(ValueError):
+            engine.execute(CKNNQuery(30.0, k=2), strategy="nope")
+        with pytest.raises(ValueError):
+            engine.execute_batch([CKNNQuery(30.0, k=2)], strategy="nope")
+
+    def test_legacy_query_rejects_other_spec_types(self, rng):
+        engine = UncertainEngine(make_random_objects(rng, 4))
+        with pytest.raises(TypeError):
+            with pytest.warns(DeprecationWarning):
+                engine.query(CKNNQuery(1.0, k=2))
+
+    def test_knn_covers_everything(self, rng):
+        objects = make_random_objects(rng, 4)
+        engine = UncertainEngine(objects)
+        result = engine.execute(CKNNQuery(0.0, threshold=0.5, k=10))
+        assert set(result.answers) == {o.key for o in objects}
+        assert all(r.exact == 1.0 for r in result.records)
+
+    def test_mixed_batch_preserves_input_order(self, rng):
+        engine = UncertainEngine(make_random_objects(rng, 10))
+        specs = [
+            CKNNQuery(10.0, threshold=0.2, k=2),
+            CPNNQuery(20.0, 0.3, 0.0),
+            CRangeQuery(30.0, threshold=0.5, radius=4.0),
+            CPNNQuery(40.0, 0.3, 0.0),
+            CKNNQuery(50.0, threshold=0.2, k=1),
+        ]
+        batch = engine.execute_batch(specs)
+        assert len(batch) == len(specs)
+        for spec, result in zip(specs, batch):
+            assert result.spec is spec
+            loop = engine.execute(spec)
+            assert result.answers == loop.answers
+            assert records_tuple(result) == records_tuple(loop)
+
+    def test_knn_cache_counters(self, rng):
+        engine = UncertainEngine(make_random_objects(rng, 10))
+        spec = CKNNQuery(30.0, threshold=0.3, k=2)
+        first = engine.execute(spec)
+        assert first.cache_misses > 0
+        second = engine.execute(spec)
+        assert second.cache_hits == first.cache_misses
+        assert second.cache_misses == 0
+
+
+class TestKnnRoutedEdgeCases:
+    """Deterministic shapes the random property tests rarely hit."""
+
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
+    def test_exactly_k_survivors_matches_scalar(self):
+        # Three tight objects near q, five far away: the f_min^k filter
+        # keeps exactly k = 3 survivors, exercising the lower-bound
+        # collapse branch (the scalar path's cut lies beyond f_min^k).
+        objects = [
+            UncertainObject.uniform("a", 0.0, 1.0),
+            UncertainObject.uniform("b", 0.2, 1.1),
+            UncertainObject.uniform("c", 0.1, 0.9),
+        ] + [
+            UncertainObject.uniform(f"far-{i}", 50.0 + 2 * i, 51.0 + 2 * i)
+            for i in range(5)
+        ]
+        engine = UncertainEngine(objects)
+        for threshold in (0.1, 0.5, 0.9, 1.0):
+            for k in (1, 2, 3, 4):
+                result = engine.execute(CKNNQuery(0.5, threshold=threshold, k=k))
+                answers, records = CKNNEngine(objects, k=k).query(
+                    0.5, threshold=threshold
+                )
+                assert result.answers == answers, (threshold, k)
+                assert records_tuple(result) == [
+                    (r.key, r.label, r.lower, r.upper, r.exact) for r in records
+                ], (threshold, k)
+
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
+    def test_duplicate_near_points_match_scalar(self):
+        # Ties in the sorted near-point list exercise the
+        # first-occurrence (list.index) replay in the routed bounds.
+        objects = [
+            UncertainObject.uniform("t1", 0.0, 1.0),
+            UncertainObject.uniform("t2", 0.0, 1.0),
+            UncertainObject.uniform("t3", 0.0, 2.0),
+            UncertainObject.uniform("t4", 5.0, 6.0),
+        ]
+        engine = UncertainEngine(objects)
+        for threshold in (0.2, 0.6):
+            for k in (1, 2, 3):
+                result = engine.execute(CKNNQuery(0.0, threshold=threshold, k=k))
+                answers, records = CKNNEngine(objects, k=k).query(
+                    0.0, threshold=threshold
+                )
+                assert result.answers == answers, (threshold, k)
+                assert records_tuple(result) == [
+                    (r.key, r.label, r.lower, r.upper, r.exact) for r in records
+                ], (threshold, k)
+
+
+class TestEmptyInputs:
+    """Satellite regression: empty datasets/batches return empty results
+    uniformly across the façade, while the legacy entry points keep
+    their raising behaviour."""
+
+    def test_empty_engine_executes_all_families(self):
+        engine = UncertainEngine([])
+        for spec in (
+            CPNNQuery(1.0),
+            CKNNQuery(1.0, k=3),
+            CRangeQuery(1.0, radius=2.0),
+        ):
+            result = engine.execute(spec)
+            assert result.answers == ()
+            assert result.records == []
+            assert result.spec is spec
+
+    def test_empty_engine_execute_batch(self):
+        engine = UncertainEngine([])
+        batch = engine.execute_batch(
+            [CPNNQuery(1.0), CKNNQuery(2.0, k=1), CRangeQuery(3.0, radius=1.0)]
+        )
+        assert len(batch) == 3
+        assert all(result.answers == () for result in batch)
+
+    def test_empty_batch_on_populated_engine(self, rng):
+        engine = UncertainEngine(make_random_objects(rng, 4))
+        batch = engine.execute_batch([])
+        assert len(batch) == 0
+
+    def test_legacy_entry_points_still_raise_on_empty(self):
+        with pytest.raises(ValueError):
+            CPNNEngine([])
+        with pytest.raises(ValueError):
+            with pytest.warns(DeprecationWarning):
+                CKNNEngine([], k=1)
+        with pytest.raises(ValueError):
+            with pytest.warns(DeprecationWarning):
+                constrained_range_query([], 0.0, 1.0, 0.5)
+        engine = UncertainEngine([])
+        with pytest.raises(ValueError):
+            with pytest.warns(DeprecationWarning):
+                engine.query(1.0)
+        with pytest.raises(ValueError):
+            with pytest.warns(DeprecationWarning):
+                engine.query_batch([1.0])
+        with pytest.raises(ValueError):
+            engine.pnn(1.0)
+
+    def test_facade_works_after_remove_to_empty_and_insert(self):
+        engine = UncertainEngine([UncertainObject.uniform("solo", 0.0, 1.0)])
+        assert engine.remove("solo")
+        assert engine.execute(CKNNQuery(0.5, k=1)).answers == ()
+        engine.insert(UncertainObject.uniform("b", 2.0, 3.0))
+        assert engine.execute(CRangeQuery(2.5, threshold=0.9, radius=1.0)).answers == (
+            "b",
+        )
+
+
+class TestDeprecationShims:
+    def test_query_warns_and_matches_execute(self, rng):
+        engine = UncertainEngine(make_random_objects(rng, 8))
+        with pytest.warns(DeprecationWarning, match="execute"):
+            legacy = engine.query(30.0, threshold=0.3, tolerance=0.0)
+        fresh = engine.execute(CPNNQuery(30.0, threshold=0.3, tolerance=0.0))
+        assert legacy.answers == fresh.answers
+        assert records_tuple(legacy) == records_tuple(fresh)
+
+    def test_query_batch_warns_and_matches_execute_batch(self, rng):
+        engine = UncertainEngine(make_random_objects(rng, 8))
+        points = [10.0, 30.0, 50.0]
+        with pytest.warns(DeprecationWarning, match="execute_batch"):
+            legacy = engine.query_batch(points, threshold=0.3, tolerance=0.0)
+        fresh = engine.execute_batch(
+            [CPNNQuery(p, threshold=0.3, tolerance=0.0) for p in points]
+        )
+        assert legacy.answers == fresh.answers
+
+    def test_query_batch_validates_strategy_even_when_empty(self, rng):
+        # The pre-façade code validated strategy before the empty-points
+        # early return; the shim must too.
+        engine = UncertainEngine(make_random_objects(rng, 3))
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                engine.query_batch([], strategy="bogus")
+
+    def test_cknn_engine_warns(self, rng):
+        with pytest.warns(DeprecationWarning, match="CKNNQuery"):
+            CKNNEngine(make_random_objects(rng, 3), k=1)
+
+    def test_constrained_range_query_warns(self, rng):
+        with pytest.warns(DeprecationWarning, match="CRangeQuery"):
+            constrained_range_query(make_random_objects(rng, 3), 0.0, 1.0, 0.5)
+
+
+class TestPipelineHook:
+    def test_custom_chain_per_spec_type(self, rng):
+        calls = []
+
+        def pipeline(spec_type):
+            calls.append(spec_type)
+            if spec_type is CPNNQuery:
+                return VerifierChain([RightmostSubregionVerifier()])
+            return None
+
+        engine = UncertainEngine(
+            make_random_objects(rng, 10), EngineConfig(pipeline=pipeline)
+        )
+        result = engine.execute(CPNNQuery(30.0, 0.3, 0.01))
+        assert set(result.unknown_after_verifier) <= {"RS"}
+        engine.execute(CPNNQuery(31.0, 0.3, 0.01))
+        assert calls == [CPNNQuery]  # resolved once, then cached
+
+    def test_default_chain_when_hook_returns_none(self, rng):
+        engine = UncertainEngine(
+            make_random_objects(rng, 10), EngineConfig(pipeline=lambda t: None)
+        )
+        result = engine.execute(CPNNQuery(30.0, 0.3, 0.01))
+        default = UncertainEngine(make_random_objects(rng, 10))
+        assert set(result.unknown_after_verifier) <= {"RS", "L-SR", "U-SR"}
+        assert default.config.pipeline is None
+
+    def test_mixed_pnn_family_types_use_their_own_chains(self, rng):
+        # A custom QuerySpec subclass routes down the PNN path; with a
+        # per-type pipeline hook, batch and loop must still agree.
+        class MySpec(QuerySpec):
+            pass
+
+        def pipeline(spec_type):
+            if spec_type is MySpec:
+                return VerifierChain([RightmostSubregionVerifier()])
+            return None
+
+        engine = UncertainEngine(
+            make_random_objects(rng, 10), EngineConfig(pipeline=pipeline)
+        )
+        specs = [CPNNQuery(30.0, 0.3, 0.01), MySpec(31.0, 0.3, 0.01)]
+        batch = engine.execute_batch(specs)
+        for spec, batched in zip(specs, batch):
+            single = engine.execute(spec)
+            assert batched.answers == single.answers
+            assert records_tuple(batched) == records_tuple(single)
+        assert set(batch[1].unknown_after_verifier) <= {"RS"}
+
+    def test_bad_hook_return_raises(self, rng):
+        engine = UncertainEngine(
+            make_random_objects(rng, 4), EngineConfig(pipeline=lambda t: 42)
+        )
+        with pytest.raises(TypeError):
+            engine.execute(CPNNQuery(30.0))
+
+    def test_non_callable_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(pipeline="not-a-callable")
+
+
+class TestExplain:
+    def test_cpnn_plan(self, rng):
+        objects = make_random_objects(rng, 12)
+        engine = UncertainEngine(objects)
+        plan = engine.explain(CPNNQuery(30.0, 0.3, 0.01))
+        assert isinstance(plan, QueryPlan)
+        assert plan.family == "cpnn"
+        assert plan.strategy == Strategy.VR
+        assert plan.verifiers == ("RS", "L-SR", "U-SR")
+        assert plan.candidates + plan.pruned == len(objects)
+        assert np.isfinite(plan.fmin)
+        assert "verifier" in plan.describe() or "RS" in plan.describe()
+
+    def test_knn_plan_counts_survivors(self, rng):
+        objects = make_random_objects(rng, 12)
+        engine = UncertainEngine(objects)
+        plan = engine.explain(CKNNQuery(30.0, threshold=0.3, k=2))
+        assert plan.family == "cknn"
+        assert 2 <= plan.candidates <= len(objects)
+        assert plan.candidates + plan.pruned == len(objects)
+        result = engine.execute(CKNNQuery(30.0, threshold=0.3, k=2))
+        nonzero = sum(1 for r in result.records if r.upper > 0.0)
+        assert nonzero <= plan.candidates
+
+    def test_range_plan_counts(self, rng):
+        objects = make_random_objects(rng, 12)
+        engine = UncertainEngine(objects)
+        plan = engine.explain(CRangeQuery(30.0, threshold=0.5, radius=5.0))
+        assert plan.family == "crange"
+        assert plan.candidates + plan.pruned == len(objects)
+        assert plan.fmin == 5.0
+
+    def test_empty_engine_plan(self):
+        plan = UncertainEngine([]).explain(CPNNQuery(1.0))
+        assert plan.index == "none"
+        assert plan.candidates == 0
+        assert "empty" in plan.stages[0]
+
+    def test_explain_computes_no_probabilities(self, rng):
+        engine = UncertainEngine(make_random_objects(rng, 6))
+        before = len(engine._distribution_cache) if engine._distribution_cache else 0
+        engine.explain(CKNNQuery(30.0, k=2))
+        engine.explain(CRangeQuery(30.0, radius=2.0))
+        after = len(engine._distribution_cache) if engine._distribution_cache else 0
+        assert before == after
+
+
+class TestLegacyAlias:
+    def test_cpnn_engine_is_uncertain_engine(self, rng):
+        engine = CPNNEngine(make_random_objects(rng, 4))
+        assert isinstance(engine, UncertainEngine)
+        # The alias serves the new façade too.
+        result = engine.execute(CKNNQuery(30.0, threshold=0.3, k=1))
+        assert isinstance(result, QueryResult)
+
+    def test_pnn_unchanged(self, rng):
+        objects = make_random_objects(rng, 8)
+        assert CPNNEngine(objects).pnn(30.0) == UncertainEngine(objects).pnn(30.0)
+
+    def test_range_labels(self, rng):
+        engine = UncertainEngine(
+            [
+                UncertainObject.uniform("inside", 1.0, 2.0),
+                UncertainObject.uniform("straddle", 4.0, 6.0),
+                UncertainObject.uniform("outside", 50.0, 51.0),
+            ]
+        )
+        result = engine.execute(CRangeQuery(0.0, threshold=0.5, radius=5.0))
+        by_key = {r.key: r for r in result.records}
+        assert by_key["inside"].label is Label.SATISFY
+        assert by_key["inside"].exact is None  # decided by MBR alone
+        assert by_key["straddle"].exact == pytest.approx(0.5)
+        assert by_key["outside"].label is Label.FAIL
+        assert result.refined_objects == 1

@@ -13,6 +13,10 @@ from repro.core.verifiers import (
 )
 from tests.conftest import make_random_objects, two_object_textbook_case
 
+# This module exercises the pre-facade entry points on purpose: it is
+# the regression suite for the deprecation shims (DESIGN.md §7).
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 def tables(objects, q, grids=(1, 2, 4)):
     dists = [o.distance_distribution(q) for o in objects]

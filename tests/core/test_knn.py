@@ -12,6 +12,10 @@ from repro.core.knn import (
 from repro.uncertainty.objects import UncertainObject
 from tests.conftest import make_random_objects
 
+# This module exercises the pre-facade entry points on purpose: it is
+# the regression suite for the deprecation shims (DESIGN.md §7).
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 class TestKthSmallestFar:
     def test_basic(self, rng):

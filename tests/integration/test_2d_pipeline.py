@@ -16,6 +16,10 @@ from repro.uncertainty.twod import (
     UncertainSegment,
 )
 
+# This module exercises the pre-facade entry points on purpose: it is
+# the regression suite for the deprecation shims (DESIGN.md §7).
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 def mixed_2d_objects(rng, n=8):
     objects = []

@@ -12,6 +12,10 @@ import pytest
 from repro.core.engine import CPNNEngine, Strategy
 from tests.conftest import make_random_objects
 
+# This module exercises the pre-facade entry points on purpose: it is
+# the regression suite for the deprecation shims (DESIGN.md §7).
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 _SLACK = 1e-7  # numerical slack on the probability comparisons
 
 

@@ -12,6 +12,10 @@ from repro.core.engine import CPNNEngine
 from repro.datasets.longbeach import long_beach_surrogate
 from repro.datasets.queries import random_query_points
 
+# This module exercises the pre-facade entry points on purpose: it is
+# the regression suite for the deprecation shims (DESIGN.md §7).
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 @pytest.fixture(scope="module")
 def engine():

@@ -15,6 +15,10 @@ from repro.core.types import CPNNQuery
 from repro.datasets.synthetic import mixed_pdf_objects
 from tests.conftest import make_random_objects
 
+# This module exercises the pre-facade entry points on purpose: it is
+# the regression suite for the deprecation shims (DESIGN.md §7).
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 class TestFourWayAgreement:
     def test_uniform_workload(self, rng):

@@ -8,12 +8,17 @@ with the exact ``{i : p_i ≥ P}`` semantics.  Exercised across all
 three strategies and across 1-D and 2-D object mixes.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.engine import CPNNEngine, EngineConfig, Strategy
 from repro.uncertainty.objects import UncertainObject
 from repro.uncertainty.twod import UncertainDisk, UncertainRectangle, UncertainSegment
+
+# This module exercises the pre-facade entry points on purpose: it is
+# the regression suite for the deprecation shims (DESIGN.md §7).
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 @st.composite

@@ -1,11 +1,16 @@
 """Property-based engine contract tests over random workloads."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.engine import CPNNEngine, Strategy
 from repro.uncertainty.objects import UncertainObject
+
+# This module exercises the pre-facade entry points on purpose: it is
+# the regression suite for the deprecation shims (DESIGN.md §7).
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 SLACK = 1e-7
 

@@ -1,11 +1,16 @@
 """Property-based tests for the k-NN extension."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.knn import CKNNEngine, knn_qualification_probabilities
 from repro.uncertainty.objects import UncertainObject
+
+# This module exercises the pre-facade entry points on purpose: it is
+# the regression suite for the deprecation shims (DESIGN.md §7).
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 @st.composite
