@@ -39,6 +39,7 @@ except ModuleNotFoundError:
 
 import test_batch_throughput as throughput_bench  # noqa: E402
 import test_columnar_speedup as columnar_bench  # noqa: E402
+import test_dynamic_updates as dynamic_bench  # noqa: E402
 
 
 #: Shared best-of-N timing loop — the same reduction the pytest
@@ -112,6 +113,47 @@ def measure_range_throughput(repeats: int) -> dict:
     }
 
 
+def measure_dynamic_updates(repeats: int) -> dict:
+    """Streaming update/query stream: incremental engine vs a
+    full-rebuild replica (fresh engine per tick), best-of-``repeats``.
+
+    Fresh engines/replicas per repetition replay the same
+    pre-materialised ticks, so the two pipelines time identical work.
+    """
+    import time
+
+    state = dynamic_bench.streaming_state()
+    workload = state["workload"]
+
+    def run_incremental():
+        engine = workload.make_engine()
+        dynamic_bench.run_incremental(engine, state["warmup"])
+        tick = time.perf_counter()
+        dynamic_bench.run_incremental(engine, state["measured"])
+        return time.perf_counter() - tick
+
+    def run_replica():
+        replica = dynamic_bench.FullRebuildReplica(workload)
+        for t in state["warmup"]:
+            replica.apply(t)
+        tick = time.perf_counter()
+        dynamic_bench.run_replica(replica, state["measured"])
+        return time.perf_counter() - tick
+
+    incremental = min(run_incremental() for _ in range(repeats))
+    replica = min(run_replica() for _ in range(repeats))
+    ticks = dynamic_bench.MEASURED_TICKS
+    return {
+        "objects": dynamic_bench.STREAM_OBJECTS,
+        "churn_per_tick": dynamic_bench.STREAM_CHURN,
+        "specs_per_tick": dynamic_bench.STREAM_QUERIES,
+        "measured_ticks": ticks,
+        "incremental_s_per_tick": incremental / ticks,
+        "full_rebuild_s_per_tick": replica / ticks,
+        "speedup": replica / incremental,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -152,6 +194,7 @@ def main(argv=None) -> int:
         "batch_throughput": measure_batch_throughput(args.repeats),
         "knn_batch_throughput": measure_knn_throughput(args.repeats),
         "range_batch_throughput": measure_range_throughput(args.repeats),
+        "dynamic_updates": measure_dynamic_updates(args.repeats),
     }
     with open(args.output, "w") as handle:
         json.dump(snapshot, handle, indent=2, sort_keys=False)
@@ -163,7 +206,8 @@ def main(argv=None) -> int:
         f"(init {primary['initialization']:.2f}x), batch throughput "
         f"{snapshot['batch_throughput']['speedup']:.2f}x, "
         f"knn batch {snapshot['knn_batch_throughput']['speedup']:.0f}x, "
-        f"range batch {snapshot['range_batch_throughput']['speedup']:.2f}x"
+        f"range batch {snapshot['range_batch_throughput']['speedup']:.2f}x, "
+        f"dynamic updates {snapshot['dynamic_updates']['speedup']:.2f}x"
     )
     return 0
 

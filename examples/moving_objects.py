@@ -2,80 +2,73 @@
 """Moving objects with dead-reckoning updates (Section I's LBS setting).
 
 Under the dead-reckoning policy a vehicle reports its position only
-when it drifts more than a threshold from the last report, so between
-reports the database's uncertainty region *grows*; on a report, it
-*shrinks* back.  This example runs a small monitoring loop over a 1-D
-road: each tick some vehicles move, their uncertainty widens, a few
-report in and get replaced in the engine through the dynamic
-``insert`` / ``remove`` API (no index rebuild), and a C-PNN finds who
-is probably nearest the incident point.
+when it drifts from the last report, so the database's uncertainty
+region is ``last report ± threshold``.  ``StreamingWorkload``
+(``repro.experiments.workloads``) packages that whole setting as a
+deterministic stream: every tick the vehicles drift, a fraction report
+in and are replaced through the dynamic ``remove`` / ``insert`` API,
+and a fixed set of monitoring specs is answered with
+``execute_batch``.
+
+The point of this example is what the updates *don't* do: the engine
+maintains its index substrate incrementally — the R-tree absorbs each
+replacement, the whole-batch MBR filter appends/masks one coordinate
+row, and only the monitoring points whose candidate set the moved
+object can affect lose their cached subregion tables.  Watch the
+``warm tables`` column: most of the batch is served from cache every
+tick even while 20% of the fleet churns.
 
 Run:  python examples/moving_objects.py
 """
 
-import numpy as np
-
-from repro import CPNNQuery, UncertainEngine, UncertainObject
-
-
-class Vehicle:
-    """True position + what the database currently believes."""
-
-    def __init__(self, key: str, position: float, report_threshold: float):
-        self.key = key
-        self.position = position
-        self.last_report = position
-        self.report_threshold = report_threshold
-
-    def drive(self, rng: np.random.Generator) -> None:
-        self.position += float(rng.normal(0.0, 1.5))
-
-    def must_report(self) -> bool:
-        return abs(self.position - self.last_report) > self.report_threshold
-
-    def database_object(self) -> UncertainObject:
-        """Uncertainty region: last report ± report threshold."""
-        return UncertainObject.uniform(
-            self.key,
-            self.last_report - self.report_threshold,
-            self.last_report + self.report_threshold,
-        )
+from repro import CPNNQuery
+from repro.experiments.workloads import StreamingWorkload
 
 
 def main() -> None:
-    rng = np.random.default_rng(3)
-    vehicles = [
-        Vehicle(f"car-{i:02d}", float(rng.uniform(0, 200)), report_threshold=4.0)
-        for i in range(30)
-    ]
-    engine = UncertainEngine([v.database_object() for v in vehicles])
     incident = 100.0
+    workload = StreamingWorkload(
+        n_objects=30,
+        churn=0.2,
+        n_queries=8,
+        domain=(0.0, 200.0),
+        halfwidth=4.0,
+        drift_sigma=1.5,
+        threshold=0.4,
+        tolerance=0.05,
+        spec_factory=lambda q: CPNNQuery(q, threshold=0.4, tolerance=0.05),
+        seed=3,
+    )
+    engine = workload.make_engine()
+    monitor = [CPNNQuery(incident, threshold=0.4, tolerance=0.05)] + list(
+        workload.specs
+    )
 
     print(f"=== Monitoring incident at x = {incident} over 5 ticks ===")
-    for tick in range(1, 6):
-        reports = 0
-        for vehicle in vehicles:
-            vehicle.drive(rng)
-            if vehicle.must_report():
-                # Dead-reckoning update: replace the stale region.
-                engine.remove(vehicle.key)
-                vehicle.last_report = vehicle.position
-                engine.insert(vehicle.database_object())
-                reports += 1
-        result = engine.execute(CPNNQuery(incident, threshold=0.4, tolerance=0.05))
-        nearest = ", ".join(str(k) for k in result.answers) or "(nobody ≥ 40%)"
+    for tick_index in range(5):
+        tick = workload.tick(tick_index)
+        workload.apply(engine, tick)
+        batch = engine.execute_batch(monitor)
+        nearest = ", ".join(str(k) for k in batch[0].answers) or "(nobody ≥ 40%)"
         top = max(engine.pnn(incident).items(), key=lambda kv: kv[1])
         print(
-            f"  tick {tick}: {reports:2d} reports | confident nearest: {nearest:14s}"
+            f"  tick {tick.index + 1}: {len(tick.replacements):2d} reports"
+            f" | warm tables {batch.table_hits:2d}/{len(monitor)}"
+            f" | confident nearest: {nearest:14s}"
             f" | best candidate {top[0]} at {top[1]:.1%}"
         )
 
     print()
     print("=== Why updates are cheap ===")
-    print("  the R-tree absorbs insert/remove without rebuilding;")
-    print(f"  engine still holds {len(engine)} objects and answers in")
-    timings = engine.execute(CPNNQuery(incident, threshold=0.4, tolerance=0.05)).timings
-    print(f"  {1e3 * timings.total:.2f} ms end-to-end.")
+    print("  nothing is rebuilt: the R-tree absorbs each replacement,")
+    print("  the batch MBR filter appends/masks single coordinate rows,")
+    print("  and cached subregion tables survive unless the moved object")
+    print("  overlaps their candidate set (DESIGN.md §11).")
+    timings = engine.execute_batch(monitor).timings
+    print(
+        f"  engine still holds {len(engine)} objects and answers the"
+        f" {len(monitor)}-spec batch in {1e3 * timings.total:.2f} ms."
+    )
 
 
 if __name__ == "__main__":

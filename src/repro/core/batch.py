@@ -37,10 +37,18 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Hashable, Iterator, Sequence
 
+import numpy as np
+
 from repro.core.types import PhaseTimings, QueryResult
 from repro.uncertainty.distance import DistanceDistribution
 
-__all__ = ["BatchResult", "DistributionCache", "LruCache", "point_key"]
+__all__ = [
+    "BatchResult",
+    "DistributionCache",
+    "LruCache",
+    "TableCache",
+    "point_key",
+]
 
 
 def point_key(q) -> Hashable:
@@ -85,18 +93,30 @@ class LruCache:
         self.hits += 1
         return entry
 
-    def put(self, key: Hashable, value) -> None:
+    def put(self, key: Hashable, value) -> tuple[Hashable, object] | None:
+        """Insert an entry; returns the ``(key, value)`` it evicted, if any.
+
+        Reporting the LRU victim lets callers that keep secondary
+        indexes over the entries (``DistributionCache``) stay in sync
+        without scanning.
+        """
         self._entries[key] = value
         self._entries.move_to_end(key)
         if len(self._entries) > self._maxsize:
-            self._entries.popitem(last=False)
+            return self._entries.popitem(last=False)
+        return None
 
-    def evict_matching(self, predicate) -> int:
-        """Drop every entry whose value satisfies ``predicate``."""
-        doomed = [k for k, v in self._entries.items() if predicate(v)]
-        for key in doomed:
-            del self._entries[key]
-        return len(doomed)
+    def delete(self, key: Hashable) -> bool:
+        """Drop one entry by key; True if it was present."""
+        return self._entries.pop(key, _ABSENT) is not _ABSENT
+
+    def items(self):
+        """Snapshot of ``(key, value)`` pairs, LRU-oldest first."""
+        return list(self._entries.items())
+
+
+#: Sentinel distinguishing "absent" from a stored ``None``.
+_ABSENT = object()
 
 
 class DistributionCache:
@@ -113,10 +133,17 @@ class DistributionCache:
     The cache pays off whenever a batch (or a sequence of batches)
     probes the same point more than once — moving-client traces revisit
     locations constantly — and costs one dict probe per miss otherwise.
+
+    A per-object reverse index (``id(obj)`` → live cache keys) keeps
+    :meth:`evict_object` proportional to *that object's* entries rather
+    than the whole cache — under dead-reckoning churn the engine calls
+    it once per removal, so a full scan would make every update O(cache
+    size).
     """
 
     def __init__(self, maxsize: int = 65536) -> None:
         self._cache = LruCache(maxsize)
+        self._by_object: dict[int, set[Hashable]] = {}
 
     def __len__(self) -> int:
         return len(self._cache)
@@ -135,10 +162,16 @@ class DistributionCache:
 
     def clear(self) -> None:
         self._cache.clear()
+        self._by_object.clear()
 
     def evict_object(self, obj) -> int:
         """Drop every entry belonging to ``obj`` (e.g. on removal)."""
-        return self._cache.evict_matching(lambda entry: entry[0] is obj)
+        doomed = self._by_object.pop(id(obj), None)
+        if not doomed:
+            return 0
+        for cache_key in doomed:
+            self._cache.delete(cache_key)
+        return len(doomed)
 
     def distribution(self, obj, key: Hashable) -> DistanceDistribution:
         """The distribution of ``|obj - q|`` for the point behind ``key``.
@@ -153,8 +186,157 @@ class DistributionCache:
         if entry is not None:
             return entry[1]
         distribution = obj.distance_distribution(key)
-        self._cache.put(cache_key, (obj, distribution))
+        evicted = self._cache.put(cache_key, (obj, distribution))
+        self._by_object.setdefault(id(obj), set()).add(cache_key)
+        if evicted is not None:
+            victim_key = evicted[0]
+            bucket = self._by_object.get(victim_key[0])
+            if bucket is not None:
+                bucket.discard(victim_key)
+                if not bucket:
+                    del self._by_object[victim_key[0]]
         return distribution
+
+
+@dataclass(frozen=True)
+class CachedTable:
+    """One table-cache entry: the built table plus the geometry needed
+    to decide, under a later object-set mutation, whether the entry is
+    still exact (DESIGN.md §11).
+
+    Attributes
+    ----------
+    table:
+        The fully built :class:`~repro.core.subregions.SubregionTable`.
+    fmin:
+        The filtering radius of the point's candidate set *at build
+        time*.  Mutations that keep the entry alive provably leave
+        ``f_min`` unchanged, so the stored value stays current for as
+        long as the entry lives.
+    results:
+        Memoised :class:`~repro.core.types.QueryResult` snapshots keyed
+        by ``(strategy, spec type, threshold, tolerance)``.  The full
+        pipeline is deterministic in (table, spec, engine config), so a
+        result stays exact precisely as long as its table does; a
+        repeated probe of an undisturbed point replays the snapshot and
+        skips verification *and* refinement, not just initialisation.
+    """
+
+    table: object
+    fmin: float
+    results: dict = field(default_factory=dict)
+
+
+class TableCache:
+    """LRU of fully built subregion tables, selectively invalidated.
+
+    Keyed by query point (``point_key``); values are
+    :class:`CachedTable` entries.  Unlike a plain LRU, the cache knows
+    which entries an object-set mutation can affect: an insert or
+    removal of object ``o`` changes the candidate set of point ``q``
+    iff ``mindist(o, q) <= f_min(q)`` (see DESIGN.md §11 for the
+    argument covering both directions), so
+    :meth:`invalidate_overlapping` drops exactly those entries with one
+    vectorised MBR-distance sweep and leaves the rest warm.
+
+    The sweep's point/``f_min`` matrices are rebuilt lazily and only
+    when the entry set changed since the last sweep — in the steady
+    state of an update stream most mutations invalidate nothing, so
+    consecutive sweeps reuse the same arrays.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        self._cache = LruCache(maxsize)
+        self._points: np.ndarray | None = None
+        self._fmins: np.ndarray | None = None
+        self._keys: list[Hashable] = []
+        self._dirty = True
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def maxsize(self) -> int:
+        return self._cache.maxsize
+
+    @property
+    def hits(self) -> int:
+        return self._cache.hits
+
+    @property
+    def misses(self) -> int:
+        return self._cache.misses
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self._dirty = True
+
+    def get(self, key: Hashable) -> CachedTable | None:
+        """The cached entry for a point key (LRU-refreshed), or None."""
+        entry = self._cache.get(key)
+        return entry  # type: ignore[return-value]
+
+    def put(self, key: Hashable, entry: CachedTable) -> None:
+        self._cache.put(key, entry)
+        self._dirty = True
+
+    def _geometry(self) -> tuple[np.ndarray, np.ndarray, list[Hashable]]:
+        if self._dirty:
+            items = self._cache.items()
+            self._keys = [key for key, _ in items]
+            self._points = np.array(
+                [
+                    key if isinstance(key, tuple) else (key,)
+                    for key in self._keys
+                ],
+                dtype=float,
+            ).reshape(len(self._keys), -1)
+            self._fmins = np.array(
+                [entry.fmin for _, entry in items], dtype=float
+            )
+            self._dirty = False
+        return self._points, self._fmins, self._keys
+
+    def invalidate_overlapping(self, lows, highs) -> int:
+        """Drop entries whose candidate set the MBR ``[lows, highs]``
+        could change; returns how many were dropped.
+
+        The test per cached point ``q`` is ``mindist(mbr, q) <=
+        f_min(q)``, with the mindist arithmetic mirroring
+        :meth:`repro.index.filtering.BatchMbrFilter.matrices` operation
+        for operation so the decision is exactly the filter's own
+        candidate test.
+        """
+        return self.invalidate_boxes(
+            np.asarray(lows, dtype=float)[None, :],
+            np.asarray(highs, dtype=float)[None, :],
+        )
+
+    def invalidate_boxes(self, lows: np.ndarray, highs: np.ndarray) -> int:
+        """Vectorised form of :meth:`invalidate_overlapping` for a whole
+        batch of mutation MBRs (``(m, d)`` arrays): an entry is dropped
+        when *any* box passes its candidate test.  One numpy sweep over
+        the ``m × entries`` grid — how the engine folds a tick's worth
+        of queued dynamic updates into the cache at the next query.
+        """
+        if not len(self._cache) or not len(lows):
+            return 0
+        points, fmins, keys = self._geometry()
+        gap = np.maximum(
+            lows[:, None, :] - points[None, :, :],
+            points[None, :, :] - highs[:, None, :],
+        )
+        np.maximum(gap, 0.0, out=gap)
+        np.multiply(gap, gap, out=gap)
+        mindist = gap.sum(axis=2)
+        np.sqrt(mindist, out=mindist)
+        doomed = np.flatnonzero((mindist <= fmins[None, :]).any(axis=0))
+        if not doomed.size:
+            return 0
+        for i in doomed:
+            self._cache.delete(keys[int(i)])
+        self._dirty = True
+        return int(doomed.size)
 
 
 @dataclass
@@ -184,6 +366,11 @@ class BatchResult:
         Subregion-table-cache traffic: a table hit means a repeated
         probe skipped distribution construction and table building
         entirely for that point.
+    result_hits:
+        Probes answered by replaying a memoised result snapshot (a
+        strict subset of ``table_hits``): the whole pipeline —
+        filtering, initialisation, verification, refinement — was
+        skipped for those specs (DESIGN.md §11).
     """
 
     results: list[QueryResult] = field(default_factory=list)
@@ -192,6 +379,7 @@ class BatchResult:
     cache_misses: int = 0
     table_hits: int = 0
     table_misses: int = 0
+    result_hits: int = 0
 
     def __len__(self) -> int:
         return len(self.results)

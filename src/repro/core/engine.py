@@ -63,8 +63,9 @@ import numpy as np
 
 from repro.core.batch import (
     BatchResult,
+    CachedTable,
     DistributionCache,
-    LruCache,
+    TableCache,
     distributions_for,
     point_key,
 )
@@ -99,6 +100,46 @@ __all__ = ["CPNNEngine", "EngineConfig", "Strategy", "UncertainEngine"]
 _UNKNOWN, _SATISFY, _FAIL = 0, 1, 2
 
 _CODE_TO_LABEL = {_UNKNOWN: Label.UNKNOWN, _SATISFY: Label.SATISFY, _FAIL: Label.FAIL}
+
+
+def _result_sig(query: CPNNQuery, strategy: str) -> tuple:
+    """Memoisation key of a C-PNN outcome within one cached table.
+
+    The pipeline's output is a deterministic function of the table
+    (fixed per cache entry), the spec's type and constraints, the
+    strategy, and the engine config (fixed per engine) — so this tuple
+    identifies the result exactly.
+    """
+    return (strategy, type(query), query.threshold, query.tolerance)
+
+
+def _replay_result(result: QueryResult) -> QueryResult:
+    """A fresh :class:`QueryResult` replaying a memoised outcome.
+
+    Copies the mutable containers *and* the (mutable)
+    :class:`AnswerRecord` instances, so neither the stored snapshot nor
+    any replayed result shares state with what a caller received — a
+    caller mutating a record cannot corrupt later replays.  Timings are
+    zero (nothing ran), matching the batch path's convention for
+    shared phases.
+    """
+    return QueryResult(
+        answers=result.answers,
+        records=[
+            AnswerRecord(
+                key=r.key,
+                label=r.label,
+                lower=r.lower,
+                upper=r.upper,
+                exact=r.exact,
+            )
+            for r in result.records
+        ],
+        fmin=result.fmin,
+        unknown_after_verifier=dict(result.unknown_after_verifier),
+        finished_after_verification=result.finished_after_verification,
+        refined_objects=result.refined_objects,
+    )
 
 
 class Strategy:
@@ -164,7 +205,9 @@ class EngineConfig:
         Capacity (in query points) of the LRU cache of fully built
         subregion tables used by the C-PNN batch path.  A repeated
         probe skips filtering *and* initialisation for that point.
-        Invalidated whenever the object set changes.  0 disables the
+        Dynamic updates invalidate entries *selectively*: only points
+        whose candidate set the mutated object's MBR can affect are
+        dropped (DESIGN.md §11); the rest stay warm.  0 disables the
         cache.  Note the bound is entry-count, not bytes: each table
         pins its distributions plus O(|C|·M) matrices, so size this to
         the working set of hot probe points, not higher.
@@ -231,11 +274,31 @@ class UncertainEngine:
     """
 
     def __init__(self, objects: Sequence, config: EngineConfig | None = None):
-        self._objects = tuple(objects)
+        self._objects = list(objects)
         dims = {obj.mbr.dim for obj in self._objects}
         if len(dims) > 1:
             raise ValueError(
                 f"all objects must share one dimensionality, got {sorted(dims)}"
+            )
+        #: Parallel list of object keys (same order as ``_objects``):
+        #: O(1) duplicate detection plus C-level victim lookup on
+        #: ``remove`` — an update stream must not pay a Python-level
+        #: attribute-access scan per removal.
+        self._key_list = [obj.key for obj in self._objects]
+        self._key_set = set(self._key_list)
+        #: Lazy key→position map serving the O(1) lookups of
+        #: :meth:`replace`; ``None`` means stale (positions shifted by
+        #: a removal).  Appends and in-place replacements keep it
+        #: valid, so a dead-reckoning stream builds it once.
+        self._key_index: dict[Hashable, int] | None = None
+        if len(self._key_set) != len(self._key_list):
+            seen: set = set()
+            duplicate = next(
+                k for k in self._key_list if k in seen or seen.add(k)
+            )
+            raise ValueError(
+                f"duplicate object key {duplicate!r}: keys identify objects "
+                "for remove(), so they must be unique"
             )
         self._config = config or EngineConfig()
         #: The verifier chain, built once and reused by every VR query
@@ -244,11 +307,29 @@ class UncertainEngine:
         #: Per-spec-type chains resolved through EngineConfig.pipeline.
         self._chains: dict[type, VerifierChain] = {}
         self._filter: PnnFilter | Callable | None = None
+        #: Deferred single-query index maintenance: dynamic updates are
+        #: queued as ("add"/"del", obj) pairs and folded into the
+        #: R-tree only when a single-query path next needs it
+        #: (:meth:`_single_filter`).  Batch paths filter through
+        #: :class:`BatchMbrFilter`, so an update stream that is probed
+        #: via ``execute_batch`` never pays Python tree surgery at all.
+        #: Once the queue passes the rebuild threshold it is discarded
+        #: and ``_filter_stale`` is set instead — a bounded marker, so a
+        #: batch-only stream cannot pin unbounded stale objects.
+        self._pending_tree_ops: list[tuple[str, object]] = []
+        self._filter_stale = False
+        #: Deferred table-cache invalidation: each mutation queues its
+        #: MBR(s); the next C-PNN batch folds the whole queue into the
+        #: cache with one vectorised sweep (exact per-box tests, no
+        #: per-update numpy overhead).  See DESIGN.md §11.
+        self._pending_invalidation: list[tuple] = []
         self._build_filter()
         #: Vectorised whole-batch filter shared by query_batch and the
         #: routed k-NN/range paths.  Built with the rest of the index
         #: substrate for R-tree engines (it filters over the same MBRs
-        #: the tree holds) and rebuilt lazily after dynamic updates.
+        #: the tree holds) and maintained *incrementally* across
+        #: dynamic updates: insert appends a coordinate row, remove
+        #: masks one (DESIGN.md §11).
         self._batch_filter: BatchMbrFilter | None = (
             BatchMbrFilter(self._objects)
             if self._config.use_rtree and self._objects
@@ -259,15 +340,18 @@ class UncertainEngine:
             if self._config.distribution_cache_size
             else None
         )
-        #: LRU of fully built subregion tables keyed by query point.
-        self._table_cache: LruCache | None = (
-            LruCache(self._config.table_cache_size)
+        #: LRU of fully built subregion tables keyed by query point,
+        #: selectively invalidated on dynamic updates (DESIGN.md §11).
+        self._table_cache: TableCache | None = (
+            TableCache(self._config.table_cache_size)
             if self._config.table_cache_size
             else None
         )
 
     def _build_filter(self) -> None:
         """(Re)build the single-query PNN filter for the object set."""
+        self._pending_tree_ops.clear()
+        self._filter_stale = False
         if not self._objects:
             self._filter = None
         elif self._config.use_rtree:
@@ -279,11 +363,60 @@ class UncertainEngine:
         else:
             self._filter = lambda q: filter_candidates(self._objects, q)
 
+    def _single_filter(self) -> PnnFilter | Callable:
+        """The single-query filter, with deferred maintenance applied.
+
+        Dynamic updates queue their index work (DESIGN.md §11); this
+        accessor settles the queue.  Small queues are folded into the
+        tree with incremental Guttman insert/delete; past
+        ``max(4, N/300)`` pending operations a fresh STR bulk load is
+        cheaper than the per-operation tree surgery (measured: one
+        Python-level insert costs ≈ the bulk-load share of ~300
+        objects), so the queue collapses into one rebuild.
+        """
+        if self._filter_stale:
+            self._build_filter()
+            return self._filter
+        pending = self._pending_tree_ops
+        if not pending:
+            return self._filter
+        assert isinstance(self._filter, PnnFilter)
+        tree = self._filter.tree
+        while pending:
+            op, obj = pending[0]
+            if op == "add":
+                tree.insert(obj.mbr, obj)
+            elif not tree.delete(obj.mbr, lambda item: item is obj):
+                raise RuntimeError(
+                    "index out of sync with object list: "
+                    f"object {obj.key!r} was tracked but not indexed"
+                )
+            pending.pop(0)
+        return self._filter
+
+    def _queue_tree_op(self, op: str, obj) -> None:
+        """Queue one deferred R-tree operation, with a bounded queue.
+
+        Past ``max(4, N/300)`` pending operations a fresh STR bulk
+        load beats the per-operation Guttman surgery anyway, so the
+        queue is discarded and the filter just marked stale — keeping
+        memory bounded no matter how long a batch-only update stream
+        runs between single queries.
+        """
+        if self._filter_stale:
+            return
+        pending = self._pending_tree_ops
+        pending.append((op, obj))
+        if len(pending) > max(4, len(self._objects) // 300):
+            pending.clear()
+            self._filter_stale = True
+
     # ------------------------------------------------------------------
 
     @property
     def objects(self) -> tuple:
-        return self._objects
+        """Snapshot of the object set (internally a mutable list)."""
+        return tuple(self._objects)
 
     @property
     def config(self) -> EngineConfig:
@@ -293,21 +426,41 @@ class UncertainEngine:
         return len(self._objects)
 
     # ------------------------------------------------------------------
-    # Dynamic updates (the R-tree substrate supports insert/delete, so
-    # the engine does too — no rebuild needed)
+    # Dynamic updates — incrementally maintained, no rebuilds
+    # (DESIGN.md §11): the R-tree absorbs insert/delete, the
+    # whole-batch MBR filter appends/masks coordinate rows, and the
+    # table cache drops only the query points the mutated object's MBR
+    # can affect.
     # ------------------------------------------------------------------
 
     def insert(self, obj) -> None:
-        """Add an uncertain object; later queries see it immediately."""
+        """Add an uncertain object; later queries see it immediately.
+
+        Raises :class:`ValueError` if an object with the same key is
+        already present — keys identify objects for :meth:`remove`, so
+        a silent duplicate would leave a shadowed object behind the
+        first removal.
+        """
+        if obj.key in self._key_set:
+            raise ValueError(
+                f"duplicate object key {obj.key!r}: remove() the existing "
+                "object before inserting its replacement"
+            )
         if self._objects and obj.mbr.dim != self._objects[0].mbr.dim:
             raise ValueError("object dimensionality mismatch")
         was_empty = not self._objects
-        self._objects = self._objects + (obj,)
-        self._invalidate_batch_state()
+        self._objects.append(obj)
+        self._key_list.append(obj.key)
+        self._key_set.add(obj.key)
+        if self._key_index is not None:
+            self._key_index[obj.key] = len(self._key_list) - 1
         if was_empty:
             self._build_filter()
         elif isinstance(self._filter, PnnFilter):
-            self._filter.tree.insert(obj.mbr, obj)
+            self._queue_tree_op("add", obj)
+        if self._batch_filter is not None:
+            self._batch_filter.append(obj)
+        self._queue_invalidation(obj)
 
     def remove(self, key: Hashable) -> bool:
         """Remove the object with identifier ``key``; True if found.
@@ -316,42 +469,120 @@ class UncertainEngine:
         entry points raise until an object is inserted again (the
         ``execute`` façade returns empty results instead, DESIGN.md §8).
         """
-        victim = None
-        for obj in self._objects:
-            if obj.key == key:
-                victim = obj
-                break
-        if victim is None:
-            return False
-        self._objects = tuple(o for o in self._objects if o is not victim)
-        self._invalidate_batch_state(victim)
+        if self._key_index is not None:
+            position = self._key_index.get(key)
+            if position is None:
+                return False
+            index = position
+        else:
+            try:
+                index = self._key_list.index(key)
+            except ValueError:
+                return False
+        victim = self._objects[index]
+        del self._objects[index]
+        del self._key_list[index]
+        self._key_set.discard(key)
+        self._key_index = None  # later positions shifted
+        if self._batch_filter is not None:
+            self._batch_filter.remove_at(index)
+            if not self._objects:
+                self._batch_filter = None
+        self._queue_invalidation(victim)
+        if self._distribution_cache is not None:
+            self._distribution_cache.evict_object(victim)
         if isinstance(self._filter, PnnFilter):
-            removed = self._filter.tree.delete(
-                victim.mbr, lambda item: item is victim
-            )
-            if not removed:
-                raise RuntimeError(
-                    "index out of sync with object list: "
-                    f"object {victim.key!r} was tracked but not indexed"
-                )
+            self._queue_tree_op("del", victim)
         if not self._objects:
             self._filter = None
+            self._pending_tree_ops.clear()
+            self._filter_stale = False
         return True
 
-    def _invalidate_batch_state(self, removed=None) -> None:
-        """Drop batch caches that depend on the object set.
+    def replace(self, key: Hashable, obj) -> None:
+        """Replace the object identified by ``key`` with ``obj``, in place.
 
-        The whole-batch filter and the per-point table cache reflect
-        the full object set, so any update invalidates them.  Cached
-        distance distributions stay valid (each is a pure function of
-        one object and one point); only a removed object's entries are
-        evicted, to release its memory.
+        The dead-reckoning primitive (Section I): a position report
+        swaps a stale uncertainty region for a fresh one.  Semantically
+        equivalent to ``remove(key)`` + ``insert(obj)`` except that the
+        object keeps its position in the engine's object order, which
+        lets every maintenance structure update in O(1)-ish work: the
+        batch filter overwrites one coordinate row in place, the
+        key→position map stays valid, and both the old and the new MBR
+        are queued for the deferred table-cache sweep (exact per-box
+        candidate tests, DESIGN.md §11).
+
+        ``obj`` may keep the same key or bring a new one; a new key
+        must not collide with another object's.  Raises
+        :class:`KeyError` when ``key`` is not present.
         """
-        self._batch_filter = None
+        index = self._position_of(key)
+        if index is None:
+            raise KeyError(key)
+        if obj.key != key and obj.key in self._key_set:
+            raise ValueError(
+                f"duplicate object key {obj.key!r}: remove() the existing "
+                "object before inserting its replacement"
+            )
+        if obj.mbr.dim != self._objects[0].mbr.dim:
+            raise ValueError("object dimensionality mismatch")
+        victim = self._objects[index]
+        self._objects[index] = obj
+        if obj.key != key:
+            self._key_list[index] = obj.key
+            self._key_set.discard(key)
+            self._key_set.add(obj.key)
+            if self._key_index is not None:
+                del self._key_index[key]
+                self._key_index[obj.key] = index
+        if self._batch_filter is not None:
+            self._batch_filter.replace_at(index, obj)
+        if isinstance(self._filter, PnnFilter):
+            self._queue_tree_op("del", victim)
+            self._queue_tree_op("add", obj)
+        self._queue_invalidation(victim)
+        self._queue_invalidation(obj)
+        if self._distribution_cache is not None:
+            self._distribution_cache.evict_object(victim)
+
+    def _position_of(self, key: Hashable) -> int | None:
+        """Position of ``key`` in the object order, via the lazy map."""
+        if key not in self._key_set:
+            return None
+        if self._key_index is None:
+            self._key_index = {k: i for i, k in enumerate(self._key_list)}
+        return self._key_index[key]
+
+    def _queue_invalidation(self, obj) -> None:
+        """Queue one mutation's MBR for the deferred table-cache sweep.
+
+        A cached table for point ``q`` stays exact across an
+        insert/removal of ``obj`` unless ``obj`` belongs to (insert) or
+        belonged to (remove) ``q``'s candidate set — equivalently,
+        unless ``mindist(obj, q) <= f_min(q)``; DESIGN.md §11 proves
+        both directions.  Everything else survives with its
+        distributions and matrices warm.  Cached distance distributions
+        are pure functions of (object, point) and are never touched
+        here; :meth:`remove` evicts only the removed object's entries.
+        """
         if self._table_cache is not None:
-            self._table_cache.clear()
-        if removed is not None and self._distribution_cache is not None:
-            self._distribution_cache.evict_object(removed)
+            mbr = obj.mbr
+            self._pending_invalidation.append((mbr.lows, mbr.highs))
+
+    def _flush_table_invalidations(self) -> None:
+        """Fold queued mutation MBRs into the table cache, one sweep.
+
+        Must run before any table-cache read; :meth:`_pnn_batch` (the
+        only reader) and :meth:`explain` call it.
+        """
+        if self._table_cache is None or not self._pending_invalidation:
+            return
+        boxes = self._pending_invalidation
+        self._pending_invalidation = []
+        self._table_cache.invalidate_boxes(
+            np.array([lows for lows, _ in boxes], dtype=float),
+            np.array([highs for _, highs in boxes], dtype=float),
+        )
 
     # ------------------------------------------------------------------
     # The unified façade: execute / execute_batch / explain
@@ -432,6 +663,7 @@ class UncertainEngine:
             batch.cache_misses += sub.cache_misses
             batch.table_hits += sub.table_hits
             batch.table_misses += sub.table_misses
+            batch.result_hits += sub.result_hits
         for indices, runner in ((knn_idx, self._knn_group), (range_idx, self._range_group)):
             if not indices:
                 continue
@@ -457,6 +689,7 @@ class UncertainEngine:
         engine's cache state.
         """
         spec = self._as_spec(spec)
+        self._flush_table_invalidations()  # report live entry counts
         caches = {}
         cache = self._distribution_cache
         caches["distribution_cache"] = (
@@ -550,7 +783,7 @@ class UncertainEngine:
                 caches=caches,
             )
         strategy = self._as_strategy(strategy)
-        filter_result = self._filter(spec.q)
+        filter_result = self._single_filter()(spec.q)
         stages = ["PNN filtering (f_min pruning rule)"]
         verifiers: tuple[str, ...] = ()
         if strategy == Strategy.VR:
@@ -722,7 +955,12 @@ class UncertainEngine:
         return chain
 
     def _ensure_batch_filter(self) -> BatchMbrFilter:
-        """The vectorised MBR filter, (re)built after dynamic updates."""
+        """The vectorised MBR filter, built lazily on first use.
+
+        Once built it is maintained incrementally by
+        :meth:`insert`/:meth:`remove` (append / mask a coordinate row)
+        rather than rebuilt from the object tuple.
+        """
         if self._batch_filter is None:
             self._batch_filter = BatchMbrFilter(self._objects)
         return self._batch_filter
@@ -766,6 +1004,14 @@ class UncertainEngine:
         cache, and the VR verifier chain runs as flat sweeps over the
         whole candidate×query matrix.  Per-candidate arithmetic is
         shared with the single-query path, so answers agree exactly.
+
+        Repeated probes short-circuit in two tiers (DESIGN.md §11):
+        a memoised *result* snapshot replays the whole pipeline's
+        outcome for an undisturbed (point, strategy, constraints)
+        triple, and a cached *table* skips filtering/initialisation
+        when only the constraints changed.  Both tiers are exact —
+        entries survive dynamic updates only while their candidate set
+        provably cannot have changed.
         """
         strategy = self._as_strategy(strategy)
         batch = BatchResult()
@@ -777,17 +1023,54 @@ class UncertainEngine:
         timings = batch.timings
 
         tick = time.perf_counter()
-        filter_results = self._filter_batch([q.q for q in queries])
+        self._flush_table_invalidations()
+        table_cache = self._table_cache
+        all_queries = queries
+        slots: list[QueryResult | None] = [None] * len(all_queries)
+        entries: dict[int, CachedTable] = {}
+        live: list[int] = []
+        if table_cache is not None:
+            for b, query in enumerate(all_queries):
+                entry = table_cache.get(point_key(query.q))
+                if entry is not None:
+                    entries[b] = entry
+                    snapshot = entry.results.get(_result_sig(query, strategy))
+                    if snapshot is not None:
+                        slots[b] = _replay_result(snapshot)
+                        batch.table_hits += 1
+                        batch.result_hits += 1
+                        continue
+                live.append(b)
+        else:
+            live = list(range(len(all_queries)))
+        queries = [all_queries[b] for b in live]
+        filter_results = (
+            self._filter_batch([q.q for q in queries]) if queries else []
+        )
         timings.filtering = time.perf_counter() - tick
+        if not queries:
+            # Every spec replayed a memoised snapshot; nothing to run.
+            batch.results = slots
+            for result, query in zip(slots, all_queries):
+                result.spec = query
+            return batch
 
         tick = time.perf_counter()
         tables = []
-        table_cache = self._table_cache
         distributions_built = 0
-        for query, fr in zip(queries, filter_results):
+        built_this_batch: dict[Hashable, CachedTable] = {}
+        for b, query, fr in zip(live, queries, filter_results):
             key = point_key(query.q)
-            table = table_cache.get(key) if table_cache is not None else None
-            if table is not None:
+            entry = entries.get(b)
+            if entry is None:
+                # A duplicate point earlier in this batch may have just
+                # built this table; a plain dict probe avoids counting
+                # a second miss against the cache for the same point.
+                entry = built_this_batch.get(key)
+                if entry is not None:
+                    entries[b] = entry
+            if entry is not None:
+                table = entry.table
                 batch.table_hits += 1
             else:
                 table = SubregionTable(
@@ -797,7 +1080,10 @@ class UncertainEngine:
                 distributions_built += table.size
                 batch.table_misses += 1
                 if table_cache is not None:
-                    table_cache.put(key, table)
+                    entry = CachedTable(table=table, fmin=fr.fmin)
+                    table_cache.put(key, entry)
+                    entries[b] = entry
+                    built_this_batch[key] = entry
             tables.append(table)
         offsets = np.zeros(len(tables) + 1, dtype=np.intp)
         np.cumsum([table.size for table in tables], out=offsets[1:])
@@ -861,7 +1147,7 @@ class UncertainEngine:
             timings.verification = time.perf_counter() - tick
 
             tick = time.perf_counter()
-            for prep, query, outcome in zip(prepared, queries, outcomes):
+            for b, prep, query, outcome in zip(live, prepared, queries, outcomes):
                 states = prep.states
                 finished = states.n_unknown == 0
                 survivors = states.unknown_indices()
@@ -869,27 +1155,34 @@ class UncertainEngine:
                     survivors, states, query, use_verifier_slices=True
                 )
                 refined = int(survivors.size)
-                batch.results.append(
-                    self._assemble(
-                        prep,
-                        query,
-                        unknown_after=outcome.unknown_after,
-                        finished_after_verification=finished,
-                        refined=refined,
-                    )
+                slots[b] = self._assemble(
+                    prep,
+                    query,
+                    unknown_after=outcome.unknown_after,
+                    finished_after_verification=finished,
+                    refined=refined,
                 )
             timings.refinement = time.perf_counter() - tick
         else:
             runner = (
                 self._run_basic if strategy == Strategy.BASIC else self._run_refine
             )
-            for prep, query in zip(prepared, queries):
-                batch.results.append(runner(prep, query))
+            for b, prep, query in zip(live, prepared, queries):
+                slots[b] = runner(prep, query)
             timings.refinement = sum(
-                result.timings.refinement for result in batch.results
+                slots[b].timings.refinement for b in live
             )
 
-        for result, query in zip(batch.results, queries):
+        # Memoise freshly computed outcomes as pristine snapshots so a
+        # repeated probe of an undisturbed point replays them wholesale.
+        for b, query in zip(live, queries):
+            entry = entries.get(b)
+            if entry is not None:
+                entry.results[_result_sig(query, strategy)] = _replay_result(
+                    slots[b]
+                )
+        batch.results = slots
+        for result, query in zip(batch.results, all_queries):
             result.spec = query
         if cache is not None:
             batch.cache_hits = cache.hits - hits_before
@@ -1060,7 +1353,7 @@ class UncertainEngine:
     def _prepare(self, query: CPNNQuery) -> _Prepared:
         timings = PhaseTimings()
         tick = time.perf_counter()
-        filter_result = self._filter(query.q)
+        filter_result = self._single_filter()(query.q)
         timings.filtering = time.perf_counter() - tick
 
         tick = time.perf_counter()

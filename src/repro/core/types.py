@@ -106,6 +106,14 @@ class CKNNQuery(QuerySpec):
     bounds are either exact or the verifier's algebraic pair, so
     ``tolerance`` is currently inert (kept for the shared contract);
     its default is 0 accordingly.
+
+    ``k`` is validated here, at construction, so a bad value can never
+    surface mid-batch from deep inside the filtering kernels.  A valid
+    ``k`` may still exceed the engine's object count: the engine
+    resolves that *before any filtering or distribution work* as the
+    trivial case — every object is certainly among the ``k`` nearest,
+    so all satisfy with probability exactly 1 (DESIGN.md §8), matching
+    the scalar reference path.
     """
 
     tolerance: float = 0.0
@@ -113,8 +121,11 @@ class CKNNQuery(QuerySpec):
 
     def __post_init__(self) -> None:
         super().__post_init__()
-        if int(self.k) != self.k or self.k < 1:
-            raise ValueError("k must be an integer >= 1")
+        if isinstance(self.k, bool) or int(self.k) != self.k or self.k < 1:
+            raise ValueError(f"k must be an integer >= 1, got {self.k!r}")
+        # Normalise float-typed whole numbers (k=3.0) so downstream
+        # integer arithmetic never sees a float.
+        object.__setattr__(self, "k", int(self.k))
 
 
 @dataclass(frozen=True)

@@ -107,22 +107,122 @@ class BatchMbrFilter:
     reported in object insertion order rather than tree traversal
     order; the downstream subregion table re-sorts them by near point,
     so this is observable only through record ordering.
+
+    The filter is **incrementally maintainable** (DESIGN.md §11):
+    :meth:`append` queues one new coordinate row, :meth:`remove_at`
+    masks one row out through an alive-mask, and :meth:`replace_at`
+    overwrites one row in place (the dead-reckoning fast path).
+    Masked rows and queued appends are folded into the contiguous
+    coordinate arrays by one vectorised compaction at the next query
+    (:meth:`_flush`), so a whole tick of churn costs one boolean mask
+    plus one concatenate instead of a per-update rebuild of the arrays
+    from Python objects.
     """
 
     def __init__(self, objects: Sequence) -> None:
         if not objects:
             raise ValueError("cannot filter an empty object collection")
-        self._objects = tuple(objects)
+        self._objects = list(objects)
         self._lows = np.array([obj.mbr.lows for obj in self._objects])
         self._highs = np.array([obj.mbr.highs for obj in self._objects])
         self._dim = self._lows.shape[1]
+        #: Alive-mask over the physical rows of ``_lows``/``_highs``
+        #: (None = all alive), plus objects appended since the last
+        #: compaction.  Logical row order is always "alive physical
+        #: rows, then pending appends" — removals preserve relative
+        #: order, so it matches the engine's object tuple.
+        self._alive: np.ndarray | None = None
+        self._n_dead = 0
+        self._pending: list = []
 
     @property
     def dim(self) -> int:
         return self._dim
 
+    @property
+    def objects(self) -> tuple:
+        """The filtered objects, in logical row order."""
+        return tuple(self._objects)
+
     def __len__(self) -> int:
         return len(self._objects)
+
+    def _check_dim(self, obj) -> None:
+        if obj.mbr.dim != self._dim:
+            raise ValueError("object dimensionality mismatch")
+
+    def _physical_row(self, index: int) -> int:
+        """The physical array row behind logical ``index`` (< alive)."""
+        if self._n_dead == 0:
+            return index
+        return int(np.flatnonzero(self._alive)[index])
+
+    def append(self, obj) -> None:
+        """Add one object: queues one new coordinate row, no rebuild.
+
+        The object's logical row is ``len(self) - 1`` afterwards —
+        insertion order, matching the engine's object tuple.
+        """
+        self._check_dim(obj)
+        self._objects.append(obj)
+        self._pending.append(obj)
+
+    def remove_at(self, index: int) -> None:
+        """Mask one object's row out of the coordinate arrays.
+
+        Later rows shift down by one logical position, mirroring an
+        order-preserving removal from the caller's object sequence.
+        The filter may become empty; callers must then stop querying it
+        (the engine drops it entirely, per its empty-input semantics).
+        """
+        n = len(self._objects)
+        if not 0 <= index < n:
+            raise IndexError(f"row {index} out of range for {n} objects")
+        del self._objects[index]
+        alive_rows = self._lows.shape[0] - self._n_dead
+        if index >= alive_rows:
+            del self._pending[index - alive_rows]
+            return
+        if self._alive is None:
+            self._alive = np.ones(self._lows.shape[0], dtype=bool)
+        self._alive[self._physical_row(index)] = False
+        self._n_dead += 1
+
+    def replace_at(self, index: int, obj) -> None:
+        """Overwrite one object's row in place (same logical position).
+
+        The dead-reckoning fast path: replacing an uncertainty region
+        with a fresh report costs O(d), no masking or compaction.
+        """
+        n = len(self._objects)
+        if not 0 <= index < n:
+            raise IndexError(f"row {index} out of range for {n} objects")
+        self._check_dim(obj)
+        self._objects[index] = obj
+        alive_rows = self._lows.shape[0] - self._n_dead
+        if index >= alive_rows:
+            self._pending[index - alive_rows] = obj
+            return
+        row = self._physical_row(index)
+        mbr = obj.mbr
+        self._lows[row] = mbr.lows
+        self._highs[row] = mbr.highs
+
+    def _flush(self) -> None:
+        """Fold masked rows and queued appends into contiguous arrays."""
+        if self._n_dead:
+            self._lows = self._lows[self._alive]
+            self._highs = self._highs[self._alive]
+            self._alive = None
+            self._n_dead = 0
+        if self._pending:
+            self._lows = np.concatenate(
+                [self._lows, np.array([o.mbr.lows for o in self._pending])]
+            )
+            self._highs = np.concatenate(
+                [self._highs, np.array([o.mbr.highs for o in self._pending])]
+            )
+            self._pending = []
 
     def _as_matrix(self, points: Sequence) -> np.ndarray:
         matrix = np.asarray(points, dtype=float)
@@ -145,6 +245,7 @@ class BatchMbrFilter:
         strictly tighter than their MBR, so callers needing the exact
         region distances must re-check straddling objects).
         """
+        self._flush()
         queries = self._as_matrix(points)  # (B, d)
         diff_lo = self._lows[None, :, :] - queries[:, None, :]  # lo - q
         diff_hi = queries[:, None, :] - self._highs[None, :, :]  # q - hi
@@ -198,7 +299,11 @@ class BatchMbrFilter:
         for b, k in enumerate(ks):
             k = int(k)
             if not 1 <= k <= n:
-                raise ValueError("k must lie in [1, number of objects]")
+                raise ValueError(
+                    f"kth_filter: k={k} (query {b}) must lie in [1, {n}]; "
+                    "the engine clamps k > N to the trivial all-satisfy "
+                    "case before filtering (DESIGN.md §8)"
+                )
             fmin_k = float(np.partition(maxdist[b], k - 1)[k - 1])
             survivors = np.flatnonzero(mindist[b] <= fmin_k)
             results.append((survivors, fmin_k))

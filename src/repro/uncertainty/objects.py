@@ -57,12 +57,13 @@ class SpatialUncertain(Protocol):
 class UncertainObject:
     """A 1-D uncertain object: an identifier plus an interval pdf."""
 
-    __slots__ = ("_key", "_pdf", "_histogram")
+    __slots__ = ("_key", "_pdf", "_histogram", "_mbr")
 
     def __init__(self, key: Hashable, pdf: UncertaintyPdf) -> None:
         self._key = key
         self._pdf = pdf
         self._histogram = pdf.to_histogram().normalized()
+        self._mbr: Rect | None = None
 
     # ------------------------------------------------------------------
     # Convenience constructors
@@ -116,8 +117,15 @@ class UncertainObject:
 
     @property
     def mbr(self) -> Rect:
-        """Degenerate (1-D) bounding rectangle for indexing."""
-        return Rect.interval(self.lo, self.hi)
+        """Degenerate (1-D) bounding rectangle for indexing.
+
+        Built once and cached: the object is immutable, and the
+        dynamic-update paths touch ``mbr`` several times per mutation
+        (index maintenance, batch-filter rows, cache invalidation).
+        """
+        if self._mbr is None:
+            self._mbr = Rect.interval(self.lo, self.hi)
+        return self._mbr
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

@@ -141,7 +141,7 @@ def _as_point2d(q) -> np.ndarray:
 class UncertainDisk:
     """A uniform pdf over the disk of ``radius`` around ``center``."""
 
-    __slots__ = ("_key", "_center", "_radius", "_bins")
+    __slots__ = ("_key", "_center", "_radius", "_bins", "_mbr")
 
     def __init__(
         self,
@@ -158,6 +158,7 @@ class UncertainDisk:
             raise ValueError("radius must be positive")
         self._radius = float(radius)
         self._bins = int(distance_bins)
+        self._mbr: Rect | None = None
 
     @property
     def key(self) -> Hashable:
@@ -173,7 +174,11 @@ class UncertainDisk:
 
     @property
     def mbr(self) -> Rect:
-        return Rect(self._center - self._radius, self._center + self._radius)
+        if self._mbr is None:
+            self._mbr = Rect(
+                self._center - self._radius, self._center + self._radius
+            )
+        return self._mbr
 
     def mindist(self, q) -> float:
         d = float(np.linalg.norm(_as_point2d(q) - self._center))
@@ -217,7 +222,7 @@ class UncertainDisk:
 class UncertainSegment:
     """A uniform pdf along the segment from ``a`` to ``b``."""
 
-    __slots__ = ("_key", "_a", "_b", "_bins")
+    __slots__ = ("_key", "_a", "_b", "_bins", "_mbr")
 
     def __init__(
         self,
@@ -234,6 +239,7 @@ class UncertainSegment:
         if np.allclose(self._a, self._b):
             raise ValueError("segment must have positive length")
         self._bins = int(distance_bins)
+        self._mbr: Rect | None = None
 
     @property
     def key(self) -> Hashable:
@@ -245,7 +251,11 @@ class UncertainSegment:
 
     @property
     def mbr(self) -> Rect:
-        return Rect(np.minimum(self._a, self._b), np.maximum(self._a, self._b))
+        if self._mbr is None:
+            self._mbr = Rect(
+                np.minimum(self._a, self._b), np.maximum(self._a, self._b)
+            )
+        return self._mbr
 
     def _distance_bounds(self, q: np.ndarray) -> tuple[float, float]:
         direction = self._b - self._a

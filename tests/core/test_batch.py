@@ -307,3 +307,101 @@ class TestQueryBatch:
         points = query_points(rng, n=3)
         batch = engine.query_batch(points, 0.3, 0.0)
         assert batch.answer_sets == [frozenset(r.answers) for r in batch.results]
+
+
+class TestLruCacheMaintenance:
+    def test_put_reports_evicted_entry(self):
+        from repro.core.batch import LruCache
+
+        cache = LruCache(2)
+        assert cache.put("a", 1) is None
+        assert cache.put("b", 2) is None
+        assert cache.put("c", 3) == ("a", 1)  # LRU victim surfaces
+
+    def test_delete(self):
+        from repro.core.batch import LruCache
+
+        cache = LruCache(4)
+        cache.put("a", 1)
+        assert cache.delete("a")
+        assert not cache.delete("a")
+        assert cache.get("a") is None
+
+    def test_items_snapshot(self):
+        from repro.core.batch import LruCache
+
+        cache = LruCache(4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.items() == [("a", 1), ("b", 2)]
+
+
+class TestDistributionCacheIndex:
+    def test_evict_object_drops_only_that_object(self, rng):
+        objects = make_random_objects(rng, 3)
+        cache = DistributionCache(maxsize=64)
+        for obj in objects:
+            for q in (1.0, 2.0):
+                cache.distribution(obj, point_key(q))
+        assert len(cache) == 6
+        assert cache.evict_object(objects[0]) == 2
+        assert len(cache) == 4
+        assert cache.evict_object(objects[0]) == 0
+
+    def test_index_survives_lru_eviction(self, rng):
+        objects = make_random_objects(rng, 2)
+        cache = DistributionCache(maxsize=2)
+        cache.distribution(objects[0], point_key(1.0))
+        cache.distribution(objects[0], point_key(2.0))
+        cache.distribution(objects[1], point_key(1.0))  # evicts oldest
+        assert len(cache) == 2
+        # The evicted entry must be gone from the reverse index too.
+        assert cache.evict_object(objects[0]) == 1
+        assert cache.evict_object(objects[1]) == 1
+        assert len(cache) == 0
+
+
+class TestTableCacheInvalidation:
+    @staticmethod
+    def _cache_with_entries(entries):
+        from repro.core.batch import CachedTable, TableCache
+
+        cache = TableCache(16)
+        for point, fmin in entries:
+            cache.put(point_key(point), CachedTable(table=object(), fmin=fmin))
+        return cache
+
+    def test_far_box_invalidates_nothing(self):
+        cache = self._cache_with_entries([(0.0, 1.0), (10.0, 1.0)])
+        assert cache.invalidate_overlapping([100.0], [101.0]) == 0
+        assert len(cache) == 2
+
+    def test_overlapping_box_drops_only_affected(self):
+        cache = self._cache_with_entries([(0.0, 1.0), (10.0, 1.0)])
+        # mindist([9.5, 10.5], q=10) = 0 <= 1, mindist(.., q=0) = 9.5 > 1
+        assert cache.invalidate_overlapping([9.5], [10.5]) == 1
+        assert len(cache) == 1
+        assert cache.get(point_key(10.0)) is None
+        assert cache.get(point_key(0.0)) is not None
+
+    def test_boundary_is_inclusive(self):
+        # mindist == fmin exactly: the object enters the candidate set
+        # (the filter keeps mindist <= fmin), so the entry must drop.
+        cache = self._cache_with_entries([(0.0, 2.0)])
+        assert cache.invalidate_overlapping([2.0], [3.0]) == 1
+
+    def test_invalidate_boxes_unions_the_tests(self):
+        cache = self._cache_with_entries([(0.0, 1.0), (10.0, 1.0), (50.0, 1.0)])
+        lows = np.array([[9.5], [49.5]])
+        highs = np.array([[10.5], [50.5]])
+        assert cache.invalidate_boxes(lows, highs) == 2
+        assert len(cache) == 1
+
+    def test_2d_points(self):
+        from repro.core.batch import CachedTable, TableCache
+
+        cache = TableCache(8)
+        cache.put(point_key((0.0, 0.0)), CachedTable(table=object(), fmin=1.0))
+        cache.put(point_key((10.0, 10.0)), CachedTable(table=object(), fmin=1.0))
+        assert cache.invalidate_overlapping([9.0, 9.0], [11.0, 11.0]) == 1
+        assert cache.get(point_key((0.0, 0.0))) is not None

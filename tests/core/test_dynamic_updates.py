@@ -1,8 +1,15 @@
-"""Tests for dynamic insert/remove on the engine (R-tree backed)."""
+"""Tests for dynamic insert/remove/replace on the engine.
 
+Covers the incremental-maintenance layer of DESIGN.md §11: duplicate
+key rejection, deferred index maintenance, selective table-cache
+invalidation, and the in-place ``replace`` primitive.
+"""
+
+import numpy as np
 import pytest
 
-from repro.core.engine import CPNNEngine, EngineConfig
+from repro.core.engine import CPNNEngine, EngineConfig, UncertainEngine
+from repro.core.types import CPNNQuery
 from repro.uncertainty.objects import UncertainObject
 from tests.conftest import make_random_objects
 
@@ -89,7 +96,9 @@ class TestRemove:
 
         Regression test: this guard used to be a bare ``assert`` that
         optimised builds silently skip, leaving the engine's object
-        list and index divergent.
+        list and index divergent.  Index maintenance is deferred
+        (DESIGN.md §11), so the divergence surfaces when the next
+        single-query path folds the pending removal into the tree.
         """
         objects = make_random_objects(rng, 5)
         engine = CPNNEngine(objects)
@@ -97,8 +106,9 @@ class TestRemove:
         # Sabotage: remove the object from the index behind the
         # engine's back, leaving the object list out of sync.
         assert engine._filter.tree.delete(victim.mbr, lambda item: item is victim)
+        assert engine.remove(victim.key)
         with pytest.raises(RuntimeError, match="out of sync"):
-            engine.remove(victim.key)
+            engine.pnn(30.0)
 
     def test_empty_engine_reports_clear_error(self):
         engine = CPNNEngine([UncertainObject.uniform("solo", 0, 1)])
@@ -112,3 +122,289 @@ class TestRemove:
         engine.remove("a")
         engine.insert(UncertainObject.uniform("b", 2, 3))
         assert engine.pnn(2.5)["b"] == pytest.approx(1.0)
+
+
+class TestDuplicateKeys:
+    def test_insert_duplicate_key_rejected(self, rng):
+        """Regression: a second object under an existing key used to be
+        silently accepted; ``remove`` then deleted only the first
+        match, leaving a shadowed duplicate in the index."""
+        objects = make_random_objects(rng, 6)
+        engine = CPNNEngine(objects)
+        with pytest.raises(ValueError, match="duplicate object key"):
+            engine.insert(UncertainObject.uniform(objects[2].key, 10.0, 11.0))
+        # The failed insert must not corrupt the engine: the original
+        # object is still the one indexed, and remove leaves no shadow.
+        assert len(engine) == 6
+        assert engine.remove(objects[2].key)
+        assert len(engine) == 5
+        result = engine.execute(CPNNQuery(30.0, threshold=0.01, tolerance=0.0))
+        assert objects[2].key not in result.answers
+        assert not engine.remove(objects[2].key)
+
+    def test_constructor_rejects_duplicate_keys(self):
+        with pytest.raises(ValueError, match="duplicate object key"):
+            UncertainEngine(
+                [
+                    UncertainObject.uniform("x", 0, 1),
+                    UncertainObject.uniform("x", 2, 3),
+                ]
+            )
+
+    def test_reinsert_after_remove_is_fine(self, rng):
+        engine = CPNNEngine(make_random_objects(rng, 4))
+        assert engine.remove(2)
+        engine.insert(UncertainObject.uniform(2, 29.9, 30.1))
+        assert engine.pnn(30.0)[2] > 0.5
+
+
+class TestReplace:
+    def test_replace_matches_fresh_engine(self, rng):
+        objects = make_random_objects(rng, 12)
+        engine = CPNNEngine(objects)
+        replaced = list(objects)
+        for i in (1, 5, 9):
+            newcomer = UncertainObject.uniform(
+                objects[i].key, 10.0 + i, 14.0 + i
+            )
+            engine.replace(objects[i].key, newcomer)
+            replaced[i] = newcomer
+        fresh = CPNNEngine(replaced)
+        for q in (5.0, 12.0, 30.0):
+            assert engine.pnn(q) == pytest.approx(fresh.pnn(q))
+
+    def test_replace_is_in_place(self, rng):
+        objects = make_random_objects(rng, 5)
+        engine = CPNNEngine(objects)
+        newcomer = UncertainObject.uniform(objects[2].key, 1.0, 2.0)
+        engine.replace(objects[2].key, newcomer)
+        assert engine.objects[2] is newcomer
+        assert len(engine) == 5
+
+    def test_replace_missing_key_raises(self, rng):
+        engine = CPNNEngine(make_random_objects(rng, 3))
+        with pytest.raises(KeyError):
+            engine.replace("no-such-key", UncertainObject.uniform("n", 0, 1))
+
+    def test_replace_with_new_key(self, rng):
+        objects = make_random_objects(rng, 4)
+        engine = CPNNEngine(objects)
+        engine.replace(objects[0].key, UncertainObject.uniform("fresh", 29.9, 30.1))
+        assert "fresh" in engine.pnn(30.0)
+        assert not engine.remove(objects[0].key)
+        assert engine.remove("fresh")
+
+    def test_replace_duplicate_new_key_rejected(self, rng):
+        objects = make_random_objects(rng, 4)
+        engine = CPNNEngine(objects)
+        clash = UncertainObject.uniform(objects[1].key, 0.0, 1.0)
+        with pytest.raises(ValueError, match="duplicate object key"):
+            engine.replace(objects[0].key, clash)
+
+    def test_replace_dimension_mismatch_rejected(self, rng):
+        from repro.uncertainty.twod import UncertainDisk
+
+        objects = make_random_objects(rng, 3)
+        engine = CPNNEngine(objects)
+        with pytest.raises(ValueError, match="dimensionality"):
+            engine.replace(objects[0].key, UncertainDisk(objects[0].key, (0, 0), 1.0))
+
+    def test_interleaved_replace_and_batch_identical_to_fresh(self, rng):
+        """Dead-reckoning stream: warm caches must stay exact."""
+        objects = make_random_objects(rng, 20)
+        engine = CPNNEngine(objects)
+        points = [5.0, 18.0, 30.0, 44.0, 57.0]
+        specs = [CPNNQuery(p, threshold=0.3, tolerance=0.0) for p in points]
+        current = list(objects)
+        for round_no in range(4):
+            engine.execute_batch(specs)  # warm caches between updates
+            for i in (round_no, 10 + round_no):
+                lo = float(rng.uniform(0, 55))
+                newcomer = UncertainObject.uniform(current[i].key, lo, lo + 3.0)
+                engine.replace(current[i].key, newcomer)
+                current[i] = newcomer
+            warm = engine.execute_batch(specs)
+            fresh = CPNNEngine(current).execute_batch(specs)
+            for a, b in zip(warm.results, fresh.results):
+                assert a.answers == b.answers
+                assert a.fmin == b.fmin
+                for x, y in zip(a.records, b.records):
+                    assert (x.key, x.label, x.lower, x.upper, x.exact) == (
+                        y.key,
+                        y.label,
+                        y.lower,
+                        y.upper,
+                        y.exact,
+                    )
+
+
+class TestSelectiveInvalidation:
+    def test_far_update_keeps_tables_warm(self, rng):
+        """A mutation far from a probed point must not drop its cached
+        table or memoised result."""
+        objects = [
+            UncertainObject.uniform(i, float(i), float(i) + 1.0)
+            for i in range(10)
+        ]
+        engine = UncertainEngine(objects)
+        spec = CPNNQuery(2.0, threshold=0.3, tolerance=0.0)
+        engine.execute_batch([spec])
+        # Insert far beyond every candidate's reach of q=2.0.
+        engine.insert(UncertainObject.uniform("far", 1000.0, 1001.0))
+        warm = engine.execute_batch([spec])
+        assert warm.result_hits == 1
+        assert warm.table_misses == 0
+
+    def test_near_update_invalidates(self, rng):
+        objects = [
+            UncertainObject.uniform(i, float(i), float(i) + 1.0)
+            for i in range(10)
+        ]
+        engine = UncertainEngine(objects)
+        spec = CPNNQuery(2.0, threshold=0.3, tolerance=0.0)
+        engine.execute_batch([spec])
+        engine.insert(UncertainObject.uniform("near", 1.9, 2.1))
+        refreshed = engine.execute_batch([spec])
+        assert refreshed.result_hits == 0
+        assert refreshed.table_misses == 1
+        assert "near" in refreshed.results[0].answers
+
+    def test_survived_entries_answer_identically_to_fresh(self, rng):
+        objects = make_random_objects(rng, 15)
+        engine = UncertainEngine(objects)
+        near_spec = CPNNQuery(30.0, threshold=0.2, tolerance=0.0)
+        far_spec = CPNNQuery(55.0, threshold=0.2, tolerance=0.0)
+        engine.execute_batch([near_spec, far_spec])
+        engine.insert(UncertainObject.uniform("new", 29.5, 30.5))
+        warm = engine.execute_batch([near_spec, far_spec])
+        # Share the engine's exact objects so the comparison is bit-level.
+        fresh = UncertainEngine(list(engine.objects))
+        cold = fresh.execute_batch([near_spec, far_spec])
+        for a, b in zip(warm.results, cold.results):
+            assert a.answers == b.answers
+            for x, y in zip(a.records, b.records):
+                assert (x.key, x.label, x.lower, x.upper, x.exact) == (
+                    y.key,
+                    y.label,
+                    y.lower,
+                    y.upper,
+                    y.exact,
+                )
+
+    def test_remove_far_object_keeps_results_warm(self):
+        objects = [
+            UncertainObject.uniform(i, float(i), float(i) + 1.0)
+            for i in range(10)
+        ]
+        engine = UncertainEngine(objects)
+        spec = CPNNQuery(1.0, threshold=0.3, tolerance=0.0)
+        engine.execute_batch([spec])
+        assert engine.remove(9)  # far from q=1.0's candidate set
+        warm = engine.execute_batch([spec])
+        assert warm.result_hits == 1
+
+    def test_remove_candidate_invalidates(self):
+        objects = [
+            UncertainObject.uniform(i, float(i), float(i) + 1.0)
+            for i in range(10)
+        ]
+        engine = UncertainEngine(objects)
+        spec = CPNNQuery(1.0, threshold=0.3, tolerance=0.0)
+        first = engine.execute_batch([spec])
+        victim = first.results[0].answers[0]
+        assert engine.remove(victim)
+        refreshed = engine.execute_batch([spec])
+        assert refreshed.result_hits == 0
+        assert victim not in refreshed.results[0].answers
+
+
+class TestDeferredIndexMaintenance:
+    def test_batch_filter_rows_match_objects(self, rng):
+        objects = make_random_objects(rng, 10)
+        engine = UncertainEngine(objects)
+        engine.execute_batch([CPNNQuery(30.0)])  # force filter build
+        engine.insert(UncertainObject.uniform("n1", 3.0, 4.0))
+        assert engine.remove(4)
+        engine.replace(7, UncertainObject.uniform(7, 40.0, 41.0))
+        engine.execute_batch([CPNNQuery(30.0)])  # flush row maintenance
+        bf = engine._batch_filter
+        assert bf is not None
+        assert bf.objects == tuple(engine.objects)
+        expected_lows = np.array([o.mbr.lows for o in engine.objects])
+        assert np.array_equal(bf._lows, expected_lows)
+
+    def test_single_query_sees_pending_updates(self, rng):
+        objects = make_random_objects(rng, 8)
+        engine = CPNNEngine(objects)
+        engine.insert(UncertainObject.uniform("new", 29.9, 30.1))
+        assert engine.remove(0)
+        # Single-query paths flush the deferred tree maintenance.
+        assert "new" in engine.pnn(30.0)
+        plan = engine.explain(CPNNQuery(30.0))
+        assert plan.index == "rtree"
+
+    def test_tree_queue_stays_bounded_under_batch_only_stream(self):
+        """Regression: a batch-only update stream must not accumulate
+        deferred tree ops (and pin every replaced object) forever —
+        past the rebuild threshold the queue collapses into a stale
+        marker."""
+        objects = [
+            UncertainObject.uniform(i, float(i), float(i) + 1.0)
+            for i in range(50)
+        ]
+        engine = UncertainEngine(objects)
+        for step in range(40):
+            key = step % 50
+            engine.replace(
+                key, UncertainObject.uniform(key, float(key), float(key) + 1.0)
+            )
+        assert len(engine._pending_tree_ops) <= 5
+        assert engine._filter_stale
+        # The next single-query path rebuilds and answers correctly.
+        assert engine.pnn(10.5)
+        assert not engine._filter_stale
+
+    def test_replayed_records_are_isolated(self):
+        """Mutating a replayed record must not corrupt the snapshot."""
+        objects = [
+            UncertainObject.uniform(i, float(i), float(i) + 1.0)
+            for i in range(6)
+        ]
+        engine = UncertainEngine(objects)
+        spec = CPNNQuery(2.0, threshold=0.3, tolerance=0.0)
+        engine.execute_batch([spec])
+        replayed = engine.execute_batch([spec])
+        assert replayed.result_hits == 1
+        original = replayed.results[0].records[0].lower
+        replayed.results[0].records[0].lower = -123.0
+        again = engine.execute_batch([spec])
+        assert again.results[0].records[0].lower == original
+
+    def test_table_cache_probes_counted_once(self):
+        """Regression: duplicate points in one batch used to probe the
+        cache twice per query, double-counting misses."""
+        objects = [
+            UncertainObject.uniform(i, float(i), float(i) + 1.0)
+            for i in range(6)
+        ]
+        engine = UncertainEngine(objects)
+        specs = [CPNNQuery(2.0, threshold=0.3, tolerance=0.0)] * 5
+        cold = engine.execute_batch(specs)
+        assert cold.table_misses == 1  # one distinct point built once
+        assert cold.table_hits == 4
+        cache = engine._table_cache
+        assert cache.misses == 5  # one probe per query, not two
+        assert cache.hits == 0
+        warm = engine.execute_batch(specs)
+        assert warm.result_hits == 5
+        assert cache.misses == 5
+        assert cache.hits == 5  # one snapshot-replay probe per query
+
+    def test_large_pending_queue_rebuilds(self, rng):
+        objects = make_random_objects(rng, 10)
+        engine = CPNNEngine(objects)
+        for i in range(30):  # far beyond the incremental threshold
+            engine.insert(UncertainObject.uniform(("bulk", i), 30.0 + i, 31.0 + i))
+        pnn = engine.pnn(35.0)
+        assert any(key == ("bulk", 4) for key in pnn)
+        assert not engine._pending_tree_ops

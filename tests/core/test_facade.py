@@ -135,6 +135,60 @@ class TestExecuteDispatch:
         assert second.cache_misses == 0
 
 
+class TestKnnOutOfRange:
+    """k validation fires at spec construction; k > N resolves to the
+    trivial all-satisfy case at the engine *before any work starts* —
+    never as a mid-batch failure from inside the filtering kernels."""
+
+    def test_bad_k_rejected_at_construction(self):
+        for bad in (0, -3, 2.5, True):
+            with pytest.raises(ValueError, match="k must be an integer"):
+                CKNNQuery(1.0, k=bad)
+
+    def test_whole_float_k_normalised(self):
+        spec = CKNNQuery(1.0, k=3.0)
+        assert spec.k == 3 and isinstance(spec.k, int)
+
+    def test_k_exceeding_engine_size_in_mixed_batch(self, rng):
+        """A k > N spec mid-batch must not disturb its neighbours and
+        must cost nothing (no filtering, no distributions)."""
+        objects = make_random_objects(rng, 5)
+        engine = UncertainEngine(objects)
+        specs = [
+            CRangeQuery(10.0, threshold=0.5, radius=4.0),
+            CKNNQuery(30.0, threshold=0.2, k=99),
+            CPNNQuery(20.0, 0.3, 0.0),
+        ]
+        batch = engine.execute_batch(specs)
+        assert len(batch) == 3
+        trivial = batch[1]
+        assert set(trivial.answers) == {o.key for o in objects}
+        assert all(r.exact == 1.0 for r in trivial.records)
+        assert trivial.cache_misses == 0  # no distribution was built
+        for spec, result in zip(specs, batch):
+            loop = engine.execute(spec)
+            assert result.answers == loop.answers
+            assert records_tuple(result) == records_tuple(loop)
+
+    def test_trivial_k_after_shrinking_engine(self, rng):
+        """k valid at construction may exceed N after removals; the
+        engine still resolves it as the trivial case, never an error."""
+        objects = make_random_objects(rng, 4)
+        engine = UncertainEngine(objects)
+        spec = CKNNQuery(30.0, threshold=0.2, k=3)
+        engine.execute(spec)
+        for obj in objects[:2]:
+            assert engine.remove(obj.key)
+        result = engine.execute(spec)
+        assert set(result.answers) == {o.key for o in engine.objects}
+
+    def test_explain_reports_trivial_case(self, rng):
+        engine = UncertainEngine(make_random_objects(rng, 3))
+        plan = engine.explain(CKNNQuery(1.0, k=10))
+        assert plan.candidates == 3
+        assert "every object qualifies" in plan.stages[0]
+
+
 class TestKnnRoutedEdgeCases:
     """Deterministic shapes the random property tests rarely hit."""
 

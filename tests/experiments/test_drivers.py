@@ -1,6 +1,8 @@
 """Smoke tests: every experiment driver runs end-to-end on a tiny
 configuration and produces the series its figure needs."""
 
+import os
+
 import pytest
 
 from repro.experiments import fig09_basic_vs_filtering as fig09
@@ -49,13 +51,32 @@ class TestDrivers:
         assert finished[1] >= finished[0] - 1e-12  # Δ helps, never hurts
 
     def test_fig14(self):
-        result = fig14.run(
-            fig14.Fig14Params(thresholds=(0.3, 1.0), n_queries=1, dataset_size=3000, bars=40)
+        """VR wins on Gaussian workloads.
+
+        Deflaked: the old single-shot ``basic[0] > vr[0]`` compared two
+        one-query wall-clock samples, which a scheduler hiccup could
+        flip.  Now the claim is best-of-3 (the driver's engine is
+        memoised, so retries only re-run the queries) against an
+        env-overridable floor (``FIG14_SPEEDUP_FLOOR``), and shape
+        checks stay single-shot.
+        """
+        floor = float(os.environ.get("FIG14_SPEEDUP_FLOOR", "1.0"))
+        params = fig14.Fig14Params(
+            thresholds=(0.3, 1.0), n_queries=1, dataset_size=3000, bars=40
         )
-        vr = result.series_by_name("vr_ms").ys
-        basic = result.series_by_name("basic_ms").ys
-        assert all(v > 0 for v in vr)
-        assert basic[0] > vr[0]  # VR wins on Gaussian workloads
+        best = 0.0
+        for _ in range(3):
+            result = fig14.run(params)
+            vr = result.series_by_name("vr_ms").ys
+            basic = result.series_by_name("basic_ms").ys
+            assert all(v > 0 for v in vr)
+            best = max(best, basic[0] / vr[0])
+            if best > floor:
+                break
+        assert best > floor, (
+            f"VR should beat Basic on the Gaussian workload: best-of-3 "
+            f"speedup {best:.2f}x <= floor {floor}"
+        )
 
     def test_table3(self):
         result = table3.run(table3.Table3Params(sizes=(8, 16), repeats=2))

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.baselines.montecarlo import monte_carlo_pnn_probabilities
-from repro.index.filtering import PnnFilter, filter_candidates
+from repro.index.filtering import BatchMbrFilter, PnnFilter, filter_candidates
 from repro.index.linear import LinearScanIndex
 from repro.index.str_pack import str_bulk_load
 from repro.uncertainty.objects import UncertainObject
@@ -110,6 +110,105 @@ class TestLinearScanIndex:
     def test_empty_index_raises(self):
         with pytest.raises(ValueError):
             LinearScanIndex().nearest_maxdist(0.0)
+
+
+class TestBatchFilterMaintenance:
+    """Incremental append/mask-removal/replace on BatchMbrFilter must
+    stay bit-identical to a freshly built filter (DESIGN.md §11)."""
+
+    def _assert_same_as_fresh(self, incremental, objects, points):
+        fresh = BatchMbrFilter(objects)
+        inc_min, inc_max = incremental.matrices(points)
+        ref_min, ref_max = fresh.matrices(points)
+        assert np.array_equal(inc_min, ref_min)
+        assert np.array_equal(inc_max, ref_max)
+        assert incremental.objects == tuple(objects)
+        for a, b in zip(incremental(points), fresh(points)):
+            assert a.fmin == b.fmin
+            assert a.candidates == b.candidates
+
+    def test_append_matches_fresh(self, rng):
+        objects = make_random_objects(rng, 12)
+        batch = BatchMbrFilter(objects[:8])
+        for obj in objects[8:]:
+            batch.append(obj)
+        self._assert_same_as_fresh(batch, objects, [5.0, 30.0, 55.0])
+
+    def test_remove_matches_fresh(self, rng):
+        objects = make_random_objects(rng, 12)
+        batch = BatchMbrFilter(objects)
+        survivors = list(objects)
+        for index in (9, 3, 0):
+            batch.remove_at(index)
+            del survivors[index]
+        self._assert_same_as_fresh(batch, survivors, [5.0, 30.0, 55.0])
+
+    def test_replace_matches_fresh(self, rng):
+        objects = make_random_objects(rng, 10)
+        batch = BatchMbrFilter(objects)
+        current = list(objects)
+        for index in (2, 7):
+            newcomer = UncertainObject.uniform(("r", index), 20.0, 24.0)
+            batch.replace_at(index, newcomer)
+            current[index] = newcomer
+        self._assert_same_as_fresh(batch, current, [5.0, 22.0, 55.0])
+
+    def test_interleaved_churn_matches_fresh(self, rng):
+        objects = make_random_objects(rng, 15)
+        batch = BatchMbrFilter(objects)
+        current = list(objects)
+        points = [float(q) for q in rng.uniform(0, 60, 6)]
+        for step in range(12):
+            op = step % 3
+            if op == 0:
+                obj = UncertainObject.uniform(("a", step), 5.0 + step, 9.0 + step)
+                batch.append(obj)
+                current.append(obj)
+            elif op == 1:
+                index = int(rng.integers(0, len(current)))
+                batch.remove_at(index)
+                del current[index]
+            else:
+                index = int(rng.integers(0, len(current)))
+                obj = UncertainObject.uniform(("s", step), 30.0, 33.0)
+                batch.replace_at(index, obj)
+                current[index] = obj
+            # Query mid-stream: flushes pending maintenance each time.
+            self._assert_same_as_fresh(batch, current, points)
+
+    def test_pending_ops_before_any_query(self, rng):
+        """Maintenance queued before the first matrices() call."""
+        objects = make_random_objects(rng, 6)
+        batch = BatchMbrFilter(objects)
+        extra = UncertainObject.uniform("x", 1.0, 2.0)
+        batch.append(extra)
+        batch.remove_at(0)
+        batch.replace_at(0, UncertainObject.uniform("y", 3.0, 4.0))
+        current = [UncertainObject.uniform("y", 3.0, 4.0)] + list(objects[2:]) + [extra]
+        fresh = BatchMbrFilter(current)
+        got_min, got_max = batch.matrices([10.0])
+        ref_min, ref_max = fresh.matrices([10.0])
+        assert np.array_equal(got_min, ref_min)
+        assert np.array_equal(got_max, ref_max)
+
+    def test_remove_out_of_range_raises(self, rng):
+        batch = BatchMbrFilter(make_random_objects(rng, 3))
+        with pytest.raises(IndexError):
+            batch.remove_at(3)
+        with pytest.raises(IndexError):
+            batch.replace_at(-1, make_random_objects(rng, 1)[0])
+
+    def test_dimension_mismatch_rejected(self, rng):
+        from repro.uncertainty.twod import UncertainDisk
+
+        batch = BatchMbrFilter(make_random_objects(rng, 3))
+        with pytest.raises(ValueError):
+            batch.append(UncertainDisk("d", (0, 0), 1.0))
+
+    def test_kth_filter_error_names_bad_k(self, rng):
+        batch = BatchMbrFilter(make_random_objects(rng, 4))
+        with pytest.raises(ValueError, match=r"k=9 \(query 0\)"):
+            batch.kth_filter([30.0], [9])
 
 
 class TestDegenerateGeometry:

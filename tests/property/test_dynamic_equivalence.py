@@ -1,0 +1,191 @@
+"""Property: interleaved update/query streams ≡ a freshly built engine.
+
+The incremental-maintenance contract (DESIGN.md §11): after *any*
+sequence of ``insert`` / ``remove`` / ``replace`` / ``execute`` /
+``execute_batch`` operations, the engine must answer every spec type
+exactly as a brand-new engine constructed over the same final object
+sequence — same answers, same per-object records, same pruning radii —
+and repeating the batch against the (now fully warm) caches must not
+change a bit.  The mid-stream queries are the point: they populate the
+batch filter, the distribution cache, the table cache, and the
+memoised result snapshots that the subsequent mutations must keep
+exactly consistent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import EngineConfig, UncertainEngine
+from repro.core.types import CKNNQuery, CPNNQuery, CRangeQuery
+from repro.uncertainty.objects import UncertainObject
+
+
+def fresh_object(counter: int, slot: int) -> UncertainObject:
+    """A deterministic interval with collision-free geometry.
+
+    Centers come from a coprime stride over [0, 60) and widths vary by
+    counter, so no two objects in a stream share a near/far point —
+    ordering ties (the one way two equal object sets could diverge at
+    the bit level) cannot arise.
+    """
+    center = (slot * 7.3) % 60.0
+    width = 1.0 + (counter % 5) * 0.7
+    return UncertainObject.uniform(
+        ("obj", counter), center - width / 2.0, center + width / 2.0
+    )
+
+
+def probe_specs(n_objects: int) -> list:
+    """A mixed batch covering all three spec families, including the
+    trivial k >= N case."""
+    specs = []
+    for q in (5.0, 23.0, 41.0, 59.0):
+        specs.append(CPNNQuery(q, threshold=0.3, tolerance=0.0))
+        specs.append(CKNNQuery(q, threshold=0.4, k=2))
+        specs.append(CRangeQuery(q, threshold=0.5, radius=6.0))
+    specs.append(CKNNQuery(30.0, threshold=0.3, k=max(1, n_objects + 3)))
+    return specs
+
+
+def assert_results_identical(got, want) -> None:
+    assert len(got.results) == len(want.results)
+    for a, b in zip(got.results, want.results):
+        assert a.answers == b.answers
+        assert (a.fmin == b.fmin) or (np.isnan(a.fmin) and np.isnan(b.fmin))
+        assert len(a.records) == len(b.records)
+        for x, y in zip(a.records, b.records):
+            assert (x.key, x.label, x.lower, x.upper, x.exact) == (
+                y.key,
+                y.label,
+                y.lower,
+                y.upper,
+                y.exact,
+            )
+
+
+@st.composite
+def operation_streams(draw):
+    n_initial = draw(st.integers(min_value=2, max_value=6))
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["insert", "remove", "replace", "execute", "batch"]
+                ),
+                st.integers(min_value=0, max_value=31),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    return n_initial, ops
+
+
+@given(stream=operation_streams(), use_rtree=st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_interleaved_stream_matches_fresh_engine(stream, use_rtree):
+    n_initial, ops = stream
+    counter = n_initial
+    mirror = [fresh_object(i, i) for i in range(n_initial)]
+    engine = UncertainEngine(list(mirror), EngineConfig(use_rtree=use_rtree))
+
+    for op, arg in ops:
+        if op == "insert":
+            obj = fresh_object(counter, counter)
+            counter += 1
+            engine.insert(obj)
+            mirror.append(obj)
+        elif op == "remove":
+            if mirror:
+                index = arg % len(mirror)
+                assert engine.remove(mirror[index].key)
+                del mirror[index]
+        elif op == "replace":
+            if mirror:
+                index = arg % len(mirror)
+                obj = fresh_object(counter, counter)
+                counter += 1
+                engine.replace(mirror[index].key, obj)
+                mirror[index] = obj
+        elif op == "execute":
+            spec = probe_specs(len(mirror))[arg % 13]
+            result = engine.execute(spec)
+            if not mirror:
+                assert result.answers == ()
+        else:
+            engine.execute_batch(probe_specs(len(mirror))[: 1 + arg % 13])
+
+    # Final contract: the incrementally maintained engine must be
+    # indistinguishable from a fresh build over the same sequence.
+    specs = probe_specs(len(mirror))
+    fresh = UncertainEngine(list(mirror), EngineConfig(use_rtree=use_rtree))
+    warm = engine.execute_batch(specs)
+    cold = fresh.execute_batch(specs)
+    assert_results_identical(warm, cold)
+
+    # Cache consistency: replaying the same batch against fully warm
+    # caches must be exact too (result snapshots, tables, and filter
+    # rows all hit now).
+    assert_results_identical(engine.execute_batch(specs), cold)
+
+    # Single-spec dispatch sees the same world (answer sets; single
+    # C-PNN execution goes through the R-tree, whose traversal order
+    # may differ from the fresh bulk-loaded tree only in record order).
+    for spec in specs[:4]:
+        assert frozenset(engine.execute(spec).answers) == frozenset(
+            fresh.execute(spec).answers
+        )
+
+    # Internal alignment: the batch filter's rows mirror the object
+    # sequence exactly after all maintenance flushed.
+    if mirror and engine._batch_filter is not None:
+        batch_filter = engine._batch_filter
+        batch_filter._flush()
+        assert batch_filter.objects == tuple(engine.objects)
+        assert np.array_equal(
+            batch_filter._lows,
+            np.array([obj.mbr.lows for obj in engine.objects]),
+        )
+    assert len(engine) == len(mirror)
+    assert [obj.key for obj in engine.objects] == [obj.key for obj in mirror]
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=15, deadline=None)
+def test_churn_then_empty_then_refill(seed):
+    """Draining the engine and refilling it keeps every path sane."""
+    rng = np.random.default_rng(seed)
+    objects = [fresh_object(i, i) for i in range(4)]
+    engine = UncertainEngine(list(objects))
+    engine.execute_batch(probe_specs(4)[:5])
+    for obj in objects:
+        assert engine.remove(obj.key)
+    assert len(engine) == 0
+    empty = engine.execute_batch(probe_specs(0)[:5])
+    assert all(result.answers == () for result in empty.results)
+    refill = [fresh_object(10 + i, int(rng.integers(0, 32))) for i in range(3)]
+    seen = set()
+    refill = [o for o in refill if o.key not in seen and not seen.add(o.key)]
+    for obj in refill:
+        engine.insert(obj)
+    fresh = UncertainEngine(list(refill))
+    assert_results_identical(
+        engine.execute_batch(probe_specs(len(refill))),
+        fresh.execute_batch(probe_specs(len(refill))),
+    )
+
+
+def test_pnn_after_interleaved_updates():
+    """The exact-PNN scalar path flushes deferred maintenance too."""
+    objects = [fresh_object(i, i) for i in range(5)]
+    engine = UncertainEngine(list(objects))
+    engine.execute_batch([CPNNQuery(10.0, threshold=0.2, tolerance=0.0)])
+    newcomer = fresh_object(99, 13)
+    engine.insert(newcomer)
+    assert engine.remove(objects[0].key)
+    survivors = objects[1:] + [newcomer]
+    fresh = UncertainEngine(survivors)
+    for q in (3.0, 17.0, 42.0):
+        assert engine.pnn(q) == pytest.approx(fresh.pnn(q))
