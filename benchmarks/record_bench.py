@@ -40,6 +40,7 @@ except ModuleNotFoundError:
 import test_batch_throughput as throughput_bench  # noqa: E402
 import test_columnar_speedup as columnar_bench  # noqa: E402
 import test_dynamic_updates as dynamic_bench  # noqa: E402
+import test_sharded_parallel as sharded_bench  # noqa: E402
 
 
 #: Shared best-of-N timing loop — the same reduction the pytest
@@ -154,6 +155,34 @@ def measure_dynamic_updates(repeats: int) -> dict:
     }
 
 
+def measure_sharded_parallel(repeats: int) -> dict:
+    """Sharded vs single-engine cold batch throughput (DESIGN.md §12).
+
+    Both pipelines rebuild their engines per repetition and time one
+    cold ``execute_batch`` — warm repetitions would replay memoised
+    result snapshots in both and measure only the cache.  The speedup
+    is machine-shaped: ~1× (pure fan-out overhead) on one core, ≥ 2×
+    expected from 4 cores (the ``test_sharded_parallel.py`` gate).
+    """
+    objects, specs = sharded_bench.objects_and_specs()
+    single = min(
+        sharded_bench._cold_single(objects, specs)[0] for _ in range(repeats)
+    )
+    sharded = min(
+        sharded_bench._cold_sharded(objects, specs)[0] for _ in range(repeats)
+    )
+    return {
+        "objects": sharded_bench.SHARDED_OBJECTS,
+        "points": sharded_bench.SHARDED_POINTS,
+        "mean_interval_length": sharded_bench.MEAN_LENGTH,
+        "n_shards": sharded_bench.N_SHARDS,
+        "cpu_count": os.cpu_count(),
+        "single_cold_s": single,
+        "sharded_cold_s": sharded,
+        "speedup": single / sharded,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -195,6 +224,7 @@ def main(argv=None) -> int:
         "knn_batch_throughput": measure_knn_throughput(args.repeats),
         "range_batch_throughput": measure_range_throughput(args.repeats),
         "dynamic_updates": measure_dynamic_updates(args.repeats),
+        "sharded_parallel": measure_sharded_parallel(args.repeats),
     }
     with open(args.output, "w") as handle:
         json.dump(snapshot, handle, indent=2, sort_keys=False)

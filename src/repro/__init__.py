@@ -39,6 +39,7 @@ from repro.core import (
     QueryPlan,
     QueryResult,
     QuerySpec,
+    ShardedEngine,
     Strategy,
     SubregionTable,
     UncertainEngine,
@@ -70,6 +71,7 @@ __all__ = [
     "QueryPlan",
     "QueryResult",
     "QuerySpec",
+    "ShardedEngine",
     "Strategy",
     "SubregionTable",
     "UncertainDisk",

@@ -22,7 +22,13 @@ Public entry points:
 from repro.core.batch import BatchResult, DistributionCache
 from repro.core.bounds import ProbabilityBound
 from repro.core.classifier import classify
-from repro.core.engine import CPNNEngine, EngineConfig, Strategy, UncertainEngine
+from repro.core.engine import (
+    CPNNEngine,
+    EngineConfig,
+    ShardedEngine,
+    Strategy,
+    UncertainEngine,
+)
 from repro.core.knn import (
     CKNNEngine,
     knn_probability_bounds,
@@ -74,6 +80,7 @@ __all__ = [
     "QuerySpec",
     "Refiner",
     "RightmostSubregionVerifier",
+    "ShardedEngine",
     "Strategy",
     "SubregionStore",
     "SubregionTable",

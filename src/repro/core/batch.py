@@ -93,6 +93,12 @@ class LruCache:
         self.hits += 1
         return entry
 
+    def peek(self, key: Hashable):
+        """The cached value without counting a hit/miss or refreshing
+        recency — for planning probes that must not perturb the
+        counters a later :meth:`get` will produce."""
+        return self._entries.get(key)
+
     def put(self, key: Hashable, value) -> tuple[Hashable, object] | None:
         """Insert an entry; returns the ``(key, value)`` it evicted, if any.
 
@@ -276,6 +282,11 @@ class TableCache:
         entry = self._cache.get(key)
         return entry  # type: ignore[return-value]
 
+    def peek(self, key: Hashable) -> CachedTable | None:
+        """The cached entry without touching counters or recency (the
+        sharded engine's pre-sweep probe; see DESIGN.md §12)."""
+        return self._cache.peek(key)  # type: ignore[return-value]
+
     def put(self, key: Hashable, entry: CachedTable) -> None:
         self._cache.put(key, entry)
         self._dirty = True
@@ -404,6 +415,16 @@ class BatchResult:
     def total_refined(self) -> int:
         """Candidates that needed refinement across the whole batch."""
         return sum(result.refined_objects for result in self.results)
+
+    def __repr__(self) -> str:
+        """Compact summary — a batch holds one full record list per
+        spec, so the dataclass default would dump them all."""
+        return (
+            f"{type(self).__name__}(results={len(self.results)}, "
+            f"total_s={self.timings.total:.6g}, "
+            f"cache_hits={self.cache_hits}, cache_misses={self.cache_misses}, "
+            f"table_hits={self.table_hits}, result_hits={self.result_hits})"
+        )
 
 
 def distributions_for(

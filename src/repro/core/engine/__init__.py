@@ -1,0 +1,47 @@
+"""The unified query engine, decomposed into a staged-pipeline package.
+
+The paper's framework (Section III) is one pipeline — filtering →
+initialisation → verification → refinement — and this package serves
+all three query families through it behind a single typed surface.
+What used to be one 1,500-line ``engine.py`` module is now one module
+per responsibility:
+
+==================  ====================================================
+module              owns
+==================  ====================================================
+:mod:`.config`      :class:`EngineConfig` and the :class:`Strategy` names
+:mod:`.dispatch`    spec normalisation + per-spec-type verifier chains
+:mod:`.registry`    object storage, key bookkeeping, the **mutation
+                    contract** (insert/remove/replace), and the deferred
+                    table-cache invalidation queue
+:mod:`.filtering`   the single-query R-tree (deferred op queue) and the
+                    incrementally maintained whole-batch MBR filter
+:mod:`.pnn`         the C-PNN executor (Basic / Refine / VR, single +
+                    batch, table cache + result snapshots)
+:mod:`.knn`         the routed constrained k-NN executor
+:mod:`.ranges`      the routed constrained range executor
+:mod:`.facade`      :class:`UncertainEngine` — the thin coordinator that
+                    routes specs and owns config/caches — plus the
+                    legacy :class:`CPNNEngine` shim
+:mod:`.sharded`     :class:`ShardedEngine` — spatial shards + a thread
+                    pool fanning batches out across them (DESIGN.md §12)
+==================  ====================================================
+
+Every public name keeps its historical import path
+(``from repro.core.engine import UncertainEngine, EngineConfig, ...``),
+and the decomposition is behaviour-preserving to the bit: the property
+suites assert batch ≡ sequential ≡ sharded for all three spec
+families.
+"""
+
+from repro.core.engine.config import EngineConfig, Strategy
+from repro.core.engine.facade import CPNNEngine, UncertainEngine
+from repro.core.engine.sharded import ShardedEngine
+
+__all__ = [
+    "CPNNEngine",
+    "EngineConfig",
+    "ShardedEngine",
+    "Strategy",
+    "UncertainEngine",
+]

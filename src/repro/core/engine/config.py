@@ -1,0 +1,117 @@
+"""Engine tuning knobs: evaluation strategies and :class:`EngineConfig`.
+
+Configuration is deliberately the only state shared between every
+stage of the pipeline (DESIGN.md §3): the registry, the filter stage,
+and the three family executors all read the same immutable-ish config
+object, so a :class:`~repro.core.engine.sharded.ShardedEngine` can
+hand one config to every shard and every execution lane and stay
+bit-identical to a single engine built from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.bounds import DEFAULT_BOUND_PAD
+from repro.core.verifiers.chain import VerifierChain, default_chain
+
+__all__ = ["EngineConfig", "Strategy"]
+
+
+class Strategy:
+    """String constants naming the three evaluation strategies."""
+
+    BASIC = "basic"
+    REFINE = "refine"
+    VR = "vr"
+
+    ALL = (BASIC, REFINE, VR)
+
+
+@dataclass
+class EngineConfig:
+    """Tuning knobs for :class:`~repro.core.engine.UncertainEngine`.
+
+    Attributes
+    ----------
+    strategy:
+        One of :class:`Strategy`'s constants; default is the paper's
+        proposed VR.
+    chain_factory:
+        Builds the verifier chain used by VR (default: RS → L-SR →
+        U-SR, Figure 5's order).  The engine calls it once at
+        construction and reuses the chain across queries — verifiers
+        are stateless, so per-query rebuilding would only add
+        allocation overhead to the hot path.
+    pipeline:
+        Optional hook composing verifier chains *per spec type*: called
+        with the spec's class (e.g. :class:`CPNNQuery`) the first time
+        that type is executed, it may return a
+        :class:`~repro.core.verifiers.chain.VerifierChain` to use for
+        that family, or ``None`` to keep ``chain_factory``'s chain.
+        The result is cached per type.  Today only specs evaluated
+        through the subregion verification framework (C-PNN) consult
+        it; the type argument exists so future families can branch
+        without changing the signature.
+    bound_pad:
+        Floating-point guard added around computed bounds
+        (DESIGN.md §5).
+    refinement_order:
+        ``'widest'`` integrates the subregion with the widest remaining
+        bound gap first (fastest classification); ``'left'`` follows
+        ascending distance.
+    quadrature_margin:
+        Extra Gauss–Legendre nodes beyond the exactness requirement.
+    use_rtree:
+        Filter through a bulk-loaded R-tree (True, the paper's setup)
+        or a linear scan (False, for baselining the index itself).
+    rtree_max_entries:
+        Node capacity of the bulk-loaded R-tree.
+    grid_refinement:
+        Split every inner subregion into this many parts before
+        verification: tighter verifier bounds at proportionally higher
+        verification cost (an extension beyond the paper; see the
+        grid-refinement ablation bench).
+    distribution_cache_size:
+        Capacity of the LRU cache of distance distributions used by
+        the batch paths and the routed k-NN/range paths (entries are
+        keyed by ``(object, query point)``, so repeated probes skip the
+        histogram fold).  0 disables the cache.
+    table_cache_size:
+        Capacity (in query points) of the LRU cache of fully built
+        subregion tables used by the C-PNN batch path.  A repeated
+        probe skips filtering *and* initialisation for that point.
+        Dynamic updates invalidate entries *selectively*: only points
+        whose candidate set the mutated object's MBR can affect are
+        dropped (DESIGN.md §11); the rest stay warm.  0 disables the
+        cache.  Note the bound is entry-count, not bytes: each table
+        pins its distributions plus O(|C|·M) matrices, so size this to
+        the working set of hot probe points, not higher.
+    """
+
+    strategy: str = Strategy.VR
+    chain_factory: Callable[[], VerifierChain] = default_chain
+    pipeline: Callable[[type], VerifierChain | None] | None = None
+    bound_pad: float = DEFAULT_BOUND_PAD
+    refinement_order: str = "widest"
+    quadrature_margin: int = 1
+    use_rtree: bool = True
+    rtree_max_entries: int = 16
+    grid_refinement: int = 1
+    distribution_cache_size: int = 65536
+    table_cache_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.strategy not in Strategy.ALL:
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.refinement_order not in ("widest", "left"):
+            raise ValueError("refinement_order must be 'widest' or 'left'")
+        if self.grid_refinement < 1:
+            raise ValueError("grid_refinement must be >= 1")
+        if self.distribution_cache_size < 0:
+            raise ValueError("distribution_cache_size must be >= 0")
+        if self.table_cache_size < 0:
+            raise ValueError("table_cache_size must be >= 0")
+        if self.pipeline is not None and not callable(self.pipeline):
+            raise ValueError("pipeline must be callable or None")

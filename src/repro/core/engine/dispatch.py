@@ -1,0 +1,88 @@
+"""Spec normalisation and verifier-chain resolution, shared by hosts.
+
+Every object that *executes* specs — the single
+:class:`~repro.core.engine.UncertainEngine`, a
+:class:`~repro.core.engine.sharded.ShardedEngine`, and the sharded
+engine's internal execution lanes — needs the same four small
+behaviours: normalise a bare point into a default spec, normalise the
+legacy ``query()`` argument shape, validate a strategy name, and
+resolve the verifier chain serving a spec type through the
+``EngineConfig.pipeline`` hook.  :class:`SpecDispatchMixin` provides
+them against two host attributes: ``_config`` (an
+:class:`~repro.core.engine.config.EngineConfig`) and the chain slots
+``_chain`` / ``_chains`` the host initialises via
+:meth:`SpecDispatchMixin._init_chains`.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine.config import Strategy
+from repro.core.types import CPNNQuery, QuerySpec
+from repro.core.verifiers.chain import VerifierChain
+
+__all__ = ["SpecDispatchMixin"]
+
+
+class SpecDispatchMixin:
+    """Spec/strategy normalisation + per-spec-type chain resolution."""
+
+    def _init_chains(self) -> None:
+        """Build the default verifier chain once (verifiers are
+        stateless; see ``EngineConfig.chain_factory``) and the
+        per-spec-type cache the ``pipeline`` hook fills."""
+        self._chain = self._config.chain_factory()
+        self._chains: dict[type, VerifierChain] = {}
+
+    @staticmethod
+    def _as_spec(spec) -> QuerySpec:
+        """Normalise a bare point into a default CPNNQuery."""
+        if isinstance(spec, QuerySpec):
+            return spec
+        return CPNNQuery(spec)
+
+    @staticmethod
+    def _as_query(
+        q, threshold: float | None, tolerance: float | None
+    ) -> CPNNQuery:
+        """Normalise a bare point or prepared query plus overrides."""
+        if isinstance(q, QuerySpec) and not isinstance(q, CPNNQuery):
+            raise TypeError(
+                f"{type(q).__name__} specs go through execute(), not query()"
+            )
+        if isinstance(q, CPNNQuery):
+            if threshold is None and tolerance is None:
+                return q
+            return CPNNQuery(
+                q.q,
+                threshold if threshold is not None else q.threshold,
+                tolerance if tolerance is not None else q.tolerance,
+            )
+        return CPNNQuery(
+            q,
+            threshold if threshold is not None else 0.3,
+            tolerance if tolerance is not None else 0.01,
+        )
+
+    def _as_strategy(self, strategy: str | None) -> str:
+        strategy = strategy or self._config.strategy
+        if strategy not in Strategy.ALL:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        return strategy
+
+    def _chain_for(self, spec_type: type) -> VerifierChain:
+        """The verifier chain serving ``spec_type`` (pipeline hook)."""
+        chain = self._chains.get(spec_type)
+        if chain is None:
+            custom = (
+                self._config.pipeline(spec_type)
+                if self._config.pipeline is not None
+                else None
+            )
+            if custom is not None and not isinstance(custom, VerifierChain):
+                raise TypeError(
+                    "EngineConfig.pipeline must return a VerifierChain or None, "
+                    f"got {type(custom).__name__}"
+                )
+            chain = custom if custom is not None else self._chain
+            self._chains[spec_type] = chain
+        return chain

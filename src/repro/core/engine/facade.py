@@ -1,0 +1,475 @@
+"""The engine coordinator: spec routing, caches, and legacy shims.
+
+:class:`UncertainEngine` is deliberately thin — it assembles the
+focused stage modules (object registry, filter stage, one executor per
+spec family) and owns only what they share: the
+:class:`~repro.core.engine.config.EngineConfig` and the two LRU caches.
+``execute``/``execute_batch``/``explain`` do nothing but dispatch on
+the spec type and merge the executors' outputs; all evaluation lives in
+:mod:`~repro.core.engine.pnn`, :mod:`~repro.core.engine.knn` and
+:mod:`~repro.core.engine.ranges`, all storage and mutation semantics in
+:mod:`~repro.core.engine.registry`, and all index upkeep in
+:mod:`~repro.core.engine.filtering`.
+
+The pre-façade entry points — :meth:`UncertainEngine.query`,
+:meth:`UncertainEngine.query_batch`, and the :class:`CPNNEngine` name —
+remain as thin deprecation shims (DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.batch import BatchResult, DistributionCache, TableCache
+from repro.core.engine.config import EngineConfig, Strategy
+from repro.core.engine.dispatch import SpecDispatchMixin
+from repro.core.engine.filtering import FilterStageMixin
+from repro.core.engine.knn import KnnExecutorMixin
+from repro.core.engine.pnn import PnnExecutorMixin
+from repro.core.engine.ranges import RangeExecutorMixin
+from repro.core.engine.registry import ObjectRegistryMixin
+from repro.core.types import (
+    CKNNQuery,
+    CRangeQuery,
+    QueryPlan,
+    QueryResult,
+)
+from repro.index.filtering import PnnFilter
+
+__all__ = ["CPNNEngine", "QueryFacadeMixin", "UncertainEngine"]
+
+
+class QueryFacadeMixin(SpecDispatchMixin):
+    """The unified ``execute`` / ``execute_batch`` surface.
+
+    Pure routing: dispatch on the spec type, delegate to the host's
+    family executors (``_execute_pnn`` / ``_pnn_batch`` /
+    ``_knn_group`` / ``_range_group``), merge timings and counters.
+    Shared verbatim by :class:`UncertainEngine` and
+    :class:`~repro.core.engine.sharded.ShardedEngine`, which is how the
+    two stay behaviourally interchangeable.
+    """
+
+    @staticmethod
+    def _family_of(spec) -> str:
+        if isinstance(spec, CKNNQuery):
+            return "cknn"
+        if isinstance(spec, CRangeQuery):
+            return "crange"
+        return "cpnn"
+
+    @staticmethod
+    def _cache_summary(cache) -> dict | str:
+        """Uniform counter snapshot for one LRU cache (or "disabled")."""
+        if cache is None:
+            return "disabled"
+        return {
+            "maxsize": cache.maxsize,
+            "entries": len(cache),
+            "hits": cache.hits,
+            "misses": cache.misses,
+        }
+
+    # Shared ``explain`` arithmetic — the counts and stage suffixes both
+    # engine's plans are built from, kept in one place so the sharded
+    # plan can never drift from the single engine's (DESIGN.md §12).
+
+    def _knn_plan_counts(self, spec, batch_filter):
+        """``(candidates, pruned, fmin^k)`` for a non-trivial k-NN spec,
+        or ``None`` when ``k >= N`` resolves as the all-satisfy case."""
+        n = len(self._objects)
+        k = min(spec.k, n)
+        if k >= n:
+            return None
+        survivors, fmin_k = batch_filter.kth_filter([spec.q], [k])[0]
+        return int(survivors.size), n - int(survivors.size), fmin_k
+
+    def _range_plan_counts(self, spec, batch_filter):
+        """``(sure_in, sure_out, straddle)`` MBR classification counts."""
+        mindist, maxdist = batch_filter.matrices([spec.q])
+        sure_in = int(np.count_nonzero(maxdist[0] <= spec.radius))
+        sure_out = int(np.count_nonzero(mindist[0] > spec.radius))
+        return sure_in, sure_out, len(self._objects) - sure_in - sure_out
+
+    def _cpnn_plan_stages(self, spec, strategy):
+        """``(verifier names, trailing stage lines)`` of a C-PNN plan."""
+        if strategy == Strategy.VR:
+            chain = self._chain_for(type(spec))
+            verifiers = tuple(v.name for v in chain.verifiers)
+            return verifiers, [
+                "distance distributions + subregion table",
+                "verifier chain: " + " → ".join(verifiers),
+                "incremental refinement of surviving candidates",
+            ]
+        if strategy == Strategy.REFINE:
+            return (), [
+                "distance distributions + subregion table",
+                "incremental refinement of all candidates",
+            ]
+        return (), [
+            "distance distributions + subregion table",
+            "exact integration of every candidate (Basic)",
+        ]
+
+    def execute(self, spec, strategy: str | None = None) -> QueryResult:
+        """Answer one query spec; dispatches on the spec type.
+
+        ``spec`` may be a :class:`CPNNQuery`, :class:`CKNNQuery`,
+        :class:`CRangeQuery`, or a bare query point (normalised to a
+        :class:`CPNNQuery` with the Section V defaults).  ``strategy``
+        overrides the configured evaluation strategy for C-PNN specs;
+        it is validated for every spec but otherwise ignored by the
+        other families (they have a single evaluation pipeline).
+
+        Always returns a :class:`~repro.core.types.QueryResult`; an
+        empty engine yields an empty result for every spec type.
+        """
+        spec = self._as_spec(spec)
+        strategy = self._as_strategy(strategy)
+        if not self._objects:
+            return QueryResult(answers=(), spec=spec)
+        if isinstance(spec, CKNNQuery):
+            results, filter_seconds = self._knn_group([spec])
+            results[0].timings.filtering = filter_seconds
+            return results[0]
+        if isinstance(spec, CRangeQuery):
+            results, filter_seconds = self._range_group([spec])
+            results[0].timings.filtering = filter_seconds
+            return results[0]
+        result = self._execute_pnn(spec, strategy)
+        result.spec = spec
+        return result
+
+    def execute_batch(self, specs: Sequence, strategy: str | None = None) -> BatchResult:
+        """Answer a batch of specs, amortising work batch-wide.
+
+        Semantically equivalent to ``[execute(s) for s in specs]`` —
+        per-candidate arithmetic is shared with the single-spec path,
+        so answers and records agree exactly — but work is restructured
+        around the batch: each family's filtering runs as one
+        vectorised MBR sweep, distance distributions go through the
+        engine's LRU cache, and C-PNN verification/refinement run as
+        flat sweeps (see :mod:`repro.core.batch`).  Specs of different
+        types may be mixed freely; ``results`` aligns with ``specs``.
+
+        An empty ``specs`` sequence yields an empty
+        :class:`~repro.core.batch.BatchResult`; an empty engine yields
+        one empty :class:`~repro.core.types.QueryResult` per spec.
+        """
+        specs = [self._as_spec(s) for s in specs]
+        self._as_strategy(strategy)  # reject typos even in k-NN/range-only batches
+        batch = BatchResult()
+        if not specs:
+            return batch
+        if not self._objects:
+            batch.results = [QueryResult(answers=(), spec=s) for s in specs]
+            return batch
+        slots: list[QueryResult | None] = [None] * len(specs)
+        knn_idx = [i for i, s in enumerate(specs) if isinstance(s, CKNNQuery)]
+        range_idx = [i for i, s in enumerate(specs) if isinstance(s, CRangeQuery)]
+        pnn_idx = [
+            i
+            for i, s in enumerate(specs)
+            if not isinstance(s, (CKNNQuery, CRangeQuery))
+        ]
+        if pnn_idx:
+            sub = self._pnn_batch([specs[i] for i in pnn_idx], strategy)
+            for i, result in zip(pnn_idx, sub.results):
+                slots[i] = result
+            for phase in ("filtering", "initialization", "verification", "refinement"):
+                setattr(
+                    batch.timings,
+                    phase,
+                    getattr(batch.timings, phase) + getattr(sub.timings, phase),
+                )
+            batch.cache_hits += sub.cache_hits
+            batch.cache_misses += sub.cache_misses
+            batch.table_hits += sub.table_hits
+            batch.table_misses += sub.table_misses
+            batch.result_hits += sub.result_hits
+        for indices, runner in ((knn_idx, self._knn_group), (range_idx, self._range_group)):
+            if not indices:
+                continue
+            results, filter_seconds = runner([specs[i] for i in indices])
+            batch.timings.filtering += filter_seconds
+            for i, result in zip(indices, results):
+                slots[i] = result
+                timings = result.timings
+                batch.timings.initialization += timings.initialization
+                batch.timings.verification += timings.verification
+                batch.timings.refinement += timings.refinement
+                batch.cache_hits += result.cache_hits
+                batch.cache_misses += result.cache_misses
+        batch.results = slots
+        return batch
+
+
+class UncertainEngine(
+    QueryFacadeMixin,
+    ObjectRegistryMixin,
+    FilterStageMixin,
+    PnnExecutorMixin,
+    KnnExecutorMixin,
+    RangeExecutorMixin,
+):
+    """Evaluates probabilistic queries over uncertain objects.
+
+    One engine serves all three query families — C-PNN (the paper's
+    Definition 1), constrained probabilistic k-NN, and constrained
+    probabilistic range — through :meth:`execute` /
+    :meth:`execute_batch`, which dispatch on the spec type and share
+    the filtering / caching / columnar substrate.
+
+    For C-PNN specs the engine implements the three evaluation
+    strategies compared in Section V: **Basic** (exact qualification
+    probabilities for every candidate), **Refine** (incremental
+    refinement directly), and **VR** (the paper's proposal — the
+    verifier chain settles most candidates algebraically; survivors
+    fall through to refinement seeded with the verifier's bounds).
+
+    Parameters
+    ----------
+    objects:
+        Any sequence of objects satisfying the
+        :class:`~repro.uncertainty.objects.SpatialUncertain` protocol
+        (1-D intervals, 2-D disks/segments/rectangles, or a mixture of
+        same-dimension objects).  May be empty: an empty engine answers
+        every ``execute``/``execute_batch`` spec with an empty result
+        (DESIGN.md §8) until objects are inserted.
+    config:
+        Optional :class:`~repro.core.engine.config.EngineConfig`.
+    """
+
+    def __init__(self, objects: Sequence, config: EngineConfig | None = None):
+        self._config = config or EngineConfig()
+        self._init_registry(objects)
+        self._init_chains()
+        self._init_filter_stage()
+        self._distribution_cache: DistributionCache | None = (
+            DistributionCache(self._config.distribution_cache_size)
+            if self._config.distribution_cache_size
+            else None
+        )
+        #: LRU of fully built subregion tables keyed by query point,
+        #: selectively invalidated on dynamic updates (DESIGN.md §11).
+        self._table_cache: TableCache | None = (
+            TableCache(self._config.table_cache_size)
+            if self._config.table_cache_size
+            else None
+        )
+
+    @property
+    def config(self) -> EngineConfig:
+        return self._config
+
+    def explain(self, spec, strategy: str | None = None) -> QueryPlan:
+        """The evaluation plan for ``spec``, without computing answers.
+
+        Runs only the filtering phase (cheap — no distribution is
+        built, no probability computed) and reports which pipeline
+        stages ``execute`` would run, what the filter keeps, and the
+        engine's cache state.
+        """
+        spec = self._as_spec(spec)
+        self._flush_table_invalidations()  # report live entry counts
+        caches = self._cache_stats()
+        n = len(self._objects)
+        family = self._family_of(spec)
+        if not self._objects:
+            return QueryPlan(
+                spec=spec,
+                family=family,
+                strategy=None,
+                index="none",
+                stages=["empty engine: return an empty result"],
+                caches=caches,
+            )
+        index = "rtree" if isinstance(self._filter, PnnFilter) else "linear"
+        if family == "cknn":
+            counts = self._knn_plan_counts(spec, self._ensure_batch_filter())
+            if counts is None:
+                return QueryPlan(
+                    spec=spec,
+                    family=family,
+                    strategy=None,
+                    index=index,
+                    stages=[
+                        f"k={spec.k} covers all {n} objects: "
+                        "every object qualifies with probability 1"
+                    ],
+                    candidates=n,
+                    pruned=0,
+                    fmin=float("inf"),
+                    caches=caches,
+                )
+            candidates, pruned, fmin_k = counts
+            return QueryPlan(
+                spec=spec,
+                family=family,
+                strategy=None,
+                index=index,
+                stages=[
+                    f"MBR filtering with f_min^{min(spec.k, n)} (vectorised sweep)",
+                    "distance distributions for survivors (LRU cache)",
+                    "RS-style k-NN bounds via columnar cdf kernels",
+                    "exact Poisson-binomial integration for undecided objects",
+                ],
+                candidates=candidates,
+                pruned=pruned,
+                fmin=fmin_k,
+                caches=caches,
+            )
+        if family == "crange":
+            sure_in, sure_out, straddle = self._range_plan_counts(
+                spec, self._ensure_batch_filter()
+            )
+            return QueryPlan(
+                spec=spec,
+                family=family,
+                strategy=None,
+                index=index,
+                stages=[
+                    "MBR range classification (vectorised sweep): "
+                    f"{sure_in} certainly inside, {sure_out} certainly outside",
+                    f"exact region-distance re-check for {straddle} straddling objects",
+                    "cdf(radius) via columnar kernel for true straddlers (LRU cache)",
+                ],
+                candidates=straddle,
+                pruned=sure_in + sure_out,
+                fmin=float(spec.radius),
+                caches=caches,
+            )
+        strategy = self._as_strategy(strategy)
+        filter_result = self._single_filter()(spec.q)
+        verifiers, suffix = self._cpnn_plan_stages(spec, strategy)
+        return QueryPlan(
+            spec=spec,
+            family=family,
+            strategy=strategy,
+            index=index,
+            stages=["PNN filtering (f_min pruning rule)"] + suffix,
+            verifiers=verifiers,
+            candidates=len(filter_result.candidates),
+            pruned=n - len(filter_result.candidates),
+            fmin=filter_result.fmin,
+            caches=caches,
+        )
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def _cache_stats(self) -> dict:
+        """Snapshot of the engine's cache configuration and counters."""
+        return {
+            "distribution_cache": self._cache_summary(self._distribution_cache),
+            "table_cache": self._cache_summary(self._table_cache),
+        }
+
+    def stats(self) -> dict:
+        """Live observability counters, cheap enough to poll.
+
+        Returns a plain dict (stable keys, JSON-friendly values):
+        object count, which index serves single-query filtering, the
+        deferred-maintenance queue depths, and per-cache
+        occupancy/hit/miss counters.  :class:`ShardedEngine
+        <repro.core.engine.sharded.ShardedEngine>` extends the same
+        shape with per-shard occupancy and parallel-execution
+        accounting.
+        """
+        if not self._objects:
+            index = "none"
+        elif isinstance(self._filter, PnnFilter):
+            index = "rtree"
+        else:
+            index = "linear"
+        return {
+            "engine": type(self).__name__,
+            "objects": len(self._objects),
+            "index": index,
+            "pending_tree_ops": len(self._pending_tree_ops),
+            "filter_stale": self._filter_stale,
+            "pending_invalidations": len(self._pending_invalidation),
+            "caches": self._cache_stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # Legacy entry points (deprecation shims; see DESIGN.md §7)
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        q,
+        threshold: float | None = None,
+        tolerance: float | None = None,
+        strategy: str | None = None,
+    ) -> QueryResult:
+        """Answer a C-PNN query (deprecated; use :meth:`execute`).
+
+        ``q`` may be a bare query point or a prepared
+        :class:`~repro.core.types.CPNNQuery`; ``threshold``/
+        ``tolerance`` override the query's values when given.  Unlike
+        :meth:`execute`, raises :class:`ValueError` on an empty engine
+        (the pre-façade behaviour).
+        """
+        warnings.warn(
+            "query() is deprecated; use execute(CPNNQuery(q, threshold, "
+            "tolerance)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if not self._objects:
+            raise ValueError("cannot query an empty engine (insert objects first)")
+        query = self._as_query(q, threshold, tolerance)
+        result = self._execute_pnn(query, self._as_strategy(strategy))
+        result.spec = query
+        return result
+
+    def query_batch(
+        self,
+        points: Sequence,
+        threshold: float | None = None,
+        tolerance: float | None = None,
+        strategy: str | None = None,
+    ) -> BatchResult:
+        """Batch C-PNN evaluation (deprecated; use :meth:`execute_batch`).
+
+        Semantically equivalent to calling :meth:`query` once per point
+        with the same ``threshold``/``tolerance``/``strategy``; see
+        :meth:`execute_batch` for the amortisation details.  Raises
+        :class:`ValueError` on an empty engine when ``points`` is
+        non-empty (the pre-façade behaviour).
+        """
+        warnings.warn(
+            "query_batch() is deprecated; use execute_batch([CPNNQuery(...)"
+            ", ...]) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._as_strategy(strategy)  # validate even for an empty batch
+        points = list(points)
+        if not points:
+            return BatchResult()
+        if not self._objects:
+            raise ValueError("cannot query an empty engine (insert objects first)")
+        queries = [self._as_query(p, threshold, tolerance) for p in points]
+        return self._pnn_batch(queries, strategy)
+
+
+class CPNNEngine(UncertainEngine):
+    """Legacy name of :class:`UncertainEngine`, kept as a thin shim.
+
+    Identical in every respect except that construction requires a
+    non-empty object sequence (the pre-façade contract; an
+    :class:`UncertainEngine` may start empty and answers ``execute``
+    specs with empty results).  New code should construct
+    :class:`UncertainEngine` directly.
+    """
+
+    def __init__(self, objects: Sequence, config: EngineConfig | None = None):
+        if not objects:
+            raise ValueError("engine requires at least one object")
+        super().__init__(objects, config)

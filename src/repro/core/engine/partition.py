@@ -1,0 +1,113 @@
+"""STR spatial partitioning for :class:`~repro.core.engine.sharded.ShardedEngine`.
+
+Sort-Tile-Recursive tiling over MBR centers — the same packing rule
+:func:`repro.index.str_pack.str_bulk_load` uses for R-tree leaves,
+lifted one level up: instead of packing tree pages, it packs whole
+*shards*, so each shard covers a compact tile of space and a query's
+candidate set clusters on few shards (the locality that makes the
+per-shard sweeps worth fanning out; DESIGN.md §12).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["str_shard_split"]
+
+
+def _route_cuts(sorted_values: np.ndarray, boundaries: Sequence[int]) -> np.ndarray:
+    """Routing cut points: the first value of each group after the first.
+
+    ``searchsorted(cuts, x, side='right')`` then maps a coordinate to
+    its group.  Empty groups repeat their neighbour's cut, so new
+    objects skip past them until a rebalance refills the tiling.
+    """
+    n = len(sorted_values)
+    return np.asarray(
+        [sorted_values[min(int(b), n - 1)] for b in boundaries], dtype=float
+    )
+
+
+def _split_sorted(order: np.ndarray, parts: int) -> tuple[list[np.ndarray], list[int]]:
+    """Split a sort order into ``parts`` near-equal groups + boundaries."""
+    groups = np.array_split(order, parts)
+    boundaries = list(np.cumsum([len(g) for g in groups])[:-1])
+    return groups, boundaries
+
+
+def str_shard_split(objects: Sequence, n_shards: int):
+    """STR-partition objects into ``n_shards`` spatial groups.
+
+    Returns ``(groups, router)`` where ``groups`` is a list of
+    ``n_shards`` object lists (some possibly empty when there are fewer
+    objects than shards) and ``router`` maps a *new* object to the
+    shard whose tile contains its MBR center (``None`` when ``objects``
+    is empty).  1-D data is sliced along the line; 2-D data is tiled
+    STR-style — ``ceil(sqrt(n_shards))`` x-slabs, each sliced along y —
+    mirroring :func:`repro.index.str_pack.str_bulk_load`'s leaf
+    packing.
+
+    The router is a *placement* rule, not a correctness contract: query
+    answers never depend on which shard holds an object (the engine
+    reconciles candidates in global object order), so routing only has
+    to be deterministic and roughly balanced.
+    """
+    groups: list[list] = [[] for _ in range(n_shards)]
+    if not objects:
+        return groups, None
+    centers = np.array(
+        [np.asarray(obj.mbr.center, dtype=float).reshape(-1) for obj in objects]
+    )
+    n, dim = centers.shape
+    if dim == 1 or n_shards == 1:
+        xs = centers[:, 0]
+        order = np.argsort(xs, kind="stable")
+        idx_groups, boundaries = _split_sorted(order, n_shards)
+        cuts = _route_cuts(xs[order], boundaries)
+        for sid, idx in enumerate(idx_groups):
+            groups[sid] = [objects[i] for i in idx]
+
+        def route(obj, _cuts=cuts):
+            x = float(np.asarray(obj.mbr.center, dtype=float).reshape(-1)[0])
+            return int(np.searchsorted(_cuts, x, side="right"))
+
+        return groups, route
+
+    slabs = int(math.ceil(math.sqrt(n_shards)))
+    tiles_per_slab = [
+        n_shards // slabs + (1 if s < n_shards % slabs else 0) for s in range(slabs)
+    ]
+    xs, ys = centers[:, 0], centers[:, 1]
+    x_order = np.argsort(xs, kind="stable")
+    # Slab sizes proportional to their tile counts, so tiles stay
+    # near-equal across slabs of different widths.
+    total_tiles = sum(tiles_per_slab)
+    slab_ends = [
+        int(round(n * sum(tiles_per_slab[: s + 1]) / total_tiles))
+        for s in range(slabs)
+    ]
+    slab_starts = [0] + slab_ends[:-1]
+    x_cuts = _route_cuts(xs[x_order], slab_starts[1:])
+    offsets = [sum(tiles_per_slab[:s]) for s in range(slabs)]
+    y_cuts: list[np.ndarray] = []
+    for s in range(slabs):
+        slab_idx = x_order[slab_starts[s] : slab_ends[s]]
+        slab_order = slab_idx[np.argsort(ys[slab_idx], kind="stable")]
+        idx_groups, boundaries = _split_sorted(slab_order, tiles_per_slab[s])
+        if slab_order.size:
+            y_cuts.append(_route_cuts(ys[slab_order], boundaries))
+        else:
+            y_cuts.append(np.zeros(len(boundaries)))
+        for t, idx in enumerate(idx_groups):
+            groups[offsets[s] + t] = [objects[i] for i in idx]
+
+    def route(obj, _x_cuts=x_cuts, _y_cuts=y_cuts, _offsets=offsets):
+        center = np.asarray(obj.mbr.center, dtype=float).reshape(-1)
+        s = int(np.searchsorted(_x_cuts, float(center[0]), side="right"))
+        t = int(np.searchsorted(_y_cuts[s], float(center[1]), side="right"))
+        return _offsets[s] + t
+
+    return groups, route

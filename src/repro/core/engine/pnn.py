@@ -1,0 +1,455 @@
+"""The C-PNN executor: filtering → initialisation → verify → refine.
+
+Implements the paper's three evaluation strategies (Section V) for
+C-PNN specs, single and batched, against a small host protocol —
+``_config``, ``_chain_for``, ``_as_strategy``, ``_filter_batch``,
+``_single_filter``, ``_distribution_cache``, ``_table_cache`` and
+``_flush_table_invalidations`` — so the same executor serves the
+single :class:`~repro.core.engine.UncertainEngine` *and* the execution
+lanes of a :class:`~repro.core.engine.sharded.ShardedEngine` (which
+feed it pre-reconciled cross-shard filter results).  Per-candidate
+arithmetic is identical everywhere, which is what makes batch ≡
+sequential ≡ sharded an exact, bit-level property (DESIGN.md §3, §12).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import numpy as np
+
+from repro.core.batch import (
+    BatchResult,
+    CachedTable,
+    distributions_for,
+    point_key,
+)
+from repro.core.engine.config import Strategy
+from repro.core.refinement import Refiner
+from repro.core.state import CandidateStates
+from repro.core.subregions import SubregionTable
+from repro.core.types import (
+    AnswerRecord,
+    CPNNQuery,
+    Label,
+    PhaseTimings,
+    QueryResult,
+)
+from repro.index.filtering import FilterResult
+
+__all__ = ["PnnExecutorMixin"]
+
+_UNKNOWN, _SATISFY, _FAIL = 0, 1, 2
+
+_CODE_TO_LABEL = {_UNKNOWN: Label.UNKNOWN, _SATISFY: Label.SATISFY, _FAIL: Label.FAIL}
+
+
+def _result_sig(query: CPNNQuery, strategy: str) -> tuple:
+    """Memoisation key of a C-PNN outcome within one cached table.
+
+    The pipeline's output is a deterministic function of the table
+    (fixed per cache entry), the spec's type and constraints, the
+    strategy, and the engine config (fixed per engine) — so this tuple
+    identifies the result exactly.
+    """
+    return (strategy, type(query), query.threshold, query.tolerance)
+
+
+def _replay_result(result: QueryResult) -> QueryResult:
+    """A fresh :class:`QueryResult` replaying a memoised outcome.
+
+    Copies the mutable containers *and* the (mutable)
+    :class:`AnswerRecord` instances, so neither the stored snapshot nor
+    any replayed result shares state with what a caller received — a
+    caller mutating a record cannot corrupt later replays.  Timings are
+    zero (nothing ran), matching the batch path's convention for
+    shared phases.
+    """
+    return QueryResult(
+        answers=result.answers,
+        records=[
+            AnswerRecord(
+                key=r.key,
+                label=r.label,
+                lower=r.lower,
+                upper=r.upper,
+                exact=r.exact,
+            )
+            for r in result.records
+        ],
+        fmin=result.fmin,
+        unknown_after_verifier=dict(result.unknown_after_verifier),
+        finished_after_verification=result.finished_after_verification,
+        refined_objects=result.refined_objects,
+    )
+
+
+@dataclass
+class _Prepared:
+    """Everything shared by the post-filter phases of one query."""
+
+    filter_result: FilterResult
+    table: SubregionTable
+    states: CandidateStates
+    refiner: Refiner
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+
+
+class PnnExecutorMixin:
+    """C-PNN evaluation (single + batch) against the host protocol."""
+
+    def _execute_pnn(self, query: CPNNQuery, strategy: str) -> QueryResult:
+        prepared = self._prepare(query)
+        if strategy == Strategy.BASIC:
+            return self._run_basic(prepared, query)
+        if strategy == Strategy.REFINE:
+            return self._run_refine(prepared, query)
+        return self._run_vr(prepared, query)
+
+    def _pnn_batch(
+        self, queries: list[CPNNQuery], strategy: str | None
+    ) -> BatchResult:
+        """One amortised pass over many C-PNN queries.
+
+        The phases are restructured around the batch (see
+        :mod:`repro.core.batch`): filtering is a single vectorised MBR
+        sweep, distance distributions go through the engine's LRU
+        cache, and the VR verifier chain runs as flat sweeps over the
+        whole candidate×query matrix.  Per-candidate arithmetic is
+        shared with the single-query path, so answers agree exactly.
+
+        Repeated probes short-circuit in two tiers (DESIGN.md §11):
+        a memoised *result* snapshot replays the whole pipeline's
+        outcome for an undisturbed (point, strategy, constraints)
+        triple, and a cached *table* skips filtering/initialisation
+        when only the constraints changed.  Both tiers are exact —
+        entries survive dynamic updates only while their candidate set
+        provably cannot have changed.
+        """
+        strategy = self._as_strategy(strategy)
+        batch = BatchResult()
+        if not queries:
+            return batch
+        cache = self._distribution_cache
+        hits_before = cache.hits if cache is not None else 0
+        misses_before = cache.misses if cache is not None else 0
+        timings = batch.timings
+
+        tick = time.perf_counter()
+        self._flush_table_invalidations()
+        table_cache = self._table_cache
+        all_queries = queries
+        slots: list[QueryResult | None] = [None] * len(all_queries)
+        entries: dict[int, CachedTable] = {}
+        live: list[int] = []
+        if table_cache is not None:
+            for b, query in enumerate(all_queries):
+                entry = table_cache.get(point_key(query.q))
+                if entry is not None:
+                    entries[b] = entry
+                    snapshot = entry.results.get(_result_sig(query, strategy))
+                    if snapshot is not None:
+                        slots[b] = _replay_result(snapshot)
+                        batch.table_hits += 1
+                        batch.result_hits += 1
+                        continue
+                live.append(b)
+        else:
+            live = list(range(len(all_queries)))
+        queries = [all_queries[b] for b in live]
+        filter_results = (
+            self._filter_batch([q.q for q in queries]) if queries else []
+        )
+        timings.filtering = time.perf_counter() - tick
+        if not queries:
+            # Every spec replayed a memoised snapshot; nothing to run.
+            batch.results = slots
+            for result, query in zip(slots, all_queries):
+                result.spec = query
+            return batch
+
+        tick = time.perf_counter()
+        tables = []
+        distributions_built = 0
+        built_this_batch: dict[Hashable, CachedTable] = {}
+        for b, query, fr in zip(live, queries, filter_results):
+            key = point_key(query.q)
+            entry = entries.get(b)
+            if entry is None:
+                # A duplicate point earlier in this batch may have just
+                # built this table; a plain dict probe avoids counting
+                # a second miss against the cache for the same point.
+                entry = built_this_batch.get(key)
+                if entry is not None:
+                    entries[b] = entry
+            if entry is not None:
+                table = entry.table
+                batch.table_hits += 1
+            else:
+                table = SubregionTable(
+                    distributions_for(fr.candidates, query.q, cache),
+                    grid_refinement=self._config.grid_refinement,
+                )
+                distributions_built += table.size
+                batch.table_misses += 1
+                if table_cache is not None:
+                    entry = CachedTable(table=table, fmin=fr.fmin)
+                    table_cache.put(key, entry)
+                    entries[b] = entry
+                    built_this_batch[key] = entry
+            tables.append(table)
+        offsets = np.zeros(len(tables) + 1, dtype=np.intp)
+        np.cumsum([table.size for table in tables], out=offsets[1:])
+        total = int(offsets[-1])
+        pad = self._config.bound_pad
+        flat_lower = np.zeros(total)
+        flat_upper = np.ones(total)
+        flat_labels = np.zeros(total, dtype=np.int8)
+        flat_states = CandidateStates.from_arrays(
+            [key for table in tables for key in table.keys],
+            flat_lower,
+            flat_upper,
+            flat_labels,
+            pad=pad,
+        )
+        prepared = []
+        for b, (table, fr) in enumerate(zip(tables, filter_results)):
+            lo, hi = int(offsets[b]), int(offsets[b + 1])
+            states = CandidateStates.from_arrays(
+                table.keys,
+                flat_lower[lo:hi],
+                flat_upper[lo:hi],
+                flat_labels[lo:hi],
+                pad=pad,
+            )
+            refiner = Refiner(
+                table,
+                quadrature_margin=self._config.quadrature_margin,
+                order=self._config.refinement_order,
+            )
+            prepared.append(_Prepared(fr, table, states, refiner))
+        timings.initialization = time.perf_counter() - tick
+
+        if strategy == Strategy.VR:
+            # The flat sweep classifies the whole batch against one
+            # threshold/tolerance pair and one verifier chain.  Specs
+            # with heterogeneous constraints — or different PNN-family
+            # spec types, whose chains may differ through the pipeline
+            # hook — keep working through the sequential chain, query
+            # by query, so batch == loop holds per spec.
+            uniform = all(
+                q.threshold == queries[0].threshold
+                and q.tolerance == queries[0].tolerance
+                and type(q) is type(queries[0])
+                for q in queries[1:]
+            )
+            tick = time.perf_counter()
+            if uniform:
+                outcomes = self._chain_for(type(queries[0])).run_batch(
+                    tables,
+                    flat_states,
+                    offsets,
+                    queries[0].threshold,
+                    queries[0].tolerance,
+                )
+            else:
+                outcomes = [
+                    self._chain_for(type(query)).run(table, prep.states, query)
+                    for table, prep, query in zip(tables, prepared, queries)
+                ]
+            timings.verification = time.perf_counter() - tick
+
+            tick = time.perf_counter()
+            for b, prep, query, outcome in zip(live, prepared, queries, outcomes):
+                states = prep.states
+                finished = states.n_unknown == 0
+                survivors = states.unknown_indices()
+                prep.refiner.refine_objects(
+                    survivors, states, query, use_verifier_slices=True
+                )
+                refined = int(survivors.size)
+                slots[b] = self._assemble(
+                    prep,
+                    query,
+                    unknown_after=outcome.unknown_after,
+                    finished_after_verification=finished,
+                    refined=refined,
+                )
+            timings.refinement = time.perf_counter() - tick
+        else:
+            runner = (
+                self._run_basic if strategy == Strategy.BASIC else self._run_refine
+            )
+            for b, prep, query in zip(live, prepared, queries):
+                slots[b] = runner(prep, query)
+            timings.refinement = sum(
+                slots[b].timings.refinement for b in live
+            )
+
+        # Memoise freshly computed outcomes as pristine snapshots so a
+        # repeated probe of an undisturbed point replays them wholesale.
+        for b, query in zip(live, queries):
+            entry = entries.get(b)
+            if entry is not None:
+                entry.results[_result_sig(query, strategy)] = _replay_result(
+                    slots[b]
+                )
+        batch.results = slots
+        for result, query in zip(batch.results, all_queries):
+            result.spec = query
+        if cache is not None:
+            batch.cache_hits = cache.hits - hits_before
+            batch.cache_misses = cache.misses - misses_before
+        else:
+            batch.cache_misses = distributions_built
+        return batch
+
+    def pnn(self, q) -> dict[Hashable, float]:
+        """Exact PNN: qualification probability of every candidate.
+
+        Objects pruned by filtering have probability 0 and are omitted,
+        matching the paper's PNN semantics of returning only non-zero
+        probabilities.
+        """
+        if not self._objects:
+            raise ValueError("cannot query an empty engine (insert objects first)")
+        query = CPNNQuery(q, threshold=1.0, tolerance=0.0)
+        prepared = self._prepare(query)
+        probabilities = prepared.refiner.exact_all()
+        return {
+            key: float(p)
+            for key, p in zip(prepared.table.keys, probabilities)
+        }
+
+    # ------------------------------------------------------------------
+    # C-PNN phases
+    # ------------------------------------------------------------------
+
+    def _prepare(self, query: CPNNQuery) -> _Prepared:
+        timings = PhaseTimings()
+        tick = time.perf_counter()
+        filter_result = self._single_filter()(query.q)
+        timings.filtering = time.perf_counter() - tick
+
+        tick = time.perf_counter()
+        distributions = [
+            obj.distance_distribution(query.q) for obj in filter_result.candidates
+        ]
+        table = SubregionTable(
+            distributions, grid_refinement=self._config.grid_refinement
+        )
+        states = CandidateStates(table.keys, pad=self._config.bound_pad)
+        refiner = Refiner(
+            table,
+            quadrature_margin=self._config.quadrature_margin,
+            order=self._config.refinement_order,
+        )
+        timings.initialization = time.perf_counter() - tick
+        return _Prepared(filter_result, table, states, refiner, timings)
+
+    def _run_basic(self, prepared: _Prepared, query: CPNNQuery) -> QueryResult:
+        timings = prepared.timings
+        tick = time.perf_counter()
+        probabilities = prepared.refiner.exact_all()
+        states = prepared.states
+        for i, p in enumerate(probabilities):
+            states.set_exact(i, float(p))
+            states.labels[i] = _SATISFY if p >= query.threshold else _FAIL
+        timings.refinement = time.perf_counter() - tick
+        return self._assemble(
+            prepared,
+            query,
+            unknown_after={},
+            finished_after_verification=False,
+            refined=prepared.table.size,
+            exact=probabilities,
+        )
+
+    def _run_refine(self, prepared: _Prepared, query: CPNNQuery) -> QueryResult:
+        timings = prepared.timings
+        states = prepared.states
+        tick = time.perf_counter()
+        refined = 0
+        for i in range(prepared.table.size):
+            if states.labels[i] == _UNKNOWN:
+                prepared.refiner.refine_object(
+                    i, states, query, use_verifier_slices=False
+                )
+                refined += 1
+        timings.refinement = time.perf_counter() - tick
+        return self._assemble(
+            prepared,
+            query,
+            unknown_after={},
+            finished_after_verification=False,
+            refined=refined,
+        )
+
+    def _run_vr(self, prepared: _Prepared, query: CPNNQuery) -> QueryResult:
+        timings = prepared.timings
+        states = prepared.states
+        chain = self._chain_for(type(query))
+
+        tick = time.perf_counter()
+        outcome = chain.run(prepared.table, states, query)
+        timings.verification = time.perf_counter() - tick
+
+        finished = states.n_unknown == 0
+        tick = time.perf_counter()
+        refined = 0
+        for i in states.unknown_indices():
+            prepared.refiner.refine_object(
+                int(i), states, query, use_verifier_slices=True
+            )
+            refined += 1
+        timings.refinement = time.perf_counter() - tick
+        return self._assemble(
+            prepared,
+            query,
+            unknown_after=outcome.unknown_after,
+            finished_after_verification=finished,
+            refined=refined,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _assemble(
+        self,
+        prepared: _Prepared,
+        query: CPNNQuery,
+        unknown_after: dict[str, float],
+        finished_after_verification: bool,
+        refined: int,
+        exact: np.ndarray | None = None,
+    ) -> QueryResult:
+        states = prepared.states
+        table = prepared.table
+        records = []
+        answers = []
+        for i, key in enumerate(table.keys):
+            label = _CODE_TO_LABEL[int(states.labels[i])]
+            exact_p = float(exact[i]) if exact is not None else None
+            if exact_p is None and states.upper[i] - states.lower[i] <= 3 * states.pad:
+                exact_p = 0.5 * (states.upper[i] + states.lower[i])
+            records.append(
+                AnswerRecord(
+                    key=key,
+                    label=label,
+                    lower=float(states.lower[i]),
+                    upper=float(states.upper[i]),
+                    exact=exact_p,
+                )
+            )
+            if label is Label.SATISFY:
+                answers.append(key)
+        return QueryResult(
+            answers=tuple(answers),
+            records=records,
+            fmin=prepared.filter_result.fmin,
+            timings=prepared.timings,
+            unknown_after_verifier=dict(unknown_after),
+            finished_after_verification=finished_after_verification,
+            refined_objects=refined,
+        )

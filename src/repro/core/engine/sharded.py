@@ -1,0 +1,687 @@
+"""Shard-parallel execution: STR spatial shards + a thread-pool fan-out.
+
+:class:`ShardedEngine` serves the same typed façade as
+:class:`~repro.core.engine.UncertainEngine` — ``execute`` /
+``execute_batch`` / ``explain`` over C-PNN, k-NN, and range specs, and
+the full :ref:`mutation contract <mutation-contract>` — while spreading
+the work over ``n_shards`` spatial partitions, each **a full per-shard
+engine** (its own ``BatchMbrFilter``, caches, and deferred R-tree
+queue).  Answers, records, and bounds are **bit-identical** to a single
+engine over the same object sequence; the property suite asserts it for
+all three families and across interleaved update streams.
+
+How the fan-out stays exact (DESIGN.md §12):
+
+1. **Partition rule.**  Objects are Sort-Tile-Recursive partitioned by
+   MBR center (x-slabs, then y-tiles — the same tiling
+   :mod:`repro.index.str_pack` uses to pack R-tree leaves), so each
+   shard covers a compact tile of space and a query's candidates
+   cluster on few shards.  Inserts route through the recorded tile
+   cuts; when churn skews any shard past
+   ``rebalance_threshold × (N / n_shards)`` the engine re-splits.
+
+2. **Global ``f_min`` reconciliation.**  Per-shard MBR sweeps run
+   concurrently (numpy releases the GIL), producing each shard's
+   ``mindist``/``maxdist`` columns.  Scattered into the global matrix,
+   the pruning radii are *selections* over the same floats the single
+   engine reduces — ``min`` for C-PNN, the k-th smallest ``maxdist``
+   for k-NN — so they are bit-identical under any column order, and the
+   merged candidate sets (ascending global object order) equal the
+   single engine's exactly.
+
+3. **Lane-parallel verification.**  C-PNN probabilities couple every
+   candidate of a query through one subregion table, so *per-shard*
+   verification cannot reproduce the single-engine numbers.  Instead
+   the reconciled queries fan out across execution *lanes* — each a
+   private C-PNN executor (own distribution/table caches, deterministic
+   query-point affinity ``hash(point) % n_lanes``, so repeated probes
+   stay warm) running the exact single-engine pipeline on its slice of
+   the batch.  Batch ≡ per-query loop is already a bit-level property
+   of that pipeline, so any partition of the batch is too.
+
+The thread pool is created lazily and shared by both fan-out stages;
+:meth:`ShardedEngine.close` releases it (also used as a context
+manager).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.core.batch import (
+    BatchResult,
+    DistributionCache,
+    TableCache,
+    point_key,
+)
+from repro.core.engine.config import EngineConfig
+from repro.core.engine.facade import QueryFacadeMixin, UncertainEngine
+from repro.core.engine.knn import KnnExecutorMixin
+from repro.core.engine.lanes import FanoutMbrFilter, Lane
+from repro.core.engine.partition import str_shard_split
+from repro.core.engine.pnn import _result_sig
+from repro.core.engine.ranges import RangeExecutorMixin
+from repro.core.engine.registry import ObjectRegistryMixin
+from repro.core.refinement import Refiner
+from repro.core.subregions import SubregionTable
+from repro.core.types import CPNNQuery, QueryPlan, QueryResult
+from repro.index.filtering import filter_candidates
+
+__all__ = ["ShardedEngine"]
+
+
+class ShardedEngine(
+    QueryFacadeMixin,
+    ObjectRegistryMixin,
+    KnnExecutorMixin,
+    RangeExecutorMixin,
+):
+    """Shard-parallel :class:`~repro.core.engine.UncertainEngine` peer.
+
+    Same façade, same results to the bit, work fanned out across
+    ``n_shards`` STR spatial shards and ``max_workers`` execution lanes
+    (see the module docstring for the three-stage argument).  Use it
+    when batches are large enough for the per-query work to dominate
+    the fan-out overhead — the ``benchmarks/test_sharded_parallel.py``
+    gate demands ≥2× batch throughput on a 4-core machine.
+
+    Parameters
+    ----------
+    objects:
+        As for :class:`~repro.core.engine.UncertainEngine`; may be
+        empty.
+    config:
+        Shared by every shard engine and every execution lane, so a
+        single engine built from the same config answers identically.
+    n_shards:
+        Spatial partitions (default: one per core, capped at 8, at
+        least 2).
+    max_workers:
+        Thread-pool width *and* execution-lane count (default:
+        ``min(n_shards, cpu_count)``).
+    rebalance_threshold:
+        Re-split when the fullest shard exceeds this multiple of the
+        ideal ``N / n_shards`` occupancy (must be > 1).
+    """
+
+    def __init__(
+        self,
+        objects: Sequence,
+        config: EngineConfig | None = None,
+        *,
+        n_shards: int | None = None,
+        max_workers: int | None = None,
+        rebalance_threshold: float = 4.0,
+    ) -> None:
+        cpu = os.cpu_count() or 1
+        if n_shards is None:
+            n_shards = max(2, min(8, cpu))
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if max_workers is None:
+            max_workers = max(1, min(n_shards, cpu))
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if not rebalance_threshold > 1.0:
+            raise ValueError("rebalance_threshold must exceed 1")
+        self._config = config or EngineConfig()
+        self._n_shards = int(n_shards)
+        self._max_workers = int(max_workers)
+        self._rebalance_threshold = float(rebalance_threshold)
+        self._init_registry(objects)
+        self._init_chains()
+        self._dim = self._objects[0].mbr.dim if self._objects else None
+        #: Parent-level distribution cache serving the k-NN/range
+        #: executors (the C-PNN lanes own theirs); the registry's
+        #: mutation hooks evict from it like the single engine's.
+        self._distribution_cache = (
+            DistributionCache(self._config.distribution_cache_size)
+            if self._config.distribution_cache_size
+            else None
+        )
+        #: The parent keeps no table cache — C-PNN tables live in the
+        #: lanes (query-point affinity); mutations queue invalidation
+        #: boxes to every lane instead.
+        self._table_cache: TableCache | None = None
+        self._lanes = [
+            Lane(self._config, self._max_workers) for _ in range(self._max_workers)
+        ]
+        self._fanout = FanoutMbrFilter(self)
+        self._pool: ThreadPoolExecutor | None = None
+        self._rebalances = 0
+        self._last_parallel: dict = {}
+        self._shards: list[UncertainEngine] = []
+        self._owner: dict[Hashable, int] = {}
+        self._router = None
+        self._columns: list[np.ndarray] | None = None
+        self._build_shards()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> EngineConfig:
+        return self._config
+
+    @property
+    def n_shards(self) -> int:
+        return self._n_shards
+
+    @property
+    def shards(self) -> tuple:
+        """The per-shard engines (full engines; read-only snapshot)."""
+        return tuple(self._shards)
+
+    def close(self) -> None:
+        """Release the thread pool (idempotent; engine stays usable —
+        the pool is recreated on the next parallel call)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        occupancy = [len(shard) for shard in self._shards]
+        return (
+            f"{type(self).__name__}(objects={len(self._objects)}, "
+            f"n_shards={self._n_shards}, occupancy={occupancy}, "
+            f"max_workers={self._max_workers})"
+        )
+
+    # ------------------------------------------------------------------
+    # Sharding: build, route, rebalance
+    # ------------------------------------------------------------------
+
+    def _build_shards(self) -> None:
+        groups, router = str_shard_split(self._objects, self._n_shards)
+        self._shards = [UncertainEngine(group, self._config) for group in groups]
+        self._owner = {
+            obj.key: sid for sid, group in enumerate(groups) for obj in group
+        }
+        self._router = router
+        self._columns = None
+
+    def _shard_columns(self) -> list[np.ndarray]:
+        """Per shard, the global object-order positions of its rows.
+
+        Rebuilt lazily after any mutation; shard-local row order always
+        matches the shard engine's object list, so scattering a shard's
+        matrix columns through this map reconstructs the global
+        insertion-order matrix exactly.
+        """
+        if self._columns is None:
+            position = {key: i for i, key in enumerate(self._key_list)}
+            self._columns = [
+                np.fromiter(
+                    (position[obj.key] for obj in shard._objects),
+                    dtype=np.intp,
+                    count=len(shard._objects),
+                )
+                for shard in self._shards
+            ]
+        return self._columns
+
+    def _maybe_rebalance(self) -> None:
+        n = len(self._objects)
+        if n < 2 * self._n_shards:
+            return
+        ideal = n / self._n_shards
+        if max(len(shard) for shard in self._shards) > self._rebalance_threshold * ideal:
+            self._rebalances += 1
+            self._build_shards()
+
+    # Maintenance hooks called by the registry's mutation primitives —
+    # the global key bookkeeping and the mutation contract live there;
+    # these route the index work to the owning shard and keep every
+    # lane's caches exact.
+
+    def _maintain_insert(self, obj, was_empty: bool) -> None:
+        self._columns = None
+        if was_empty or self._router is None:
+            self._dim = obj.mbr.dim
+            self._build_shards()
+        else:
+            sid = self._router(obj)
+            self._shards[sid].insert(obj)
+            self._owner[obj.key] = sid
+            self._maybe_rebalance()
+        for lane in self._lanes:
+            lane._queue_invalidation(obj)
+
+    def _maintain_remove(self, victim, index: int) -> None:
+        self._columns = None
+        sid = self._owner.pop(victim.key)
+        if not self._shards[sid].remove(victim.key):  # pragma: no cover - guard
+            raise RuntimeError(
+                "shard map out of sync with object list: "
+                f"object {victim.key!r} was tracked but lives on no shard"
+            )
+        for lane in self._lanes:
+            lane._queue_invalidation(victim)
+            if lane._distribution_cache is not None:
+                lane._distribution_cache.evict_object(victim)
+        if not self._objects:
+            self._router = None
+            self._dim = None
+            # Drained: reset the lanes' geometry-holding structures too
+            # (the registry resets the parent's) — a refill may change
+            # dimensionality (DESIGN.md §11).
+            for lane in self._lanes:
+                lane._pending_invalidation.clear()
+                if lane._table_cache is not None:
+                    lane._table_cache.clear()
+        else:
+            # Removals skew too: draining other tiles shrinks the
+            # ideal occupancy under a shard that kept its objects.
+            self._maybe_rebalance()
+
+    def _maintain_replace(self, victim, obj, index: int) -> None:
+        self._columns = None
+        old_sid = self._owner.pop(victim.key)
+        new_sid = self._router(obj)
+        if new_sid == old_sid:
+            self._shards[old_sid].replace(victim.key, obj)
+        else:
+            # The report moved the object into another shard's tile.
+            self._shards[old_sid].remove(victim.key)
+            self._shards[new_sid].insert(obj)
+        self._owner[obj.key] = new_sid
+        for lane in self._lanes:
+            lane._queue_invalidation(victim)
+            lane._queue_invalidation(obj)
+            if lane._distribution_cache is not None:
+                lane._distribution_cache.evict_object(victim)
+        self._maybe_rebalance()
+
+    # ------------------------------------------------------------------
+    # Stage 1: concurrent per-shard sweeps, global reconciliation
+    # ------------------------------------------------------------------
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="repro-shard",
+            )
+        return self._pool
+
+    def _map_parallel(self, thunks: list) -> list:
+        """Run thunks on the pool (inline when parallelism can't help).
+
+        Called only from the coordinating thread, never from inside a
+        pooled task, so the two fan-out stages cannot deadlock on pool
+        capacity.
+        """
+        if len(thunks) <= 1 or self._max_workers <= 1:
+            return [thunk() for thunk in thunks]
+        pool = self._ensure_pool()
+        futures = [pool.submit(thunk) for thunk in thunks]
+        return [future.result() for future in futures]
+
+    def _as_matrix(self, points: Sequence) -> np.ndarray:
+        matrix = np.asarray(points, dtype=float)
+        if matrix.ndim == 1:
+            if self._dim != 1:
+                raise ValueError("query point dimensionality mismatch")
+            matrix = matrix.reshape(-1, 1)
+        if matrix.ndim != 2 or matrix.shape[1] != self._dim:
+            raise ValueError("query point dimensionality mismatch")
+        return matrix
+
+    def _global_matrices(self, points: Sequence) -> tuple[np.ndarray, np.ndarray]:
+        """MBR ``mindist``/``maxdist`` of every (query, object) pair,
+        computed shard-concurrently and scattered into global order.
+
+        Every cell is one shard filter's element-wise arithmetic —
+        identical to a single whole-set filter's — so downstream
+        reductions (row minima, k-th selections, comparisons) are
+        bit-identical to the single-engine path.
+        """
+        queries = self._as_matrix(points)
+        columns = self._shard_columns()
+        b, n = queries.shape[0], len(self._objects)
+        mindist = np.empty((b, n))
+        maxdist = np.empty((b, n))
+        jobs = [
+            (sid, cols) for sid, cols in enumerate(columns) if cols.size
+        ]
+        swept = self._map_parallel(
+            [
+                (lambda s=sid: self._shards[s]._ensure_batch_filter().matrices(queries))
+                for sid, _ in jobs
+            ]
+        )
+        for (sid, cols), (shard_min, shard_max) in zip(jobs, swept):
+            mindist[:, cols] = shard_min
+            maxdist[:, cols] = shard_max
+        return mindist, maxdist
+
+    def _ensure_batch_filter(self) -> FanoutMbrFilter:
+        """The k-NN/range executors' filter: the shard fan-out façade."""
+        return self._fanout
+
+    # ------------------------------------------------------------------
+    # Stage 2: lane-parallel C-PNN execution
+    # ------------------------------------------------------------------
+
+    def _lane_for(self, q) -> int:
+        # Salt through a tuple: bare hash(float) of whole-numbered
+        # coordinates is the integer itself, so a regular query grid
+        # (0.0, 3.0, 6.0, …) would alias onto few lanes.  Tuple hashing
+        # mixes the salt non-linearly and spreads such grids.
+        return hash((0x5EED, point_key(q))) % len(self._lanes)
+
+    def _execute_pnn(self, query: CPNNQuery, strategy: str) -> QueryResult:
+        # Single C-PNN specs route through the batch path: the sharded
+        # engine has no per-shard best-first traversal that could beat
+        # one reconciled sweep, and the lane caches stay warm this way.
+        return self._pnn_batch([query], strategy).results[0]
+
+    def _pnn_batch(
+        self, queries: list[CPNNQuery], strategy: str | None
+    ) -> BatchResult:
+        """Reconcile filtering across shards, then fan lanes out.
+
+        Stage 1 runs the per-shard MBR sweeps concurrently and reduces
+        them to global ``f_min`` candidate sets (insertion order);
+        stage 2 dispatches each query to its affinity lane, every lane
+        running the unmodified single-engine C-PNN batch executor over
+        its slice.  Results scatter back into input order; counters and
+        phase timings sum over lanes (wall-clock vs. summed lane time
+        is reported through :meth:`stats` as the parallel speedup).
+        """
+        strategy = self._as_strategy(strategy)
+        batch = BatchResult()
+        if not queries:
+            return batch
+        wall_tick = time.perf_counter()
+        staged: dict | None = None
+        snapshot: list | None = None
+        if self._config.use_rtree:
+            # Sweep only the points the lanes cannot answer from their
+            # result-snapshot tier — a warm steady-state batch (the
+            # streaming scenario) replays wholesale and must not pay a
+            # B×N fan-out it then discards.  Peeking (no counter, no
+            # recency) keeps the lanes' own cache accounting identical
+            # to the single engine's; queued invalidations flush first
+            # so a stale snapshot can never suppress a needed sweep.
+            points = []
+            seen: set = set()
+            for query in queries:
+                lane = self._lanes[self._lane_for(query.q)]
+                lane._flush_table_invalidations()
+                key = point_key(query.q)
+                if key in seen:
+                    continue
+                cache = lane._table_cache
+                entry = cache.peek(key) if cache is not None else None
+                if entry is None or entry.results.get(
+                    _result_sig(query, strategy)
+                ) is None:
+                    seen.add(key)
+                    points.append(query.q)
+            staged = (
+                dict(zip(map(point_key, points), self._fanout(points)))
+                if points
+                else {}
+            )
+        else:
+            # Linear-scan engines filter with exact region distances
+            # (DESIGN.md §3); lanes replay that scan over the global
+            # object order.
+            snapshot = self._objects
+        assignments: dict[int, list[int]] = {}
+        for i, query in enumerate(queries):
+            assignments.setdefault(self._lane_for(query.q), []).append(i)
+
+        def run_lane(lane_id: int, indices: list[int]):
+            lane = self._lanes[lane_id]
+            lane._staged = staged
+            lane._scan_objects = snapshot
+            tick = time.perf_counter()
+            try:
+                sub = lane._pnn_batch([queries[i] for i in indices], strategy)
+            finally:
+                lane._staged = None
+                lane._scan_objects = None
+            return sub, time.perf_counter() - tick
+
+        dispatched = list(assignments.items())
+        outcomes = self._map_parallel(
+            [
+                (lambda lid=lane_id, idx=indices: run_lane(lid, idx))
+                for lane_id, indices in dispatched
+            ]
+        )
+        slots: list[QueryResult | None] = [None] * len(queries)
+        lane_seconds = 0.0
+        for (lane_id, indices), (sub, seconds) in zip(dispatched, outcomes):
+            lane_seconds += seconds
+            for i, result in zip(indices, sub.results):
+                slots[i] = result
+            for phase in ("filtering", "initialization", "verification", "refinement"):
+                setattr(
+                    batch.timings,
+                    phase,
+                    getattr(batch.timings, phase) + getattr(sub.timings, phase),
+                )
+            batch.cache_hits += sub.cache_hits
+            batch.cache_misses += sub.cache_misses
+            batch.table_hits += sub.table_hits
+            batch.table_misses += sub.table_misses
+            batch.result_hits += sub.result_hits
+        batch.results = slots
+        wall = time.perf_counter() - wall_tick
+        self._last_parallel = {
+            "specs": len(queries),
+            "lanes_used": len(dispatched),
+            "wall_s": wall,
+            "lane_s": lane_seconds,
+            "parallel_speedup": (lane_seconds / wall) if wall > 0 else 1.0,
+        }
+        return batch
+
+    def pnn(self, q) -> dict[Hashable, float]:
+        """Exact PNN through the reconciled filter (see
+        :meth:`UncertainEngine.pnn <repro.core.engine.pnn.PnnExecutorMixin.pnn>`)."""
+        if not self._objects:
+            raise ValueError("cannot query an empty engine (insert objects first)")
+        if self._config.use_rtree:
+            filter_result = self._fanout([q])[0]
+        else:
+            # Linear-scan engines filter with exact region distances,
+            # which 2-D regions may bound tighter than the MBR sweep —
+            # the single engine's candidate (and key) set must match.
+            filter_result = filter_candidates(self._objects, q)
+        distributions = [
+            obj.distance_distribution(q) for obj in filter_result.candidates
+        ]
+        table = SubregionTable(
+            distributions, grid_refinement=self._config.grid_refinement
+        )
+        refiner = Refiner(
+            table,
+            quadrature_margin=self._config.quadrature_margin,
+            order=self._config.refinement_order,
+        )
+        probabilities = refiner.exact_all()
+        return {
+            key: float(p) for key, p in zip(table.keys, probabilities)
+        }
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def _shard_stats(self) -> dict:
+        occupancy = [len(shard) for shard in self._shards]
+        n = len(self._objects)
+        ideal = n / self._n_shards if self._n_shards else 0.0
+        return {
+            "n_shards": self._n_shards,
+            "max_workers": self._max_workers,
+            "occupancy": occupancy,
+            "skew": (max(occupancy) / ideal) if n else 0.0,
+            "rebalances": self._rebalances,
+            "rebalance_threshold": self._rebalance_threshold,
+            "parallel": dict(self._last_parallel),
+        }
+
+    def _cache_stats(self) -> dict:
+        return {
+            "distribution_cache": self._cache_summary(self._distribution_cache),
+            "lanes": [
+                {
+                    "distribution_cache": self._cache_summary(
+                        lane._distribution_cache
+                    ),
+                    "table_cache": self._cache_summary(lane._table_cache),
+                }
+                for lane in self._lanes
+            ],
+        }
+
+    def stats(self) -> dict:
+        """Sharded observability: the single-engine counters plus
+        per-shard occupancy/skew and the last batch's parallel
+        accounting (summed lane seconds / wall seconds)."""
+        return {
+            "engine": type(self).__name__,
+            "objects": len(self._objects),
+            "index": "sharded-rtree" if self._config.use_rtree else "sharded-linear",
+            "pending_invalidations": sum(
+                len(lane._pending_invalidation) for lane in self._lanes
+            ),
+            "caches": self._cache_stats(),
+            "shards": self._shard_stats(),
+        }
+
+    def explain(self, spec, strategy: str | None = None) -> QueryPlan:
+        """The sharded evaluation plan: the single-engine plan shape
+        plus per-shard occupancy and parallel accounting in
+        :attr:`~repro.core.types.QueryPlan.shards`."""
+        spec = self._as_spec(spec)
+        for lane in self._lanes:
+            lane._flush_table_invalidations()  # report live entry counts
+        caches = self._cache_stats()
+        shards = self._shard_stats()
+        n = len(self._objects)
+        family = self._family_of(spec)
+        if not self._objects:
+            return QueryPlan(
+                spec=spec,
+                family=family,
+                strategy=None,
+                index="none",
+                stages=["empty engine: return an empty result"],
+                caches=caches,
+                shards=shards,
+            )
+        index = "sharded-rtree" if self._config.use_rtree else "sharded-linear"
+        fan_out = (
+            f"per-shard MBR sweeps across {self._n_shards} shards "
+            f"({self._max_workers} workers)"
+        )
+        if family == "cknn":
+            counts = self._knn_plan_counts(spec, self._fanout)
+            if counts is None:
+                return QueryPlan(
+                    spec=spec,
+                    family=family,
+                    strategy=None,
+                    index=index,
+                    stages=[
+                        f"k={spec.k} covers all {n} objects: "
+                        "every object qualifies with probability 1"
+                    ],
+                    candidates=n,
+                    pruned=0,
+                    fmin=float("inf"),
+                    caches=caches,
+                    shards=shards,
+                )
+            candidates, pruned, fmin_k = counts
+            return QueryPlan(
+                spec=spec,
+                family=family,
+                strategy=None,
+                index=index,
+                stages=[
+                    fan_out,
+                    f"global f_min^{min(spec.k, n)} reconciliation",
+                    "distance distributions for survivors (LRU cache)",
+                    "RS-style k-NN bounds via columnar cdf kernels",
+                    "exact Poisson-binomial integration for undecided objects",
+                ],
+                candidates=candidates,
+                pruned=pruned,
+                fmin=fmin_k,
+                caches=caches,
+                shards=shards,
+            )
+        if family == "crange":
+            sure_in, sure_out, straddle = self._range_plan_counts(
+                spec, self._fanout
+            )
+            return QueryPlan(
+                spec=spec,
+                family=family,
+                strategy=None,
+                index=index,
+                stages=[
+                    fan_out,
+                    "MBR range classification (merged sweep): "
+                    f"{sure_in} certainly inside, {sure_out} certainly outside",
+                    f"exact region-distance re-check for {straddle} straddling objects",
+                    "cdf(radius) via columnar kernel for true straddlers (LRU cache)",
+                ],
+                candidates=straddle,
+                pruned=sure_in + sure_out,
+                fmin=float(spec.radius),
+                caches=caches,
+                shards=shards,
+            )
+        strategy = self._as_strategy(strategy)
+        if self._config.use_rtree:
+            filter_result = self._fanout([spec.q])[0]
+        else:
+            filter_result = filter_candidates(self._objects, spec.q)
+        lane = self._lane_for(spec.q)
+        verifiers, suffix = self._cpnn_plan_stages(spec, strategy)
+        stages = [
+            fan_out,
+            "global f_min reconciliation → merged candidate set "
+            "(insertion order)",
+            f"lane {lane}/{len(self._lanes)} runs the single-engine "
+            f"C-PNN pipeline ({strategy})",
+        ] + suffix
+        return QueryPlan(
+            spec=spec,
+            family=family,
+            strategy=strategy,
+            index=index,
+            stages=stages,
+            verifiers=verifiers,
+            candidates=len(filter_result.candidates),
+            pruned=n - len(filter_result.candidates),
+            fmin=filter_result.fmin,
+            caches=caches,
+            shards=shards,
+        )

@@ -234,6 +234,17 @@ class QueryResult:
                 return record
         raise KeyError(key)
 
+    def __repr__(self) -> str:
+        """Compact summary — a result can carry thousands of records,
+        so the dataclass default (which dumps them all) is useless at a
+        REPL and hazardous in logs."""
+        spec = type(self.spec).__name__ if self.spec is not None else None
+        return (
+            f"{type(self).__name__}(answers={len(self.answers)}, "
+            f"records={len(self.records)}, fmin={self.fmin:.6g}, "
+            f"refined_objects={self.refined_objects}, spec={spec})"
+        )
+
 
 #: Legacy name of :class:`QueryResult` (pre-façade API), kept as an
 #: alias so existing imports and isinstance checks continue to work.
@@ -280,6 +291,13 @@ class QueryPlan:
         ``f_min^k``, or the query radius).
     caches:
         Snapshot of the engine's cache configuration and counters.
+    shards:
+        Sharded-execution snapshot (empty for single engines): shard
+        count, per-shard occupancy and skew, rebalance counters, and
+        the last batch's parallel accounting (summed lane seconds vs.
+        wall seconds — the realised parallel speedup).  See
+        :class:`~repro.core.engine.sharded.ShardedEngine` and
+        DESIGN.md §12.
     """
 
     spec: QuerySpec
@@ -292,6 +310,7 @@ class QueryPlan:
     pruned: int = 0
     fmin: float = float("nan")
     caches: dict = field(default_factory=dict)
+    shards: dict = field(default_factory=dict)
 
     def describe(self) -> str:
         """A printable multi-line summary of the plan."""
@@ -310,4 +329,19 @@ class QueryPlan:
             lines.append(f"  stage {i}   : {stage}")
         for name, stats in self.caches.items():
             lines.append(f"  cache     : {name} {stats}")
+        if self.shards:
+            occupancy = self.shards.get("occupancy")
+            lines.append(
+                f"  shards    : {self.shards.get('n_shards')} "
+                f"(occupancy {occupancy}, "
+                f"{self.shards.get('max_workers')} workers)"
+            )
+            parallel = self.shards.get("parallel") or {}
+            if parallel:
+                lines.append(
+                    "  parallel  : last batch "
+                    f"{parallel.get('lane_s', 0.0):.4g}s lane work in "
+                    f"{parallel.get('wall_s', 0.0):.4g}s wall "
+                    f"({parallel.get('parallel_speedup', 1.0):.2f}x)"
+                )
         return "\n".join(lines)

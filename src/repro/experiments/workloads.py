@@ -25,7 +25,7 @@ from typing import Callable, Hashable, Iterator, Sequence
 import numpy as np
 
 from repro.core.batch import BatchResult
-from repro.core.engine import EngineConfig, UncertainEngine
+from repro.core.engine import EngineConfig, ShardedEngine, UncertainEngine
 from repro.core.types import CPNNQuery, QuerySpec
 from repro.datasets.longbeach import LONG_BEACH_DOMAIN, long_beach_surrogate
 from repro.datasets.queries import random_query_points
@@ -197,6 +197,32 @@ class StreamingWorkload:
     def make_engine(self, config: EngineConfig | None = None) -> UncertainEngine:
         """A fresh engine over the initial object set."""
         return UncertainEngine(self.initial_objects(), config)
+
+    def make_sharded_engine(
+        self,
+        config: EngineConfig | None = None,
+        *,
+        n_shards: int | None = None,
+        max_workers: int | None = None,
+        rebalance_threshold: float = 4.0,
+    ) -> ShardedEngine:
+        """The sharded streaming scenario: a
+        :class:`~repro.core.engine.ShardedEngine` over the same initial
+        object set, so the identical memoised stream can drive the
+        sharded and single engines side by side.  Because the stream's
+        ``replace`` churn moves objects between spatial tiles,
+        :meth:`apply`/:meth:`drive` against this engine also exercise
+        shard migration and the rebalance policy — while
+        ``benchmarks/test_sharded_parallel.py`` asserts every tick's
+        batch is bit-identical to the single engine's (DESIGN.md §12).
+        """
+        return ShardedEngine(
+            self.initial_objects(),
+            config,
+            n_shards=n_shards,
+            max_workers=max_workers,
+            rebalance_threshold=rebalance_threshold,
+        )
 
     def tick(self, index: int) -> StreamingTick:
         """The ``index``-th tick, generated on first demand and memoised."""

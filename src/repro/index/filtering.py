@@ -23,7 +23,14 @@ import numpy as np
 
 from repro.index.rtree import RTree, RTreeStats
 
-__all__ = ["BatchMbrFilter", "FilterResult", "PnnFilter", "filter_candidates"]
+__all__ = [
+    "BatchMbrFilter",
+    "FilterResult",
+    "PnnFilter",
+    "filter_candidates",
+    "kth_from_matrices",
+    "pnn_results_from_matrices",
+]
 
 
 @dataclass(frozen=True)
@@ -85,6 +92,55 @@ class PnnFilter:
         fmin = self._tree.nearest_maxdist(q, stats=stats)
         candidates = tuple(self._tree.within_mindist(q, fmin, stats=stats))
         return FilterResult(candidates=candidates, fmin=fmin, stats=stats)
+
+
+def pnn_results_from_matrices(
+    objects: Sequence, mindist: np.ndarray, maxdist: np.ndarray
+) -> list[FilterResult]:
+    """PNN candidate sets from precomputed ``(B, N)`` MBR matrices.
+
+    The reduction behind :meth:`BatchMbrFilter.__call__`, factored out
+    so a sharded engine can apply the *same* pruning rule to matrices
+    assembled from per-shard sweeps: ``f_min`` per query is the row
+    minimum of ``maxdist`` (order-independent, so scattering shard
+    columns into the global matrix cannot change it), and candidates
+    are reported in ascending object order.  ``stats`` counters are
+    left at zero — there is no tree traversal to count.
+    """
+    fmins = maxdist.min(axis=1)
+    keep = mindist <= fmins[:, None]
+    results = []
+    for b in range(keep.shape[0]):
+        candidates = tuple(objects[i] for i in np.flatnonzero(keep[b]))
+        results.append(FilterResult(candidates=candidates, fmin=float(fmins[b])))
+    return results
+
+
+def kth_from_matrices(
+    mindist: np.ndarray, maxdist: np.ndarray, ks: Sequence[int]
+) -> list[tuple[np.ndarray, float]]:
+    """k-NN survivors from precomputed ``(B, N)`` MBR matrices.
+
+    The reduction behind :meth:`BatchMbrFilter.kth_filter`, factored
+    out for the same reason as :func:`pnn_results_from_matrices`: the
+    ``f_min^k`` pruning radius is the k-th smallest ``maxdist`` of the
+    row (a selection, not an arithmetic reduction — bit-identical under
+    any column permutation), survivors are ascending object indices.
+    """
+    n = maxdist.shape[1]
+    results = []
+    for b, k in enumerate(ks):
+        k = int(k)
+        if not 1 <= k <= n:
+            raise ValueError(
+                f"kth_filter: k={k} (query {b}) must lie in [1, {n}]; "
+                "the engine clamps k > N to the trivial all-satisfy "
+                "case before filtering (DESIGN.md §8)"
+            )
+        fmin_k = float(np.partition(maxdist[b], k - 1)[k - 1])
+        survivors = np.flatnonzero(mindist[b] <= fmin_k)
+        results.append((survivors, fmin_k))
+    return results
 
 
 class BatchMbrFilter:
@@ -267,17 +323,7 @@ class BatchMbrFilter:
         traversal to count.
         """
         mindist, maxdist = self.matrices(points)
-        fmins = maxdist.min(axis=1)
-        keep = mindist <= fmins[:, None]
-        results = []
-        for b in range(keep.shape[0]):
-            candidates = tuple(
-                self._objects[i] for i in np.flatnonzero(keep[b])
-            )
-            results.append(
-                FilterResult(candidates=candidates, fmin=float(fmins[b]))
-            )
-        return results
+        return pnn_results_from_matrices(self._objects, mindist, maxdist)
 
     def kth_filter(
         self, points: Sequence, ks: Sequence[int]
@@ -294,17 +340,4 @@ class BatchMbrFilter:
         ``k`` objects.  ``ks[b]`` must lie in [1, N].
         """
         mindist, maxdist = self.matrices(points)
-        results = []
-        n = len(self._objects)
-        for b, k in enumerate(ks):
-            k = int(k)
-            if not 1 <= k <= n:
-                raise ValueError(
-                    f"kth_filter: k={k} (query {b}) must lie in [1, {n}]; "
-                    "the engine clamps k > N to the trivial all-satisfy "
-                    "case before filtering (DESIGN.md §8)"
-                )
-            fmin_k = float(np.partition(maxdist[b], k - 1)[k - 1])
-            survivors = np.flatnonzero(mindist[b] <= fmin_k)
-            results.append((survivors, fmin_k))
-        return results
+        return kth_from_matrices(mindist, maxdist, ks)

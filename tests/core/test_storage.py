@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.refinement import Refiner
 from repro.core.storage import (
@@ -57,6 +59,98 @@ class TestBufferPool:
         pool = BufferPool(1)
         with pytest.raises(KeyError):
             pool.read_page(99)
+
+
+class TestBufferPoolThrash:
+    """The thrash path: pools too small for the working set.
+
+    The pool must stay *correct* (bounds identical to in-memory) while
+    its counters expose the cost — the property the storage benchmark
+    and DESIGN.md §12's sizing advice rely on.
+    """
+
+    def test_pool_smaller_than_one_page_chain(self, rng):
+        # One entry per page and a 1-frame pool: every chain longer
+        # than one page evicts *within its own scan*.
+        objects = make_random_objects(rng, 15)
+        store = store_for(objects, 30.0, page_size=24, pool_pages=1)
+        chain_lengths = store.directory_sizes
+        longest = max(chain_lengths.values())
+        assert longest > store.pool.capacity  # the scenario is real
+        store.pool.reset_stats()
+        store.pool.drop_cache()
+        j_long = max(chain_lengths, key=chain_lengths.get)
+        list(store.scan_subregion(j_long))
+        stats = store.pool.stats
+        # Every page of the chain faulted, and all but the first
+        # fault evicted the previous page.
+        assert stats.logical_reads == chain_lengths[j_long]
+        assert stats.page_faults == chain_lengths[j_long]
+        assert stats.evictions == chain_lengths[j_long] - 1
+        # Scanning the same chain again reuses nothing: the head page
+        # was evicted by the tail.
+        list(store.scan_subregion(j_long))
+        assert stats.page_faults == 2 * chain_lengths[j_long]
+
+    def test_eviction_counter_exact(self):
+        pool = BufferPool(2)
+        for pid in range(5):
+            pool.write_page(pid, bytes([pid]))
+        for pid in [0, 1, 2, 3, 4, 0, 1]:  # strict LRU worst case
+            pool.read_page(pid)
+        stats = pool.stats
+        assert stats.logical_reads == 7
+        assert stats.page_faults == 7
+        # Evictions = faults - capacity once the pool has filled.
+        assert stats.evictions == 7 - pool.capacity
+        assert stats.hit_rate == 0.0
+
+    def test_hit_rate_with_partial_reuse(self):
+        pool = BufferPool(2)
+        for pid in range(3):
+            pool.write_page(pid, bytes([pid]))
+        pool.read_page(0)
+        pool.read_page(1)
+        pool.read_page(0)  # hit
+        pool.read_page(2)  # evicts 1
+        pool.read_page(0)  # hit (still resident)
+        assert pool.stats.page_faults == 3
+        assert pool.stats.evictions == 1
+        assert pool.stats.hit_rate == pytest.approx(2 / 5)
+
+    @given(
+        n_objects=st.integers(min_value=3, max_value=12),
+        q=st.floats(min_value=0.0, max_value=60.0),
+        pool_pages=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_bounds_survive_evictions(self, n_objects, q, pool_pages, seed):
+        """Storage-backed verifier bounds equal the in-memory bounds no
+        matter how hard the pool thrashes — eviction affects cost, never
+        values."""
+        objects = make_random_objects(np.random.default_rng(seed), n_objects)
+        # One entry per page maximises chain lengths relative to the
+        # tiny pool, forcing evictions mid-scan for most draws.
+        store = store_for(objects, q, page_size=24, pool_pages=pool_pages)
+        lower, upper = subregion_bounds_from_store(store)
+        rs_upper = rs_upper_bounds_from_store(store)
+        table = store.table
+        assert np.allclose(
+            lower, LowerSubregionVerifier().compute(table).lower, atol=1e-12
+        )
+        assert np.allclose(
+            upper, UpperSubregionVerifier().compute(table).upper, atol=1e-12
+        )
+        assert np.allclose(
+            rs_upper, RightmostSubregionVerifier().compute(table).upper, atol=1e-12
+        )
+        # Re-running after the thrash gives the same values again.
+        lower2, upper2 = subregion_bounds_from_store(store)
+        assert np.array_equal(lower, lower2)
+        assert np.array_equal(upper, upper2)
+        if store.n_pages > pool_pages:
+            assert store.pool.stats.evictions > 0
 
 
 class TestSubregionStore:

@@ -17,7 +17,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.engine import EngineConfig, UncertainEngine
+from repro.core.engine import EngineConfig, ShardedEngine, UncertainEngine
 from repro.core.types import CKNNQuery, CPNNQuery, CRangeQuery
 from repro.uncertainty.objects import UncertainObject
 
@@ -175,6 +175,74 @@ def test_churn_then_empty_then_refill(seed):
         engine.execute_batch(probe_specs(len(refill))),
         fresh.execute_batch(probe_specs(len(refill))),
     )
+
+
+@given(
+    stream=operation_streams(),
+    use_rtree=st.booleans(),
+    n_shards=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=25, deadline=None)
+def test_sharded_stream_matches_fresh_single_engine(stream, use_rtree, n_shards):
+    """The sharded engine honours the same incremental-maintenance
+    contract as the single engine (DESIGN.md §12): after any interleaved
+    insert/remove/replace/execute/execute_batch stream, answers,
+    records, and bounds for all three spec families are bit-identical
+    to a fresh :class:`UncertainEngine` over the same final sequence —
+    and replaying against the warm lane caches changes nothing."""
+    n_initial, ops = stream
+    counter = n_initial
+    mirror = [fresh_object(i, i) for i in range(n_initial)]
+    config = EngineConfig(use_rtree=use_rtree)
+    engine = ShardedEngine(
+        list(mirror),
+        config,
+        n_shards=n_shards,
+        max_workers=2,
+        rebalance_threshold=2.0,
+    )
+
+    for op, arg in ops:
+        if op == "insert":
+            obj = fresh_object(counter, counter)
+            counter += 1
+            engine.insert(obj)
+            mirror.append(obj)
+        elif op == "remove":
+            if mirror:
+                index = arg % len(mirror)
+                assert engine.remove(mirror[index].key)
+                del mirror[index]
+        elif op == "replace":
+            if mirror:
+                index = arg % len(mirror)
+                obj = fresh_object(counter, counter)
+                counter += 1
+                engine.replace(mirror[index].key, obj)
+                mirror[index] = obj
+        elif op == "execute":
+            spec = probe_specs(len(mirror))[arg % 13]
+            result = engine.execute(spec)
+            if not mirror:
+                assert result.answers == ()
+        else:
+            engine.execute_batch(probe_specs(len(mirror))[: 1 + arg % 13])
+
+    specs = probe_specs(len(mirror))
+    fresh = UncertainEngine(list(mirror), EngineConfig(use_rtree=use_rtree))
+    cold = fresh.execute_batch(specs)
+    assert_results_identical(engine.execute_batch(specs), cold)
+    # Warm replay: lane table caches and result snapshots all hit now.
+    assert_results_identical(engine.execute_batch(specs), cold)
+
+    # Contract bookkeeping: shards partition exactly the mirror set.
+    assert len(engine) == len(mirror)
+    assert [obj.key for obj in engine.objects] == [obj.key for obj in mirror]
+    assert sum(len(shard) for shard in engine.shards) == len(mirror)
+    assert engine.remove("no-such-key") is False
+    with pytest.raises(KeyError):
+        engine.replace("no-such-key", fresh_object(counter, counter))
+    engine.close()
 
 
 def test_pnn_after_interleaved_updates():
