@@ -42,10 +42,23 @@ import test_columnar_speedup as columnar_bench  # noqa: E402
 import test_dynamic_updates as dynamic_bench  # noqa: E402
 import test_sharded_parallel as sharded_bench  # noqa: E402
 
+from repro.core.engine.executors.base import free_threaded  # noqa: E402
 
 #: Shared best-of-N timing loop — the same reduction the pytest
 #: speedup gates use, so the snapshot and the gates measure alike.
 _best_of = throughput_bench._best_of
+
+
+def _environment(executor: str) -> dict:
+    """The execution-substrate facts every BENCH entry carries, so a
+    diff between snapshots from different machines (or executor
+    backends) is interpretable: a 1-core container and a 16-core
+    workstation legitimately disagree about parallel speedups."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "free_threaded": free_threaded(),
+        "executor": executor,
+    }
 
 
 def measure_batch_throughput(repeats: int) -> dict:
@@ -64,6 +77,7 @@ def measure_batch_throughput(repeats: int) -> dict:
         "sequential_s": sequential,
         "execute_batch_s": batch,
         "speedup": sequential / batch,
+        **_environment("serial"),
     }
 
 
@@ -92,6 +106,7 @@ def measure_knn_throughput(repeats: int) -> dict:
         "scalar_loop_s_per_query": legacy_per_query,
         "execute_batch_s_per_query": batch_per_query,
         "speedup": legacy_per_query / batch_per_query,
+        **_environment("serial"),
     }
 
 
@@ -111,6 +126,7 @@ def measure_range_throughput(repeats: int) -> dict:
         "scalar_loop_s": legacy,
         "execute_batch_s": batch,
         "speedup": legacy / batch,
+        **_environment("serial"),
     }
 
 
@@ -152,6 +168,7 @@ def measure_dynamic_updates(repeats: int) -> dict:
         "incremental_s_per_tick": incremental / ticks,
         "full_rebuild_s_per_tick": replica / ticks,
         "speedup": replica / incremental,
+        **_environment("serial"),
     }
 
 
@@ -176,10 +193,38 @@ def measure_sharded_parallel(repeats: int) -> dict:
         "points": sharded_bench.SHARDED_POINTS,
         "mean_interval_length": sharded_bench.MEAN_LENGTH,
         "n_shards": sharded_bench.N_SHARDS,
-        "cpu_count": os.cpu_count(),
         "single_cold_s": single,
         "sharded_cold_s": sharded,
         "speedup": single / sharded,
+        **_environment("thread"),
+    }
+
+
+def measure_process_executor(repeats: int) -> dict:
+    """Process-backend sharded vs single-engine cold batch throughput
+    (DESIGN.md §13): same workload and protocol as
+    :func:`measure_sharded_parallel`, but the C-PNN fan-out ships to a
+    pre-warmed spawn-based worker pool.  On a 1-core container the
+    speedup records the pipe/pickle overhead; with ≥ 2 cores the
+    ``test_sharded_parallel.py`` gate demands ≥ 1.6×.
+    """
+    objects, specs = sharded_bench.objects_and_specs()
+    single = min(
+        sharded_bench._cold_single(objects, specs)[0] for _ in range(repeats)
+    )
+    process = min(
+        sharded_bench._cold_sharded_process(objects, specs)[0]
+        for _ in range(repeats)
+    )
+    return {
+        "objects": sharded_bench.SHARDED_OBJECTS,
+        "points": sharded_bench.SHARDED_POINTS,
+        "mean_interval_length": sharded_bench.MEAN_LENGTH,
+        "n_shards": sharded_bench.N_SHARDS,
+        "single_cold_s": single,
+        "process_cold_s": process,
+        "speedup": single / process,
+        **_environment("process"),
     }
 
 
@@ -225,6 +270,7 @@ def main(argv=None) -> int:
         "range_batch_throughput": measure_range_throughput(args.repeats),
         "dynamic_updates": measure_dynamic_updates(args.repeats),
         "sharded_parallel": measure_sharded_parallel(args.repeats),
+        "process_executor": measure_process_executor(args.repeats),
     }
     with open(args.output, "w") as handle:
         json.dump(snapshot, handle, indent=2, sort_keys=False)

@@ -23,8 +23,11 @@ module              owns
 :mod:`.facade`      :class:`UncertainEngine` — the thin coordinator that
                     routes specs and owns config/caches — plus the
                     legacy :class:`CPNNEngine` shim
-:mod:`.sharded`     :class:`ShardedEngine` — spatial shards + a thread
-                    pool fanning batches out across them (DESIGN.md §12)
+:mod:`.sharded`     :class:`ShardedEngine` — spatial shards planning
+                    batches as serialized work items (DESIGN.md §12)
+:mod:`.executors`   the pluggable execution backends the sharded engine
+                    hands its work items to — serial / thread / process
+                    (DESIGN.md §13)
 ==================  ====================================================
 
 Every public name keeps its historical import path

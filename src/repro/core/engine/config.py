@@ -88,6 +88,25 @@ class EngineConfig:
         cache.  Note the bound is entry-count, not bytes: each table
         pins its distributions plus O(|C|·M) matrices, so size this to
         the working set of hot probe points, not higher.
+    executor:
+        Which executor backend a
+        :class:`~repro.core.engine.sharded.ShardedEngine` fans work out
+        on (DESIGN.md §13): ``"serial"`` (inline, the bit-identity
+        reference), ``"thread"`` (the shared thread pool — wins when
+        numpy sweeps dominate or on free-threaded builds),
+        ``"process"`` (persistent spawn workers with resident lane
+        caches — wins for GIL-bound C-PNN verification), or ``"auto"``
+        (the default: ``thread`` on free-threaded interpreters or
+        single-core boxes, ``process`` on multi-core GIL builds with a
+        picklable config).  Single engines always execute serially;
+        the knob only drives the sharded fan-out.  Answers are
+        bit-identical across all backends.
+    process_min_batch:
+        Under the process backend, C-PNN batches smaller than this run
+        inline on the parent's lanes instead of crossing the process
+        boundary — per-spec IPC would dominate tiny batches, and unit
+        workloads should not pay a pool spawn.  0 forces every batch to
+        the workers (useful in tests).
     """
 
     strategy: str = Strategy.VR
@@ -101,10 +120,19 @@ class EngineConfig:
     grid_refinement: int = 1
     distribution_cache_size: int = 65536
     table_cache_size: int = 256
+    executor: str = "auto"
+    process_min_batch: int = 16
 
     def __post_init__(self) -> None:
         if self.strategy not in Strategy.ALL:
             raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.executor not in ("auto", "serial", "thread", "process"):
+            raise ValueError(
+                f"unknown executor {self.executor!r}: expected 'auto', "
+                "'serial', 'thread', or 'process'"
+            )
+        if self.process_min_batch < 0:
+            raise ValueError("process_min_batch must be >= 0")
         if self.refinement_order not in ("widest", "left"):
             raise ValueError("refinement_order must be 'widest' or 'left'")
         if self.grid_refinement < 1:

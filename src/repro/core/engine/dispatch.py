@@ -69,6 +69,12 @@ class SpecDispatchMixin:
             raise ValueError(f"unknown strategy {strategy!r}")
         return strategy
 
+    def _executor_backend(self) -> str:
+        """The resolved execution backend serving this host — the
+        sharded engine's ``executor=`` knob, or ``"serial"`` for hosts
+        with no parallel substrate (the single engine, the lanes)."""
+        return getattr(self, "_backend", None) or "serial"
+
     def _chain_for(self, spec_type: type) -> VerifierChain:
         """The verifier chain serving ``spec_type`` (pipeline hook)."""
         chain = self._chains.get(spec_type)

@@ -1,0 +1,156 @@
+"""Executor substrate: typed work items + the backend contract.
+
+The plan/execute split (DESIGN.md §13): the sharded engine *plans* a
+batch as serialized work items — :class:`SweepItem` per shard,
+:class:`PnnItem` per lane — and an executor decides *where* they run:
+
+* :class:`~repro.core.engine.executors.serial.SerialExecutor` — inline,
+  the bit-identity reference;
+* :class:`~repro.core.engine.executors.thread.ThreadExecutor` — the
+  shared thread pool (sweeps overlap because numpy releases the GIL;
+  the whole pipeline overlaps on free-threaded builds);
+* :class:`~repro.core.engine.executors.process.ProcessExecutor` —
+  persistent spawn workers with resident per-lane caches attached to a
+  shared-memory coordinate segment.
+
+Items carry plain data (spec tuples, column index arrays), never
+closures, so the same item pickles to a worker or runs in-process via
+the host callbacks ``_run_sweep_item`` / ``_run_pnn_item`` — which is
+also how crash recovery re-executes a dead worker's items without a
+special path.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+import sysconfig
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "BACKENDS",
+    "ExecutorBase",
+    "PnnItem",
+    "SweepItem",
+    "free_threaded",
+    "resolve_backend",
+]
+
+BACKENDS = ("auto", "serial", "thread", "process")
+
+
+@dataclass(frozen=True, eq=False)
+class SweepItem:
+    """One shard's slice of a batch MBR sweep.
+
+    ``cols`` are the shard's global object-order positions: the item's
+    output is columns ``cols`` of the global ``(B, N)``
+    mindist/maxdist matrices.  Serialized (shard id + index array), so
+    a worker can compute it from its resident coordinate arrays via
+    :meth:`~repro.index.filtering.BatchMbrFilter.matrices_rows`.
+    """
+
+    shard: int
+    cols: np.ndarray
+
+
+@dataclass(frozen=True, eq=False)
+class PnnItem:
+    """One lane's slice of a C-PNN batch.
+
+    ``indices`` are the positions of ``specs`` in the caller's batch
+    (for scattering results back); ``lane`` is the content-hash
+    affinity lane every spec in the item maps to.
+    """
+
+    lane: int
+    indices: tuple[int, ...]
+    specs: tuple
+    strategy: str
+
+
+def free_threaded() -> bool:
+    """True on a free-threaded (no-GIL) CPython build with the GIL
+    actually disabled."""
+    checker = getattr(sys, "_is_gil_enabled", None)
+    if checker is not None:
+        return not checker()
+    return bool(sysconfig.get_config_var("Py_GIL_DISABLED"))
+
+
+def _spawnable(config) -> bool:
+    """Whether the config survives the spawn boundary (closures in
+    ``chain_factory``/``pipeline`` don't — such configs fall back to
+    threads under ``executor="auto"``)."""
+    try:
+        pickle.dumps(config)
+        return True
+    except Exception:
+        return False
+
+
+def resolve_backend(config, *, parallel: bool = True, override: str | None = None) -> str:
+    """Resolve the ``executor=`` knob to a concrete backend name.
+
+    ``override`` (an engine-constructor argument) beats the config
+    field.  ``"auto"`` picks: ``serial`` for non-parallel hosts (the
+    single engine), ``thread`` on free-threaded builds (lanes already
+    scale there) or when processes can't help (single core, unpicklable
+    config), else ``process`` — the only backend that buys C-PNN
+    verification real cores on a GIL build.
+    """
+    requested = override if override is not None else config.executor
+    if requested not in BACKENDS:
+        raise ValueError(
+            f"unknown executor {requested!r}: expected one of {BACKENDS}"
+        )
+    if requested != "auto":
+        return requested
+    if not parallel:
+        return "serial"
+    if free_threaded():
+        return "thread"
+    if (os.cpu_count() or 1) >= 2 and _spawnable(config):
+        return "process"
+    return "thread"
+
+
+class ExecutorBase:
+    """The backend contract the sharded engine programs against.
+
+    ``host`` is the owning :class:`~repro.core.engine.sharded.ShardedEngine`;
+    backends that run items in-process call back into
+    ``host._run_sweep_item(item, queries)`` and
+    ``host._run_pnn_item(item, staged, snapshot)``.
+    """
+
+    name = "?"
+
+    def __init__(self, host) -> None:
+        self._host = host
+
+    def run_sweeps(self, items, queries, mindist, maxdist) -> None:
+        """Execute sweep items, scattering each item's columns into the
+        global ``(B, N)`` output matrices in place."""
+        raise NotImplementedError
+
+    def run_pnn(self, items, staged, snapshot) -> list:
+        """Execute C-PNN items; returns one ``(BatchResult, seconds)``
+        per item, aligned with ``items``.  ``staged``/``snapshot`` are
+        the parent-reconciled filter results (ignored by backends whose
+        workers filter for themselves)."""
+        raise NotImplementedError
+
+    def record_mutation(self, op) -> None:
+        """Observe one registry mutation (backends with remote replicas
+        log it; others ignore it)."""
+
+    def close(self) -> None:
+        """Release pools/segments (idempotent; the executor stays
+        usable — resources are recreated on the next dispatch)."""
+
+    def stats(self) -> dict:
+        return {"backend": self.name}

@@ -1,0 +1,569 @@
+"""Process execution: persistent spawn workers with resident lane state.
+
+The backend that buys GIL-bound C-PNN verification real cores
+(DESIGN.md §13).  One spawn-based worker per lane, addressed over its
+own duplex pipe — addressed dispatch (not a task queue) is what keeps
+the content-hash lane affinity meaningful across the process boundary:
+worker *i* always serves lane *i*, so its resident
+``DistributionCache``/``TableCache`` stay warm between batches exactly
+like an in-process lane's.
+
+Worker lifecycle
+----------------
+On (re)spawn, a worker receives one ``attach`` message: the pickled
+:class:`~repro.core.engine.config.EngineConfig`, the object list, and a
+:class:`~repro.shm.ShmDescriptor` for the parent-exported coordinate
+segment.  It rebuilds a full
+:class:`~repro.index.filtering.BatchMbrFilter` as zero-copy views over
+that segment (no coordinate is re-pickled) and a resident
+:class:`~repro.core.engine.lanes.Lane`; thereafter each work message
+piggybacks the mutation-log suffix the worker hasn't seen, which it
+replays against its replica with the registry's exact ordering
+semantics before executing.  The parent unlinks the segment as soon as
+every worker has attached — mappings outlive the name, so nothing can
+leak in ``/dev/shm`` past the handshake.
+
+Crash recovery
+--------------
+A worker that dies mid-batch (pipe EOF / process exit) is detected at
+send or receive; its work item is re-executed in-process through the
+same host callbacks the serial backend uses — answers are bit-identical
+because it is the same pipeline, only colder caches — the failure is
+counted in :meth:`ProcessExecutor.stats`, and the worker is respawned
+(with a fresh snapshot) before the next dispatch.  Workers are daemons:
+an abandoned engine can never wedge interpreter exit.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+
+import numpy as np
+
+from repro.core.engine.executors.base import ExecutorBase
+from repro.shm import attach_arrays, export_arrays, release_segment
+
+__all__ = ["ProcessExecutor"]
+
+#: Pipe poll granularity while waiting on a worker (also the death-
+#: detection latency floor).
+_POLL_S = 0.05
+
+#: Grace period for a worker to exit after the ``exit`` message.
+_JOIN_S = 5.0
+
+
+class _WorkerDied(Exception):
+    """The worker's process ended before answering."""
+
+
+# ----------------------------------------------------------------------
+# Worker side (runs in the spawned interpreter)
+# ----------------------------------------------------------------------
+
+
+class _WorkerState:
+    """One worker's resident replica: objects, filter, and its lane."""
+
+    __slots__ = ("lane", "objects", "key_list", "filter", "use_rtree", "shm")
+
+    def __init__(self) -> None:
+        self.lane = None
+        self.objects: list = []
+        self.key_list: list = []
+        self.filter = None
+        self.use_rtree = True
+        self.shm = None
+
+
+def _worker_attach(lane_id, config, objects, n_lanes, columns_desc):
+    from repro.core.engine.lanes import Lane
+    from repro.index.filtering import BatchMbrFilter
+
+    state = _WorkerState()
+    state.lane = Lane(config, n_lanes)
+    state.objects = list(objects)
+    state.key_list = [obj.key for obj in state.objects]
+    state.use_rtree = config.use_rtree
+    if state.use_rtree:
+        if columns_desc is not None and state.objects:
+            state.filter = BatchMbrFilter.from_shared(columns_desc, state.objects)
+            state.shm = state.filter._shm
+        elif state.objects:
+            state.filter = BatchMbrFilter(state.objects)
+        # The lane consults the *current* filter at call time (mutations
+        # may rebuild or drop it), hence a closure, not the filter itself.
+        state.lane._local_filter = lambda points: state.filter(points)
+    else:
+        # Linear-scan mode: the lane replays the exact region-distance
+        # scan over the resident list (mutated in place, never rebound).
+        state.lane._scan_objects = state.objects
+    return state
+
+
+def _worker_apply_ops(state: _WorkerState, ops) -> None:
+    """Replay a parent mutation-log suffix against the resident replica.
+
+    Mirrors :class:`~repro.core.engine.registry.ObjectRegistryMixin`'s
+    ordering semantics exactly — append on insert, order-preserving
+    delete on remove, position-preserving overwrite on replace — plus
+    the per-lane cache maintenance the parent applies to every lane:
+    invalidation-box queueing and distribution-cache eviction.
+    """
+    from repro.index.filtering import BatchMbrFilter
+
+    lane = state.lane
+    for op in ops:
+        kind = op[0]
+        if kind == "insert":
+            obj = op[1]
+            state.objects.append(obj)
+            state.key_list.append(obj.key)
+            if state.use_rtree:
+                if state.filter is None:
+                    state.filter = BatchMbrFilter(state.objects)
+                else:
+                    state.filter.append(obj)
+            lane._queue_invalidation(obj)
+        elif kind == "remove":
+            key = op[1]
+            index = state.key_list.index(key)
+            victim = state.objects.pop(index)
+            del state.key_list[index]
+            if state.use_rtree and state.filter is not None:
+                if state.objects:
+                    state.filter.remove_at(index)
+                else:
+                    state.filter = None
+            lane._queue_invalidation(victim)
+            if lane._distribution_cache is not None:
+                lane._distribution_cache.evict_object(victim)
+            if not state.objects:
+                # Drained: mirror the engine-side reset (a refill may
+                # change dimensionality; DESIGN.md §11).
+                lane._pending_invalidation.clear()
+                if lane._table_cache is not None:
+                    lane._table_cache.clear()
+        elif kind == "replace":
+            key, obj = op[1], op[2]
+            index = state.key_list.index(key)
+            victim = state.objects[index]
+            state.objects[index] = obj
+            state.key_list[index] = obj.key
+            if state.use_rtree and state.filter is not None:
+                state.filter.replace_at(index, obj)
+            lane._queue_invalidation(victim)
+            lane._queue_invalidation(obj)
+            if lane._distribution_cache is not None:
+                lane._distribution_cache.evict_object(victim)
+        else:  # pragma: no cover - protocol guard
+            raise RuntimeError(f"unknown mutation op {kind!r}")
+
+
+def _worker_main(conn, lane_id: int) -> None:
+    """Spawn target: serve attach/mutate/pnn/sweep requests until exit."""
+    state: _WorkerState | None = None
+    crash_armed = False
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = msg[0]
+        if crash_armed and kind in ("pnn", "sweep"):
+            os._exit(13)  # armed by "die": perish mid-batch, task in hand
+        try:
+            if kind == "ping":
+                conn.send(("ok", "pong"))
+            elif kind == "attach":
+                _, config, objects, n_lanes, columns_desc = msg
+                state = _worker_attach(
+                    lane_id, config, objects, n_lanes, columns_desc
+                )
+                conn.send(("ok", len(state.objects)))
+            elif kind == "pnn":
+                _, ops, specs, strategy = msg
+                if ops:
+                    _worker_apply_ops(state, ops)
+                tick = time.perf_counter()
+                sub = state.lane._pnn_batch(list(specs), strategy)
+                conn.send(("ok", (sub, time.perf_counter() - tick)))
+            elif kind == "sweep":
+                _, ops, queries, cols, out_desc = msg
+                if ops:
+                    _worker_apply_ops(state, ops)
+                shard_min, shard_max = state.filter.matrices_rows(queries, cols)
+                out_shm, views = attach_arrays(out_desc, writable=True)
+                try:
+                    views["mindist"][:, cols] = shard_min
+                    views["maxdist"][:, cols] = shard_max
+                finally:
+                    del views  # drop buffer refs before unmapping
+                    out_shm.close()
+                conn.send(("ok", None))
+            elif kind == "exit":
+                conn.send(("ok", None))
+                break
+            elif kind == "die":
+                # Crash-robustness hook: die on the *next* work item, so
+                # the parent discovers the corpse mid-batch (the hard
+                # case), not at the pre-dispatch liveness check.
+                crash_armed = True
+            else:  # pragma: no cover - protocol guard
+                conn.send(("error", f"unknown message {kind!r}"))
+        except BaseException as exc:  # noqa: BLE001 - must answer, not die
+            try:
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            except (OSError, ValueError):  # pragma: no cover
+                break
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover
+        pass
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+class _Worker:
+    __slots__ = ("proc", "conn", "synced", "alive")
+
+    def __init__(self, proc, conn, synced: int) -> None:
+        self.proc = proc
+        self.conn = conn
+        #: Global mutation-log index this worker has replayed up to.
+        self.synced = synced
+        self.alive = True
+
+
+class ProcessExecutor(ExecutorBase):
+    """Persistent spawn-based worker pool, one addressed worker per lane."""
+
+    name = "process"
+
+    def __init__(self, host) -> None:
+        super().__init__(host)
+        self._ctx = mp.get_context("spawn")
+        self._workers: list[_Worker | None] = []
+        self._started = False
+        #: Mutation log since pool start; ``_ops_base`` is the global
+        #: index of ``_ops[0]`` (the prefix every worker has replayed
+        #: is compacted away after each dispatch).
+        self._ops: list[tuple] = []
+        self._ops_base = 0
+        self._failures = 0
+        self._respawns = 0
+        self._dispatches = 0
+        self._retries = 0
+
+    # -- pool lifecycle -------------------------------------------------
+
+    @property
+    def n_workers(self) -> int:
+        return self._host._max_workers
+
+    def ensure_started(self) -> None:
+        """Spawn (or respawn) every missing/dead worker and attach it to
+        a snapshot of the current object set."""
+        if not self._started:
+            self._workers = [None] * self.n_workers
+            self._ops = []
+            self._ops_base = 0
+            self._started = True
+        lanes = []
+        for lane_id, worker in enumerate(self._workers):
+            if worker is not None and worker.alive and worker.proc.is_alive():
+                continue
+            if worker is not None:
+                self._mark_dead(worker)
+                self._respawns += 1
+            lanes.append(lane_id)
+        if lanes:
+            self._spawn_group(lanes)
+
+    def _spawn_group(self, lanes: list[int]) -> None:
+        host = self._host
+        columns_desc = None
+        columns_shm = None
+        if host._config.use_rtree and host._objects:
+            from repro.index.filtering import BatchMbrFilter
+
+            columns_shm, columns_desc = BatchMbrFilter(host._objects).to_shared()
+        try:
+            top = self._ops_base + len(self._ops)
+            spawned = []
+            for lane_id in lanes:
+                parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+                proc = self._ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, lane_id),
+                    name=f"repro-lane-{lane_id}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                worker = _Worker(proc, parent_conn, top)
+                self._workers[lane_id] = worker
+                worker.conn.send(
+                    (
+                        "attach",
+                        host._config,
+                        host._objects,
+                        len(host._lanes),
+                        columns_desc,
+                    )
+                )
+                spawned.append(worker)
+            for worker in spawned:
+                status, payload = self._recv(worker)
+                if status != "ok":  # pragma: no cover - attach never raises
+                    raise RuntimeError(f"worker attach failed: {payload}")
+        finally:
+            # Mappings outlive the name: once every worker holds its
+            # attachment the name can go, so a crash can't leak it.
+            if columns_shm is not None:
+                release_segment(columns_shm)
+
+    def close(self) -> None:
+        for worker in self._workers:
+            if worker is None or not worker.alive:
+                continue
+            try:
+                worker.conn.send(("exit",))
+            except (OSError, ValueError):
+                pass
+        for worker in self._workers:
+            if worker is None:
+                continue
+            worker.proc.join(_JOIN_S)
+            if worker.proc.is_alive():  # pragma: no cover - stuck worker
+                worker.proc.terminate()
+                worker.proc.join(_JOIN_S)
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._workers = []
+        self._ops = []
+        self._ops_base = 0
+        self._started = False
+
+    # -- mutation log ---------------------------------------------------
+
+    def record_mutation(self, op) -> None:
+        if self._started:
+            self._ops.append(op)
+
+    def _ops_for(self, worker: _Worker) -> list[tuple]:
+        return self._ops[worker.synced - self._ops_base :]
+
+    def _compact_ops(self) -> None:
+        live = [w.synced for w in self._workers if w is not None and w.alive]
+        if not live:
+            return
+        floor = min(live)
+        drop = floor - self._ops_base
+        if drop > 0:
+            del self._ops[:drop]
+            self._ops_base = floor
+
+    # -- plumbing -------------------------------------------------------
+
+    def _mark_dead(self, worker: _Worker) -> None:
+        if not worker.alive:
+            return
+        worker.alive = False
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def _fail(self, worker: _Worker) -> None:
+        self._mark_dead(worker)
+        self._failures += 1
+
+    def _recv(self, worker: _Worker):
+        """Receive one reply, raising :class:`_WorkerDied` if the
+        process ends first (the pipe may still hold a buffered reply,
+        which is drained)."""
+        while True:
+            if worker.conn.poll(_POLL_S):
+                try:
+                    return worker.conn.recv()
+                except (EOFError, OSError):
+                    raise _WorkerDied from None
+            if not worker.proc.is_alive():
+                if worker.conn.poll(0):
+                    try:
+                        return worker.conn.recv()
+                    except (EOFError, OSError):
+                        raise _WorkerDied from None
+                raise _WorkerDied
+
+    def _call_ok(self, worker: _Worker, message: tuple, synced_to: int):
+        """Send + receive one request; updates the worker's sync mark on
+        success, raises :class:`_WorkerDied` on worker death."""
+        try:
+            worker.conn.send(message)
+        except (OSError, ValueError):
+            raise _WorkerDied from None
+        status, payload = self._recv(worker)
+        if status != "ok":
+            raise RuntimeError(
+                f"worker for lane {worker.proc.name} failed: {payload}"
+            )
+        worker.synced = synced_to
+        return payload
+
+    # -- execution ------------------------------------------------------
+
+    def run_pnn(self, items, staged, snapshot) -> list:
+        """Dispatch each item to its lane's worker; a dead worker's item
+        is transparently re-executed in-process (``staged``/``snapshot``
+        are ignored — workers filter against their resident replicas)."""
+        self.ensure_started()
+        self._dispatches += 1
+        top = self._ops_base + len(self._ops)
+        outcomes: list = [None] * len(items)
+        inflight = []
+        for position, item in enumerate(items):
+            worker = self._workers[item.lane]
+            if worker is None or not worker.alive:
+                outcomes[position] = self._retry_inline(item)
+                continue
+            try:
+                worker.conn.send(
+                    ("pnn", self._ops_for(worker), item.specs, item.strategy)
+                )
+                inflight.append((position, item, worker))
+            except (OSError, ValueError):
+                self._fail(worker)
+                outcomes[position] = self._retry_inline(item)
+        for position, item, worker in inflight:
+            try:
+                status, payload = self._recv(worker)
+            except _WorkerDied:
+                self._fail(worker)
+                outcomes[position] = self._retry_inline(item)
+                continue
+            if status != "ok":
+                raise RuntimeError(f"lane {item.lane} worker failed: {payload}")
+            worker.synced = top
+            outcomes[position] = payload
+        self._compact_ops()
+        return outcomes
+
+    def _retry_inline(self, item):
+        """Graceful degradation: run a dead worker's item through the
+        host's in-process path (same pipeline, bit-identical answers)."""
+        self._retries += 1
+        return self._host._run_pnn_item_local(item)
+
+    def run_sweeps(self, items, queries, mindist, maxdist) -> None:
+        """Fan sweep items out across live workers, which write their
+        columns into a per-batch shared output segment; anything a dead
+        (or not-yet-started) pool can't take runs inline."""
+        if not self._started or not any(
+            w is not None and w.alive for w in self._workers
+        ):
+            # No pool yet: don't pay a spawn for a sweep (numpy releases
+            # the GIL, so inline is what the thread backend would do on
+            # one runnable thread anyway).
+            for item in items:
+                shard_min, shard_max = self._host._run_sweep_item(item, queries)
+                mindist[:, item.cols] = shard_min
+                maxdist[:, item.cols] = shard_max
+            return
+        self.ensure_started()
+        self._dispatches += 1
+        top = self._ops_base + len(self._ops)
+        out_shm, out_desc = export_arrays(
+            {
+                "mindist": np.zeros(mindist.shape),
+                "maxdist": np.zeros(maxdist.shape),
+            }
+        )
+        try:
+            fallback: list = []
+            inflight = []
+            carried: set = set()
+            alive = [w for w in self._workers if w is not None and w.alive]
+            for position, item in enumerate(items):
+                worker = alive[position % len(alive)] if alive else None
+                if worker is None or not worker.alive:
+                    fallback.append(item)
+                    continue
+                # Round-robin can hand one worker several items in a
+                # single dispatch; only the first message may carry the
+                # pending ops suffix (synced advances on recv, so a
+                # second send would re-derive and re-apply the same
+                # mutations on the worker replica).
+                ops = () if id(worker) in carried else self._ops_for(worker)
+                try:
+                    worker.conn.send(("sweep", ops, queries, item.cols, out_desc))
+                    carried.add(id(worker))
+                    inflight.append((item, worker))
+                except (OSError, ValueError):
+                    self._fail(worker)
+                    fallback.append(item)
+            done = []
+            for item, worker in inflight:
+                try:
+                    status, payload = self._recv(worker)
+                except _WorkerDied:
+                    self._fail(worker)
+                    fallback.append(item)
+                    continue
+                if status != "ok":
+                    raise RuntimeError(f"sweep worker failed: {payload}")
+                worker.synced = top
+                done.append(item)
+            if done:
+                _, views = attach_arrays(out_desc)
+                try:
+                    for item in done:
+                        mindist[:, item.cols] = views["mindist"][:, item.cols]
+                        maxdist[:, item.cols] = views["maxdist"][:, item.cols]
+                finally:
+                    del views
+            for item in fallback:
+                self._retries += 1
+                shard_min, shard_max = self._host._run_sweep_item(item, queries)
+                mindist[:, item.cols] = shard_min
+                maxdist[:, item.cols] = shard_max
+        finally:
+            release_segment(out_shm)
+        self._compact_ops()
+
+    # -- test hooks & observability ------------------------------------
+
+    def inject_crash(self, lane: int) -> None:
+        """Test hook: arm lane ``lane``'s worker to exit the instant it
+        receives its next work item — the parent then discovers the
+        death mid-batch, exactly like a real crash between send and
+        reply, and must recover by in-process retry + respawn."""
+        worker = self._workers[lane] if self._started else None
+        if worker is None or not worker.alive:
+            raise RuntimeError(f"no live worker for lane {lane}")
+        worker.conn.send(("die",))
+
+    def stats(self) -> dict:
+        return {
+            "backend": self.name,
+            "workers": self.n_workers,
+            "started": self._started,
+            "alive": sum(
+                1
+                for w in self._workers
+                if w is not None and w.alive and w.proc.is_alive()
+            ),
+            "dispatches": self._dispatches,
+            "worker_failures": self._failures,
+            "respawns": self._respawns,
+            "in_process_retries": self._retries,
+            "pending_ops": len(self._ops),
+        }

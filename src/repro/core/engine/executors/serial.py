@@ -1,0 +1,30 @@
+"""Inline execution: the bit-identity reference backend."""
+
+from __future__ import annotations
+
+from repro.core.engine.executors.base import ExecutorBase
+
+__all__ = ["SerialExecutor"]
+
+
+class SerialExecutor(ExecutorBase):
+    """Run every work item inline on the calling thread.
+
+    Exactly the single-engine evaluation order with the sharded
+    engine's reconciliation around it — the reference the parallel
+    backends are asserted bit-identical against, and the zero-overhead
+    choice for tiny workloads.
+    """
+
+    name = "serial"
+
+    def run_sweeps(self, items, queries, mindist, maxdist) -> None:
+        for item in items:
+            shard_min, shard_max = self._host._run_sweep_item(item, queries)
+            mindist[:, item.cols] = shard_min
+            maxdist[:, item.cols] = shard_max
+
+    def run_pnn(self, items, staged, snapshot) -> list:
+        return [
+            self._host._run_pnn_item(item, staged, snapshot) for item in items
+        ]

@@ -1,0 +1,71 @@
+"""Thread-pool execution: PR 5's lanes behind the executor contract.
+
+Per-shard sweeps overlap because numpy releases the GIL for the matrix
+arithmetic; the Python-heavy C-PNN verification only overlaps on
+free-threaded (3.13t+) builds, which ``executor="auto"`` detects — on
+GIL builds the process backend is the one that buys verification real
+cores (DESIGN.md §13).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.engine.executors.base import ExecutorBase
+
+__all__ = ["ThreadExecutor"]
+
+
+class ThreadExecutor(ExecutorBase):
+    """Run work items on a lazily created shared thread pool.
+
+    Single-item dispatches (and ``max_workers == 1`` hosts) run inline
+    — same bits, no pool round-trip.  Distinct items never share
+    mutable state (disjoint output columns, disjoint lanes), so no
+    locks are needed.
+    """
+
+    name = "thread"
+
+    def __init__(self, host) -> None:
+        super().__init__(host)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _map(self, thunks: list) -> list:
+        if len(thunks) <= 1 or self._host._max_workers <= 1:
+            return [thunk() for thunk in thunks]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._host._max_workers,
+                thread_name_prefix="repro-shard",
+            )
+        futures = [self._pool.submit(thunk) for thunk in thunks]
+        return [future.result() for future in futures]
+
+    def run_sweeps(self, items, queries, mindist, maxdist) -> None:
+        def sweep(item):
+            shard_min, shard_max = self._host._run_sweep_item(item, queries)
+            mindist[:, item.cols] = shard_min
+            maxdist[:, item.cols] = shard_max
+
+        self._map([(lambda it=item: sweep(it)) for item in items])
+
+    def run_pnn(self, items, staged, snapshot) -> list:
+        return self._map(
+            [
+                (lambda it=item: self._host._run_pnn_item(it, staged, snapshot))
+                for item in items
+            ]
+        )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def stats(self) -> dict:
+        return {
+            "backend": self.name,
+            "max_workers": self._host._max_workers,
+            "pool_live": self._pool is not None,
+        }

@@ -390,6 +390,7 @@ class UncertainEngine(
             "engine": type(self).__name__,
             "objects": len(self._objects),
             "index": index,
+            "executor": self._executor_backend(),
             "pending_tree_ops": len(self._pending_tree_ops),
             "filter_stale": self._filter_stale,
             "pending_invalidations": len(self._pending_invalidation),

@@ -18,6 +18,8 @@ results, the object snapshot) is frozen for the duration of a dispatch.
 
 from __future__ import annotations
 
+import struct
+import zlib
 from typing import Sequence
 
 from repro.core.batch import DistributionCache, TableCache, point_key
@@ -31,7 +33,34 @@ from repro.index.filtering import (
     pnn_results_from_matrices,
 )
 
-__all__ = ["FanoutMbrFilter", "Lane"]
+__all__ = ["FanoutMbrFilter", "Lane", "lane_for"]
+
+
+def lane_for(q, n_lanes: int) -> int:
+    """Deterministic lane affinity for a query point: a *content* hash.
+
+    CRC-32 over the point's coordinates packed as little-endian IEEE
+    doubles — a pure function of the coordinate bytes, so the mapping
+    is identical in every interpreter, on every platform, and across
+    process boundaries.  The builtin ``hash`` the previous affinity
+    used is unsuitable under the process executor: it varies across
+    interpreters under hash randomization (``PYTHONHASHSEED``), which
+    would silently re-deal points to different lanes between runs and
+    between parent and spawned workers, defeating per-lane cache
+    affinity.  CRC-32's bit mixing also spreads regular whole-number
+    query grids (0.0, 3.0, 6.0, …) that a naive modulo would alias
+    onto few lanes.
+
+    Any assignment is *correct* — lanes run the identical pipeline —
+    so this is purely a cache-affinity and determinism contract
+    (regression-tested across two spawned interpreters).
+    """
+    key = point_key(q)
+    if isinstance(key, tuple):
+        data = struct.pack(f"<{len(key)}d", *key)
+    else:
+        data = struct.pack("<d", key)
+    return zlib.crc32(data) % n_lanes
 
 
 class Lane(SpecDispatchMixin, InvalidationQueueMixin, PnnExecutorMixin):
@@ -40,11 +69,13 @@ class Lane(SpecDispatchMixin, InvalidationQueueMixin, PnnExecutorMixin):
     Runs the *unmodified* single-engine C-PNN batch pipeline
     (:class:`~repro.core.engine.pnn.PnnExecutorMixin`) over its slice
     of a batch, against filter results the parent reconciled across
-    shards.  Each lane owns its caches and serves a deterministic
-    subset of query points (``hash(point) % n_lanes``), so lanes never
-    share mutable state — and repeated probes of a point always land on
-    its warm lane, preserving the table-cache/result-snapshot replay
-    tiers of DESIGN.md §11 under parallel execution.
+    shards (thread/serial executors) or against its own resident
+    filter (process-executor workers).  Each lane owns its caches and
+    serves a deterministic subset of query points (:func:`lane_for`'s
+    content hash), so lanes never share mutable state — and repeated
+    probes of a point always land on its warm lane, preserving the
+    table-cache/result-snapshot replay tiers of DESIGN.md §11 under
+    parallel execution.
     """
 
     def __init__(self, config: EngineConfig, n_lanes: int) -> None:
@@ -67,11 +98,20 @@ class Lane(SpecDispatchMixin, InvalidationQueueMixin, PnnExecutorMixin):
         #: ``_scan_objects`` set (linear mode).
         self._staged: dict | None = None
         self._scan_objects: list | None = None
+        #: Resident filter callable for process-executor workers: the
+        #: worker owns a full BatchMbrFilter (attached from the shared
+        #: coordinate segment) and the lane filters its own slice
+        #: instead of reading parent-staged results (DESIGN.md §13).
+        #: A callable (not the filter itself) so the worker can swap
+        #: the underlying filter across mutations.
+        self._local_filter = None
 
     def _filter_batch(self, points: Sequence) -> list:
         staged = self._staged
         if staged is not None:
             return [staged[point_key(p)] for p in points]
+        if self._local_filter is not None:
+            return self._local_filter(points)
         return [filter_candidates(self._scan_objects, p) for p in points]
 
 

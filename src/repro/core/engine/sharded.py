@@ -1,4 +1,4 @@
-"""Shard-parallel execution: STR spatial shards + a thread-pool fan-out.
+"""Shard-parallel execution: STR spatial shards + pluggable executors.
 
 :class:`ShardedEngine` serves the same typed façade as
 :class:`~repro.core.engine.UncertainEngine` — ``execute`` /
@@ -8,7 +8,8 @@ the work over ``n_shards`` spatial partitions, each **a full per-shard
 engine** (its own ``BatchMbrFilter``, caches, and deferred R-tree
 queue).  Answers, records, and bounds are **bit-identical** to a single
 engine over the same object sequence; the property suite asserts it for
-all three families and across interleaved update streams.
+all three families, across interleaved update streams, and across every
+executor backend.
 
 How the fan-out stays exact (DESIGN.md §12):
 
@@ -21,34 +22,43 @@ How the fan-out stays exact (DESIGN.md §12):
    ``rebalance_threshold × (N / n_shards)`` the engine re-splits.
 
 2. **Global ``f_min`` reconciliation.**  Per-shard MBR sweeps run
-   concurrently (numpy releases the GIL), producing each shard's
-   ``mindist``/``maxdist`` columns.  Scattered into the global matrix,
-   the pruning radii are *selections* over the same floats the single
-   engine reduces — ``min`` for C-PNN, the k-th smallest ``maxdist``
-   for k-NN — so they are bit-identical under any column order, and the
-   merged candidate sets (ascending global object order) equal the
-   single engine's exactly.
+   concurrently, producing each shard's ``mindist``/``maxdist``
+   columns.  Scattered into the global matrix, the pruning radii are
+   *selections* over the same floats the single engine reduces —
+   ``min`` for C-PNN, the k-th smallest ``maxdist`` for k-NN — so they
+   are bit-identical under any column order, and the merged candidate
+   sets (ascending global object order) equal the single engine's
+   exactly.
 
 3. **Lane-parallel verification.**  C-PNN probabilities couple every
    candidate of a query through one subregion table, so *per-shard*
    verification cannot reproduce the single-engine numbers.  Instead
    the reconciled queries fan out across execution *lanes* — each a
    private C-PNN executor (own distribution/table caches, deterministic
-   query-point affinity ``hash(point) % n_lanes``, so repeated probes
-   stay warm) running the exact single-engine pipeline on its slice of
-   the batch.  Batch ≡ per-query loop is already a bit-level property
-   of that pipeline, so any partition of the batch is too.
+   query-point affinity via :func:`~repro.core.engine.lanes.lane_for`'s
+   content hash, so repeated probes stay warm) running the exact
+   single-engine pipeline on its slice of the batch.  Batch ≡ per-query
+   loop is already a bit-level property of that pipeline, so any
+   partition of the batch is too.
 
-The thread pool is created lazily and shared by both fan-out stages;
-:meth:`ShardedEngine.close` releases it (also used as a context
-manager).
+*Where* the work items run is the executor's business (DESIGN.md §13):
+the engine plans each batch as serialized
+:class:`~repro.core.engine.executors.base.SweepItem` /
+:class:`~repro.core.engine.executors.base.PnnItem` work items — plain
+data, never closures — and hands them to the backend the ``executor=``
+knob selected: inline (``"serial"``), the shared thread pool
+(``"thread"``), or a persistent spawn-based worker pool attached to a
+shared-memory coordinate segment (``"process"``).  ``"auto"`` picks
+per host (see
+:func:`~repro.core.engine.executors.base.resolve_backend`).
+:meth:`ShardedEngine.close` releases whatever the backend holds (also
+used as a context manager).
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ThreadPoolExecutor
 from typing import Hashable, Sequence
 
 import numpy as np
@@ -60,9 +70,11 @@ from repro.core.batch import (
     point_key,
 )
 from repro.core.engine.config import EngineConfig
+from repro.core.engine.executors import make_executor, resolve_backend
+from repro.core.engine.executors.base import PnnItem, SweepItem
 from repro.core.engine.facade import QueryFacadeMixin, UncertainEngine
 from repro.core.engine.knn import KnnExecutorMixin
-from repro.core.engine.lanes import FanoutMbrFilter, Lane
+from repro.core.engine.lanes import FanoutMbrFilter, Lane, lane_for
 from repro.core.engine.partition import str_shard_split
 from repro.core.engine.pnn import _result_sig
 from repro.core.engine.ranges import RangeExecutorMixin
@@ -70,7 +82,7 @@ from repro.core.engine.registry import ObjectRegistryMixin
 from repro.core.refinement import Refiner
 from repro.core.subregions import SubregionTable
 from repro.core.types import CPNNQuery, QueryPlan, QueryResult
-from repro.index.filtering import filter_candidates
+from repro.index.filtering import filter_candidates, pnn_results_from_matrices
 
 __all__ = ["ShardedEngine"]
 
@@ -102,11 +114,15 @@ class ShardedEngine(
         Spatial partitions (default: one per core, capped at 8, at
         least 2).
     max_workers:
-        Thread-pool width *and* execution-lane count (default:
-        ``min(n_shards, cpu_count)``).
+        Parallel width *and* execution-lane count (default:
+        ``min(n_shards, cpu_count)``).  Under the process backend this
+        is also the worker-pool size — one resident worker per lane.
     rebalance_threshold:
         Re-split when the fullest shard exceeds this multiple of the
         ideal ``N / n_shards`` occupancy (must be > 1).
+    executor:
+        Backend override (``"auto" | "serial" | "thread" | "process"``);
+        beats ``config.executor`` when given.
     """
 
     def __init__(
@@ -117,6 +133,7 @@ class ShardedEngine(
         n_shards: int | None = None,
         max_workers: int | None = None,
         rebalance_threshold: float = 4.0,
+        executor: str | None = None,
     ) -> None:
         cpu = os.cpu_count() or 1
         if n_shards is None:
@@ -133,6 +150,10 @@ class ShardedEngine(
         self._n_shards = int(n_shards)
         self._max_workers = int(max_workers)
         self._rebalance_threshold = float(rebalance_threshold)
+        self._backend = resolve_backend(
+            self._config, parallel=True, override=executor
+        )
+        self._executor = make_executor(self._backend, self)
         self._init_registry(objects)
         self._init_chains()
         self._dim = self._objects[0].mbr.dim if self._objects else None
@@ -152,7 +173,6 @@ class ShardedEngine(
             Lane(self._config, self._max_workers) for _ in range(self._max_workers)
         ]
         self._fanout = FanoutMbrFilter(self)
-        self._pool: ThreadPoolExecutor | None = None
         self._rebalances = 0
         self._last_parallel: dict = {}
         self._shards: list[UncertainEngine] = []
@@ -174,16 +194,30 @@ class ShardedEngine(
         return self._n_shards
 
     @property
+    def executor(self) -> str:
+        """The resolved backend name (``"auto"`` never survives here)."""
+        return self._backend
+
+    @property
     def shards(self) -> tuple:
         """The per-shard engines (full engines; read-only snapshot)."""
         return tuple(self._shards)
 
+    def warm_executor(self) -> str:
+        """Start whatever the backend keeps resident (the process
+        backend's worker pool) before the first batch, so cold-batch
+        measurements don't pay spawn+attach.  No-op for backends with
+        nothing to pre-start; returns the backend name."""
+        starter = getattr(self._executor, "ensure_started", None)
+        if starter is not None:
+            starter()
+        return self._backend
+
     def close(self) -> None:
-        """Release the thread pool (idempotent; engine stays usable —
-        the pool is recreated on the next parallel call)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Release the backend's resources — thread pool, worker
+        processes, shared-memory segments (idempotent; engine stays
+        usable — they are recreated on the next parallel call)."""
+        self._executor.close()
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -202,7 +236,7 @@ class ShardedEngine(
         return (
             f"{type(self).__name__}(objects={len(self._objects)}, "
             f"n_shards={self._n_shards}, occupancy={occupancy}, "
-            f"max_workers={self._max_workers})"
+            f"max_workers={self._max_workers}, executor={self._backend!r})"
         )
 
     # ------------------------------------------------------------------
@@ -249,8 +283,8 @@ class ShardedEngine(
 
     # Maintenance hooks called by the registry's mutation primitives —
     # the global key bookkeeping and the mutation contract live there;
-    # these route the index work to the owning shard and keep every
-    # lane's caches exact.
+    # these route the index work to the owning shard, keep every lane's
+    # caches exact, and log the op for backends with remote replicas.
 
     def _maintain_insert(self, obj, was_empty: bool) -> None:
         self._columns = None
@@ -264,6 +298,7 @@ class ShardedEngine(
             self._maybe_rebalance()
         for lane in self._lanes:
             lane._queue_invalidation(obj)
+        self._executor.record_mutation(("insert", obj))
 
     def _maintain_remove(self, victim, index: int) -> None:
         self._columns = None
@@ -291,6 +326,7 @@ class ShardedEngine(
             # Removals skew too: draining other tiles shrinks the
             # ideal occupancy under a shard that kept its objects.
             self._maybe_rebalance()
+        self._executor.record_mutation(("remove", victim.key))
 
     def _maintain_replace(self, victim, obj, index: int) -> None:
         self._columns = None
@@ -309,31 +345,11 @@ class ShardedEngine(
             if lane._distribution_cache is not None:
                 lane._distribution_cache.evict_object(victim)
         self._maybe_rebalance()
+        self._executor.record_mutation(("replace", victim.key, obj))
 
     # ------------------------------------------------------------------
     # Stage 1: concurrent per-shard sweeps, global reconciliation
     # ------------------------------------------------------------------
-
-    def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self._max_workers,
-                thread_name_prefix="repro-shard",
-            )
-        return self._pool
-
-    def _map_parallel(self, thunks: list) -> list:
-        """Run thunks on the pool (inline when parallelism can't help).
-
-        Called only from the coordinating thread, never from inside a
-        pooled task, so the two fan-out stages cannot deadlock on pool
-        capacity.
-        """
-        if len(thunks) <= 1 or self._max_workers <= 1:
-            return [thunk() for thunk in thunks]
-        pool = self._ensure_pool()
-        futures = [pool.submit(thunk) for thunk in thunks]
-        return [future.result() for future in futures]
 
     def _as_matrix(self, points: Sequence) -> np.ndarray:
         matrix = np.asarray(points, dtype=float)
@@ -359,19 +375,18 @@ class ShardedEngine(
         b, n = queries.shape[0], len(self._objects)
         mindist = np.empty((b, n))
         maxdist = np.empty((b, n))
-        jobs = [
-            (sid, cols) for sid, cols in enumerate(columns) if cols.size
+        items = [
+            SweepItem(shard=sid, cols=cols)
+            for sid, cols in enumerate(columns)
+            if cols.size
         ]
-        swept = self._map_parallel(
-            [
-                (lambda s=sid: self._shards[s]._ensure_batch_filter().matrices(queries))
-                for sid, _ in jobs
-            ]
-        )
-        for (sid, cols), (shard_min, shard_max) in zip(jobs, swept):
-            mindist[:, cols] = shard_min
-            maxdist[:, cols] = shard_max
+        self._executor.run_sweeps(items, queries, mindist, maxdist)
         return mindist, maxdist
+
+    def _run_sweep_item(self, item: SweepItem, queries: np.ndarray):
+        """In-process execution of one sweep item (serial/thread
+        backends, and the process backend's fallback path)."""
+        return self._shards[item.shard]._ensure_batch_filter().matrices(queries)
 
     def _ensure_batch_filter(self) -> FanoutMbrFilter:
         """The k-NN/range executors' filter: the shard fan-out façade."""
@@ -382,11 +397,7 @@ class ShardedEngine(
     # ------------------------------------------------------------------
 
     def _lane_for(self, q) -> int:
-        # Salt through a tuple: bare hash(float) of whole-numbered
-        # coordinates is the integer itself, so a regular query grid
-        # (0.0, 3.0, 6.0, …) would alias onto few lanes.  Tuple hashing
-        # mixes the salt non-linearly and spreads such grids.
-        return hash((0x5EED, point_key(q))) % len(self._lanes)
+        return lane_for(q, len(self._lanes))
 
     def _execute_pnn(self, query: CPNNQuery, strategy: str) -> QueryResult:
         # Single C-PNN specs route through the batch path: the sharded
@@ -397,84 +408,65 @@ class ShardedEngine(
     def _pnn_batch(
         self, queries: list[CPNNQuery], strategy: str | None
     ) -> BatchResult:
-        """Reconcile filtering across shards, then fan lanes out.
+        """Plan the batch as per-lane work items, then let the executor
+        run them.
 
-        Stage 1 runs the per-shard MBR sweeps concurrently and reduces
-        them to global ``f_min`` candidate sets (insertion order);
+        Under the serial/thread backends, stage 1 runs the per-shard
+        MBR sweeps concurrently and reduces them to global ``f_min``
+        candidate sets (insertion order) staged on the parent lanes;
         stage 2 dispatches each query to its affinity lane, every lane
         running the unmodified single-engine C-PNN batch executor over
-        its slice.  Results scatter back into input order; counters and
-        phase timings sum over lanes (wall-clock vs. summed lane time
-        is reported through :meth:`stats` as the parallel speedup).
+        its slice.  Under the process backend, the items instead ship
+        to resident workers that filter against their own replicas —
+        same arithmetic, same answers — and batches smaller than
+        ``config.process_min_batch`` run inline on the parent lanes
+        (a pipe round-trip isn't worth it).  Results scatter back into
+        input order; counters and phase timings sum over lanes
+        (wall-clock vs. summed lane time is reported through
+        :meth:`stats` as the parallel speedup).
         """
         strategy = self._as_strategy(strategy)
         batch = BatchResult()
         if not queries:
             return batch
         wall_tick = time.perf_counter()
-        staged: dict | None = None
-        snapshot: list | None = None
-        if self._config.use_rtree:
-            # Sweep only the points the lanes cannot answer from their
-            # result-snapshot tier — a warm steady-state batch (the
-            # streaming scenario) replays wholesale and must not pay a
-            # B×N fan-out it then discards.  Peeking (no counter, no
-            # recency) keeps the lanes' own cache accounting identical
-            # to the single engine's; queued invalidations flush first
-            # so a stale snapshot can never suppress a needed sweep.
-            points = []
-            seen: set = set()
-            for query in queries:
-                lane = self._lanes[self._lane_for(query.q)]
-                lane._flush_table_invalidations()
-                key = point_key(query.q)
-                if key in seen:
-                    continue
-                cache = lane._table_cache
-                entry = cache.peek(key) if cache is not None else None
-                if entry is None or entry.results.get(
-                    _result_sig(query, strategy)
-                ) is None:
-                    seen.add(key)
-                    points.append(query.q)
-            staged = (
-                dict(zip(map(point_key, points), self._fanout(points)))
-                if points
-                else {}
-            )
-        else:
-            # Linear-scan engines filter with exact region distances
-            # (DESIGN.md §3); lanes replay that scan over the global
-            # object order.
-            snapshot = self._objects
         assignments: dict[int, list[int]] = {}
         for i, query in enumerate(queries):
             assignments.setdefault(self._lane_for(query.q), []).append(i)
+        items = [
+            PnnItem(
+                lane=lane_id,
+                indices=tuple(indices),
+                specs=tuple(queries[i] for i in indices),
+                strategy=strategy,
+            )
+            for lane_id, indices in assignments.items()
+        ]
 
-        def run_lane(lane_id: int, indices: list[int]):
-            lane = self._lanes[lane_id]
-            lane._staged = staged
-            lane._scan_objects = snapshot
-            tick = time.perf_counter()
-            try:
-                sub = lane._pnn_batch([queries[i] for i in indices], strategy)
-            finally:
-                lane._staged = None
-                lane._scan_objects = None
-            return sub, time.perf_counter() - tick
-
-        dispatched = list(assignments.items())
-        outcomes = self._map_parallel(
-            [
-                (lambda lid=lane_id, idx=indices: run_lane(lid, idx))
-                for lane_id, indices in dispatched
-            ]
+        remote = self._backend == "process" and len(queries) >= max(
+            1, self._config.process_min_batch
         )
+        if remote:
+            # Workers filter against their resident replicas; the
+            # parent neither sweeps nor stages anything.
+            outcomes = self._executor.run_pnn(items, None, None)
+        else:
+            staged, snapshot = self._stage_filter_results(queries, strategy)
+            if self._backend == "process":
+                # Below the dispatch floor: run on the parent lanes
+                # (exactly the serial backend's path) so unit-scale
+                # workloads never pay a spawn.
+                outcomes = [
+                    self._run_pnn_item(item, staged, snapshot) for item in items
+                ]
+            else:
+                outcomes = self._executor.run_pnn(items, staged, snapshot)
+
         slots: list[QueryResult | None] = [None] * len(queries)
         lane_seconds = 0.0
-        for (lane_id, indices), (sub, seconds) in zip(dispatched, outcomes):
+        for item, (sub, seconds) in zip(items, outcomes):
             lane_seconds += seconds
-            for i, result in zip(indices, sub.results):
+            for i, result in zip(item.indices, sub.results):
                 slots[i] = result
             for phase in ("filtering", "initialization", "verification", "refinement"):
                 setattr(
@@ -491,12 +483,93 @@ class ShardedEngine(
         wall = time.perf_counter() - wall_tick
         self._last_parallel = {
             "specs": len(queries),
-            "lanes_used": len(dispatched),
+            "lanes_used": len(items),
+            "backend": self._backend if remote or self._backend != "process" else "serial",
             "wall_s": wall,
             "lane_s": lane_seconds,
             "parallel_speedup": (lane_seconds / wall) if wall > 0 else 1.0,
         }
         return batch
+
+    def _stage_filter_results(
+        self, queries: list[CPNNQuery], strategy: str
+    ) -> tuple[dict | None, list | None]:
+        """Parent-side stage 1: reconciled filter results for the lanes.
+
+        R-tree mode sweeps only the points the lanes cannot answer from
+        their result-snapshot tier — a warm steady-state batch (the
+        streaming scenario) replays wholesale and must not pay a B×N
+        fan-out it then discards.  Peeking (no counter, no recency)
+        keeps the lanes' own cache accounting identical to the single
+        engine's; queued invalidations flush first so a stale snapshot
+        can never suppress a needed sweep.  Linear-scan mode instead
+        hands lanes the object snapshot — they replay the exact
+        region-distance scan (DESIGN.md §3) over the global order.
+        """
+        if not self._config.use_rtree:
+            return None, self._objects
+        points = []
+        seen: set = set()
+        for query in queries:
+            lane = self._lanes[self._lane_for(query.q)]
+            lane._flush_table_invalidations()
+            key = point_key(query.q)
+            if key in seen:
+                continue
+            cache = lane._table_cache
+            entry = cache.peek(key) if cache is not None else None
+            if entry is None or entry.results.get(
+                _result_sig(query, strategy)
+            ) is None:
+                seen.add(key)
+                points.append(query.q)
+        staged = (
+            dict(zip(map(point_key, points), self._fanout(points)))
+            if points
+            else {}
+        )
+        return staged, None
+
+    def _run_pnn_item(
+        self, item: PnnItem, staged: dict | None, snapshot: list | None
+    ) -> tuple[BatchResult, float]:
+        """In-process execution of one C-PNN item on its parent lane
+        (serial/thread backends and the process backend's small-batch
+        path)."""
+        lane = self._lanes[item.lane]
+        lane._staged = staged
+        lane._scan_objects = snapshot
+        tick = time.perf_counter()
+        try:
+            sub = lane._pnn_batch(list(item.specs), item.strategy)
+        finally:
+            lane._staged = None
+            lane._scan_objects = None
+        return sub, time.perf_counter() - tick
+
+    def _run_pnn_item_local(self, item: PnnItem) -> tuple[BatchResult, float]:
+        """Crash-recovery path: re-execute a dead worker's item wholly
+        in-process, computing its own staged filter results serially
+        (never back through the executor — the pool is the thing that
+        just failed)."""
+        if not self._config.use_rtree:
+            return self._run_pnn_item(item, None, self._objects)
+        points = [spec.q for spec in item.specs]
+        queries = self._as_matrix(points)
+        n = len(self._objects)
+        mindist = np.empty((queries.shape[0], n))
+        maxdist = np.empty((queries.shape[0], n))
+        for sid, cols in enumerate(self._shard_columns()):
+            if not cols.size:
+                continue
+            shard_min, shard_max = self._run_sweep_item(
+                SweepItem(shard=sid, cols=cols), queries
+            )
+            mindist[:, cols] = shard_min
+            maxdist[:, cols] = shard_max
+        results = pnn_results_from_matrices(self._objects, mindist, maxdist)
+        staged = dict(zip(map(point_key, points), results))
+        return self._run_pnn_item(item, staged, None)
 
     def pnn(self, q) -> dict[Hashable, float]:
         """Exact PNN through the reconciled filter (see
@@ -560,8 +633,9 @@ class ShardedEngine(
 
     def stats(self) -> dict:
         """Sharded observability: the single-engine counters plus
-        per-shard occupancy/skew and the last batch's parallel
-        accounting (summed lane seconds / wall seconds)."""
+        per-shard occupancy/skew, the last batch's parallel accounting
+        (summed lane seconds / wall seconds), and the executor
+        backend's own counters (pool liveness, worker failures)."""
         return {
             "engine": type(self).__name__,
             "objects": len(self._objects),
@@ -571,6 +645,7 @@ class ShardedEngine(
             ),
             "caches": self._cache_stats(),
             "shards": self._shard_stats(),
+            "executor": self._executor.stats(),
         }
 
     def explain(self, spec, strategy: str | None = None) -> QueryPlan:
@@ -582,6 +657,7 @@ class ShardedEngine(
             lane._flush_table_invalidations()  # report live entry counts
         caches = self._cache_stats()
         shards = self._shard_stats()
+        shards["executor"] = self._executor.stats()
         n = len(self._objects)
         family = self._family_of(spec)
         if not self._objects:
@@ -597,7 +673,7 @@ class ShardedEngine(
         index = "sharded-rtree" if self._config.use_rtree else "sharded-linear"
         fan_out = (
             f"per-shard MBR sweeps across {self._n_shards} shards "
-            f"({self._max_workers} workers)"
+            f"({self._max_workers} workers, {self._backend} executor)"
         )
         if family == "cknn":
             counts = self._knn_plan_counts(spec, self._fanout)
@@ -670,7 +746,7 @@ class ShardedEngine(
             "global f_min reconciliation → merged candidate set "
             "(insertion order)",
             f"lane {lane}/{len(self._lanes)} runs the single-engine "
-            f"C-PNN pipeline ({strategy})",
+            f"C-PNN pipeline ({strategy}, {self._backend} executor)",
         ] + suffix
         return QueryPlan(
             spec=spec,

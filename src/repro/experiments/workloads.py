@@ -205,6 +205,7 @@ class StreamingWorkload:
         n_shards: int | None = None,
         max_workers: int | None = None,
         rebalance_threshold: float = 4.0,
+        executor: str | None = None,
     ) -> ShardedEngine:
         """The sharded streaming scenario: a
         :class:`~repro.core.engine.ShardedEngine` over the same initial
@@ -222,6 +223,7 @@ class StreamingWorkload:
             n_shards=n_shards,
             max_workers=max_workers,
             rebalance_threshold=rebalance_threshold,
+            executor=executor,
         )
 
     def tick(self, index: int) -> StreamingTick:

@@ -203,6 +203,68 @@ class BatchMbrFilter:
     def __len__(self) -> int:
         return len(self._objects)
 
+    # ------------------------------------------------------------------
+    # Shared-memory transport (DESIGN.md §13)
+    # ------------------------------------------------------------------
+
+    def to_shared(self):
+        """Export the flushed ``(N, d)`` coordinate arrays into one
+        shared-memory segment.
+
+        Returns ``(segment, descriptor)`` from
+        :func:`repro.shm.export_arrays`; the caller owns the segment,
+        the descriptor rehydrates via :meth:`from_shared` (objects ship
+        separately — coordinates are the bulk, objects pickle once per
+        worker).  Pending appends and masked rows are compacted first so
+        the exported rows equal the logical row order.
+        """
+        from repro.shm import export_arrays
+
+        self._flush()
+        return export_arrays({"lows": self._lows, "highs": self._highs})
+
+    @classmethod
+    def from_shared(cls, descriptor, objects: Sequence) -> "BatchMbrFilter":
+        """Rebuild a filter over an exported coordinate segment, zero-copy.
+
+        ``objects`` must be the same sequence (same order) the exporter
+        held.  The coordinate arrays are read-only views over the
+        mapped segment; every sweep is bit-identical to the exporter's
+        because the arithmetic reads the same bytes.  Mutations remain
+        supported: appends/removals already build fresh arrays on the
+        next :meth:`_flush`, and :meth:`replace_at` copies the views
+        out of the segment before its first in-place write
+        (copy-on-write), so an attached filter never writes into the
+        shared segment.
+        """
+        from repro.shm import attach_arrays
+
+        objects = list(objects)
+        shm, views = attach_arrays(descriptor)
+        lows, highs = views["lows"], views["highs"]
+        if lows.shape[0] != len(objects):
+            raise ValueError(
+                f"descriptor carries {lows.shape[0]} rows for "
+                f"{len(objects)} objects"
+            )
+        flt = cls.__new__(cls)
+        flt._objects = objects
+        flt._lows = lows
+        flt._highs = highs
+        flt._dim = lows.shape[1]
+        flt._alive = None
+        flt._n_dead = 0
+        flt._pending = []
+        flt._shm = shm  # pins the attachment for the filter's lifetime
+        return flt
+
+    def _ensure_writable(self) -> None:
+        """Copy-on-write: detach from a shared segment before an
+        in-place coordinate write."""
+        if not self._lows.flags.writeable:
+            self._lows = self._lows.copy()
+            self._highs = self._highs.copy()
+
     def _check_dim(self, obj) -> None:
         if obj.mbr.dim != self._dim:
             raise ValueError("object dimensionality mismatch")
@@ -261,6 +323,7 @@ class BatchMbrFilter:
             return
         row = self._physical_row(index)
         mbr = obj.mbr
+        self._ensure_writable()
         self._lows[row] = mbr.lows
         self._highs[row] = mbr.highs
 
@@ -303,8 +366,31 @@ class BatchMbrFilter:
         """
         self._flush()
         queries = self._as_matrix(points)  # (B, d)
-        diff_lo = self._lows[None, :, :] - queries[:, None, :]  # lo - q
-        diff_hi = queries[:, None, :] - self._highs[None, :, :]  # q - hi
+        return self._sweep(queries, self._lows, self._highs)
+
+    def matrices_rows(
+        self, points: Sequence, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`matrices` restricted to the row subset ``rows``.
+
+        Returns ``(B, len(rows))`` matrices whose column ``j`` equals
+        column ``rows[j]`` of the full sweep — the same element-wise
+        arithmetic over the same coordinate values, so every cell is
+        bit-identical.  This is the process-executor's per-shard work
+        item: each worker sweeps only its assigned columns of the
+        global matrix (DESIGN.md §13).
+        """
+        self._flush()
+        queries = self._as_matrix(points)
+        rows = np.asarray(rows, dtype=np.intp)
+        return self._sweep(queries, self._lows[rows], self._highs[rows])
+
+    @staticmethod
+    def _sweep(
+        queries: np.ndarray, lows: np.ndarray, highs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        diff_lo = lows[None, :, :] - queries[:, None, :]  # lo - q
+        diff_hi = queries[:, None, :] - highs[None, :, :]  # q - hi
         span = np.maximum(np.abs(diff_lo), np.abs(diff_hi))
         np.multiply(span, span, out=span)
         maxdist = span.sum(axis=2)

@@ -1,0 +1,194 @@
+"""Shared-memory export/attach for flat numpy column sets.
+
+The process-parallel executor (DESIGN.md §13) moves C-PNN verification
+into spawned workers.  Workers must see the same columnar substrate the
+parent built — :class:`~repro.uncertainty.columnar.DistributionPack`
+columns and :class:`~repro.index.filtering.BatchMbrFilter` coordinate
+arrays — without paying a pickle of every float on every batch.  Both
+structures are already *flat arrays plus shape metadata*, so they ship
+as one ``multiprocessing.shared_memory`` segment per column set:
+
+* :func:`export_arrays` copies a named set of arrays into one segment
+  (64-byte aligned, C-contiguous) and returns the segment plus a cheap
+  :class:`ShmDescriptor` — segment name and per-field
+  ``(name, dtype, shape, offset)`` — that pickles in O(fields), not
+  O(elements);
+* :func:`attach_arrays` rehydrates the descriptor in another process as
+  **zero-copy numpy views** over the mapped segment.
+
+Ownership is creator-unlinks: the exporting process keeps the returned
+:class:`~multiprocessing.shared_memory.SharedMemory` and must call
+:func:`release_segment` (engine ``close()`` does) — attachers only ever
+``close()``.  On Python < 3.13 an attach would also *register* the
+segment with the attacher's resource tracker, which then unlinks it at
+attacher exit and warns about the "leak"; :func:`attach_arrays`
+suppresses that registration (3.13+ passes ``track=False``).  A
+module-level ``atexit`` net releases anything a crashed owner left
+behind, so a test session can assert ``/dev/shm`` holds no
+``repro_shm_*`` entries afterwards.
+"""
+
+from __future__ import annotations
+
+import atexit
+import secrets
+import sys
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Mapping
+
+import numpy as np
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "ShmDescriptor",
+    "ShmField",
+    "attach_arrays",
+    "export_arrays",
+    "release_segment",
+]
+
+#: Every segment this module creates is named ``repro_shm_<token>`` so
+#: leak checks (and humans inspecting /dev/shm) can attribute it.
+SEGMENT_PREFIX = "repro_shm_"
+
+#: Field offsets are rounded up to this many bytes so every view is
+#: aligned for any dtype the columns use.
+_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class ShmField:
+    """One array's rehydration recipe: dtype/shape/offset inside the segment."""
+
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class ShmDescriptor:
+    """A segment name plus its field layout — everything a worker needs
+    to rebuild zero-copy views, cheap to pickle (no array data)."""
+
+    segment: str
+    nbytes: int
+    fields: tuple[ShmField, ...]
+
+    def field(self, name: str) -> ShmField:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise KeyError(name)
+
+
+def _aligned(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+#: Segments created (and not yet released) by this process, for the
+#: atexit safety net.  Keyed by segment name.
+_owned: dict[str, shared_memory.SharedMemory] = {}
+
+
+def export_arrays(
+    arrays: Mapping[str, np.ndarray],
+) -> tuple[shared_memory.SharedMemory, ShmDescriptor]:
+    """Copy ``arrays`` into one fresh shared-memory segment.
+
+    Returns ``(segment, descriptor)``.  The caller owns the segment and
+    must eventually :func:`release_segment` it; the descriptor is what
+    crosses the process boundary.
+    """
+    contiguous = [(name, np.ascontiguousarray(arr)) for name, arr in arrays.items()]
+    fields = []
+    offset = 0
+    for name, arr in contiguous:
+        fields.append(ShmField(name, arr.dtype.str, tuple(arr.shape), offset))
+        offset = _aligned(offset + arr.nbytes)
+    nbytes = max(1, offset)
+    segment = SEGMENT_PREFIX + secrets.token_hex(8)
+    shm = shared_memory.SharedMemory(create=True, size=nbytes, name=segment)
+    for field, (_, arr) in zip(fields, contiguous):
+        if arr.size:
+            view = np.ndarray(
+                field.shape,
+                dtype=np.dtype(field.dtype),
+                buffer=shm.buf,
+                offset=field.offset,
+            )
+            view[...] = arr
+            del view
+    _owned[segment] = shm
+    return shm, ShmDescriptor(segment=segment, nbytes=nbytes, fields=tuple(fields))
+
+
+def attach_arrays(
+    descriptor: ShmDescriptor, *, writable: bool = False
+) -> tuple[shared_memory.SharedMemory, dict[str, np.ndarray]]:
+    """Map an exported segment and rebuild zero-copy views per field.
+
+    Views are read-only unless ``writable`` (workers filling a shared
+    output buffer pass ``writable=True``).  The attachment is *not*
+    registered with this process's resource tracker — only the creator
+    unlinks.  Callers must drop every view before ``close()``-ing the
+    returned segment (a mapped buffer cannot be closed while exported).
+    """
+    shm = _attach_untracked(descriptor.segment)
+    views: dict[str, np.ndarray] = {}
+    for field in descriptor.fields:
+        view = np.ndarray(
+            field.shape,
+            dtype=np.dtype(field.dtype),
+            buffer=shm.buf,
+            offset=field.offset,
+        )
+        if not writable:
+            view.flags.writeable = False
+        views[field.name] = view
+    return shm, views
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    if sys.version_info >= (3, 13):
+        return shared_memory.SharedMemory(name=name, track=False)
+    # Pre-3.13 attach registers with the resource tracker as if this
+    # process created the segment; the tracker would then unlink it
+    # (possibly under the owner) and warn at exit.  Suppress just that
+    # registration for the duration of the constructor call.
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def _skip_shared_memory(rname, rtype):
+        if rtype != "shared_memory":
+            original(rname, rtype)
+
+    resource_tracker.register = _skip_shared_memory
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def release_segment(shm: shared_memory.SharedMemory) -> None:
+    """Close and unlink an owned segment (idempotent, never raises for
+    an already-released segment)."""
+    _owned.pop(getattr(shm, "name", None), None)
+    try:
+        shm.close()
+    except (BufferError, OSError):  # pragma: no cover - platform dependent
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+    except OSError:  # pragma: no cover - platform dependent
+        pass
+
+
+@atexit.register
+def _release_leftovers() -> None:  # pragma: no cover - interpreter exit
+    for shm in list(_owned.values()):
+        release_segment(shm)

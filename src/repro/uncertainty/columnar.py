@@ -88,6 +88,7 @@ class DistributionPack:
     """
 
     __slots__ = (
+        "_shm",
         "_edges",
         "_knots",
         "_densities",
@@ -146,7 +147,12 @@ class DistributionPack:
         densities: np.ndarray,
         sizes: np.ndarray,
     ) -> None:
-        """Derive offsets/row maps from flat columns (shared with take)."""
+        """Derive offsets/row maps from flat columns (shared with take
+        and from_shared)."""
+        try:
+            self._shm
+        except AttributeError:
+            self._shm = None  # only from_shared packs hold an attachment
         self._size = sizes.size
         self._offsets = np.zeros(self._size + 1, dtype=np.intp)
         np.cumsum(sizes, out=self._offsets[1:])
@@ -243,6 +249,53 @@ class DistributionPack:
             self._knots[gather],
             self._densities[dens_gather],
             sizes,
+        )
+        return pack
+
+    # ------------------------------------------------------------------
+    # Shared-memory transport (DESIGN.md §13)
+    # ------------------------------------------------------------------
+
+    def to_shared(self):
+        """Export the pack's flat columns into one shared-memory segment.
+
+        Returns ``(segment, descriptor)`` from
+        :func:`repro.shm.export_arrays`: the caller owns the segment
+        (``release_segment`` it when every attacher is done); the
+        descriptor pickles in O(1) and rehydrates via
+        :meth:`from_shared` in any process.  Only the four flat columns
+        ship — offsets and run tables are derived metadata and are
+        rebuilt on attach.
+        """
+        from repro.shm import export_arrays
+
+        return export_arrays(
+            {
+                "edges": self._edges,
+                "knots": self._knots,
+                "densities": self._densities,
+                "sizes": np.diff(self._offsets),
+            }
+        )
+
+    @classmethod
+    def from_shared(cls, descriptor) -> "DistributionPack":
+        """Rehydrate a pack from an exported segment, zero-copy.
+
+        The returned pack's columns are read-only views over the mapped
+        segment — no element is copied, so attaching is O(descriptor),
+        not O(data).  Kernels are bit-identical to the exporting pack's
+        (same flat columns, same derived metadata).  The pack pins its
+        attachment for its lifetime; the segment's *creator* still owns
+        the unlink.
+        """
+        from repro.shm import attach_arrays
+
+        shm, views = attach_arrays(descriptor)
+        pack = object.__new__(cls)
+        pack._shm = shm
+        pack._finish(
+            views["edges"], views["knots"], views["densities"], views["sizes"]
         )
         return pack
 

@@ -1,0 +1,148 @@
+"""Tests for the executor layer's resolution and in-process backends.
+
+The ``executor=`` knob (config field + engine override) resolves to a
+concrete backend; the serial and thread backends must answer
+bit-identically to each other and to the single engine, and the choice
+must be visible through ``stats()`` and ``explain()``.  The process
+backend has its own suite (``test_process_executor.py``) because it
+spawns interpreters.
+"""
+
+import pytest
+
+from repro.core.engine import EngineConfig, ShardedEngine, UncertainEngine
+from repro.core.engine.executors import make_executor, resolve_backend
+from repro.core.engine.executors.base import free_threaded
+from repro.core.types import CKNNQuery, CPNNQuery, CRangeQuery
+from repro.uncertainty.objects import UncertainObject
+from tests.conftest import make_random_objects
+from tests.core.test_sharded import assert_batches_identical, mixed_specs
+
+
+class TestResolution:
+    def test_non_auto_names_pass_through(self):
+        config = EngineConfig()
+        for name in ("serial", "thread", "process"):
+            assert resolve_backend(config, override=name) == name
+            assert resolve_backend(EngineConfig(executor=name)) == name
+
+    def test_override_beats_config_field(self):
+        config = EngineConfig(executor="thread")
+        assert resolve_backend(config, override="serial") == "serial"
+
+    def test_auto_is_serial_for_non_parallel_hosts(self):
+        assert resolve_backend(EngineConfig(), parallel=False) == "serial"
+
+    def test_auto_resolves_to_a_parallel_backend(self):
+        resolved = resolve_backend(EngineConfig(), parallel=True)
+        assert resolved in ("thread", "process")
+
+    def test_auto_avoids_process_for_unpicklable_config(self):
+        chain = EngineConfig().chain_factory()
+        config = EngineConfig(pipeline=lambda spec_type: chain)
+        resolved = resolve_backend(config, parallel=True)
+        if not free_threaded():
+            assert resolved == "thread"
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            resolve_backend(EngineConfig(), override="gpu")
+        with pytest.raises(ValueError, match="executor"):
+            EngineConfig(executor="gpu")
+        with pytest.raises(ValueError):
+            make_executor("gpu", host=None)
+
+    def test_process_min_batch_validated(self):
+        with pytest.raises(ValueError):
+            EngineConfig(process_min_batch=-1)
+
+    def test_engine_exposes_resolved_backend(self, rng):
+        objects = make_random_objects(rng, 12)
+        engine = ShardedEngine(objects, n_shards=2, executor="serial")
+        assert engine.executor == "serial"
+        engine = ShardedEngine(objects, n_shards=2, executor="auto")
+        assert engine.executor in ("serial", "thread", "process")
+
+
+class TestInProcessBackendIdentity:
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_mixed_batch_matches_single_engine(self, rng, backend):
+        objects = make_random_objects(rng, 40)
+        specs = mixed_specs()
+        want = UncertainEngine(objects).execute_batch(specs)
+        with ShardedEngine(
+            objects, n_shards=3, max_workers=2, executor=backend
+        ) as engine:
+            got = engine.execute_batch(specs)
+            assert_batches_identical(got, want)
+
+    def test_serial_and_thread_agree_after_mutations(self, rng):
+        objects = make_random_objects(rng, 30)
+        newcomer = UncertainObject.uniform("newcomer", 18.0, 26.0)
+        specs = [CPNNQuery(q, threshold=0.3) for q in (4.0, 22.0, 41.0, 55.0)]
+        engines = {
+            name: ShardedEngine(
+                list(objects), n_shards=3, max_workers=2, executor=name
+            )
+            for name in ("serial", "thread")
+        }
+        single = UncertainEngine(list(objects))
+        try:
+            for engine in (*engines.values(), single):
+                engine.remove(objects[3].key)
+                engine.insert(newcomer)
+            want = single.execute_batch(specs)
+            for engine in engines.values():
+                assert_batches_identical(engine.execute_batch(specs), want)
+        finally:
+            for engine in engines.values():
+                engine.close()
+
+    def test_linear_scan_mode(self, rng):
+        objects = make_random_objects(rng, 20)
+        config = EngineConfig(use_rtree=False)
+        specs = [CPNNQuery(q, threshold=0.3) for q in (9.0, 27.0, 44.0)]
+        want = UncertainEngine(objects, config).execute_batch(specs)
+        for backend in ("serial", "thread"):
+            with ShardedEngine(
+                objects, config, n_shards=2, executor=backend
+            ) as engine:
+                assert_batches_identical(engine.execute_batch(specs), want)
+
+
+class TestObservability:
+    def test_sharded_stats_report_backend(self, rng):
+        objects = make_random_objects(rng, 15)
+        with ShardedEngine(objects, n_shards=2, executor="thread") as engine:
+            stats = engine.stats()
+            assert stats["executor"]["backend"] == "thread"
+            engine.execute_batch([CPNNQuery(11.0, threshold=0.3)])
+            parallel = engine.stats()["shards"]["parallel"]
+            assert parallel["backend"] == "thread"
+
+    def test_single_engine_stats_report_serial(self, rng):
+        engine = UncertainEngine(make_random_objects(rng, 8))
+        assert engine.stats()["executor"] == "serial"
+
+    def test_explain_mentions_backend(self, rng):
+        objects = make_random_objects(rng, 15)
+        with ShardedEngine(objects, n_shards=2, executor="serial") as engine:
+            for spec in (
+                CPNNQuery(9.0, threshold=0.3),
+                CKNNQuery(9.0, threshold=0.4, k=2),
+                CRangeQuery(9.0, threshold=0.5, radius=5.0),
+            ):
+                plan = engine.explain(spec)
+                assert any("serial executor" in stage for stage in plan.stages)
+                assert plan.shards["executor"]["backend"] == "serial"
+
+    def test_close_is_idempotent_and_engine_stays_usable(self, rng):
+        objects = make_random_objects(rng, 15)
+        engine = ShardedEngine(objects, n_shards=2, executor="thread")
+        specs = [CPNNQuery(12.0, threshold=0.3)]
+        first = engine.execute_batch(specs)
+        engine.close()
+        engine.close()
+        again = engine.execute_batch(specs)
+        assert_batches_identical(again, first)
+        engine.close()

@@ -1,0 +1,254 @@
+"""End-to-end tests for the process executor (DESIGN.md §13).
+
+The expensive contract: a persistent spawn-based worker pool, attached
+once to a shared-memory coordinate segment, must answer **bit-identically**
+to the single engine — cold, warm (resident worker caches), and across
+a mutation stream replayed to the workers — and must survive a worker
+dying mid-batch by retrying in-process and respawning.  One module-scoped
+engine pair serves the identity tests (spawn costs ~0.2 s per worker);
+the crash and lifecycle tests build their own.
+"""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.core.engine import EngineConfig, ShardedEngine, UncertainEngine
+from repro.core.types import CKNNQuery, CPNNQuery, CRangeQuery
+from repro.shm import SEGMENT_PREFIX
+from repro.uncertainty.objects import UncertainObject
+from tests.conftest import make_random_objects
+from tests.core.test_sharded import assert_batches_identical
+
+#: Every C-PNN batch in this module must go to the workers.
+PROCESS_CONFIG = EngineConfig(process_min_batch=0)
+
+
+def make_pair(rng, n=36, config=PROCESS_CONFIG):
+    objects = make_random_objects(rng, n)
+    sharded = ShardedEngine(
+        objects, config, n_shards=3, max_workers=2, executor="process"
+    )
+    return objects, sharded, UncertainEngine(objects, config)
+
+
+def specs_for(points):
+    return [CPNNQuery(float(q), threshold=0.3, tolerance=0.01) for q in points]
+
+
+def leaked_segments() -> list[str]:
+    return glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*")
+
+
+class TestBitIdentity:
+    def test_cold_and_warm_batches_match_single_engine(self, rng):
+        _, sharded, single = make_pair(rng)
+        try:
+            specs = specs_for(np.linspace(2.0, 58.0, 12))
+            want = single.execute_batch(specs)
+            cold = sharded.execute_batch(specs)
+            assert_batches_identical(cold, want)
+            assert sharded.stats()["executor"]["backend"] == "process"
+            # Warm pass: the workers' resident table caches replay
+            # every spec wholesale, still bit-identical.
+            warm = sharded.execute_batch(specs)
+            assert_batches_identical(warm, single.execute_batch(specs))
+            assert warm.result_hits == len(specs)
+        finally:
+            sharded.close()
+
+    def test_mixed_families_and_strategies(self, rng):
+        _, sharded, single = make_pair(rng)
+        try:
+            mixed = []
+            for q in (6.0, 24.0, 47.0):
+                mixed.append(CPNNQuery(q, threshold=0.35, tolerance=0.0))
+                mixed.append(CKNNQuery(q, threshold=0.4, k=2))
+                mixed.append(CRangeQuery(q, threshold=0.5, radius=6.0))
+            assert_batches_identical(
+                sharded.execute_batch(mixed), single.execute_batch(mixed)
+            )
+            for strategy in ("basic", "refine", "vr"):
+                specs = specs_for((11.0, 33.0, 52.0))
+                assert_batches_identical(
+                    sharded.execute_batch(specs, strategy=strategy),
+                    single.execute_batch(specs, strategy=strategy),
+                )
+        finally:
+            sharded.close()
+
+    def test_mutation_stream_replayed_to_workers(self, rng):
+        objects, sharded, single = make_pair(rng)
+        try:
+            specs = specs_for((5.0, 21.0, 38.0, 55.0))
+            # Start the pool (and its replicas) before mutating, so the
+            # ops travel through the mutation log, not the attach
+            # snapshot.
+            assert_batches_identical(
+                sharded.execute_batch(specs), single.execute_batch(specs)
+            )
+            moved = UncertainObject.uniform(objects[5].key, 40.0, 49.0)
+            fresh = UncertainObject.uniform("fresh", 17.0, 23.0)
+            for engine in (sharded, single):
+                engine.insert(fresh)
+                engine.remove(objects[2].key)
+                engine.replace(objects[5].key, moved)
+            assert_batches_identical(
+                sharded.execute_batch(specs), single.execute_batch(specs)
+            )
+            # And again after the log has been compacted.
+            assert_batches_identical(
+                sharded.execute_batch(specs), single.execute_batch(specs)
+            )
+        finally:
+            sharded.close()
+
+    def test_sweep_dispatch_carries_ops_once(self, rng):
+        """Round-robin sweep fan-out hands one worker several shard
+        columns in a single dispatch (3 shards over 2 workers here);
+        the mutation-log suffix must ride only that worker's *first*
+        message — ``synced`` advances on reply, so a naive re-send
+        would replay the same remove twice on the worker replica and
+        crash or desync it."""
+        objects, sharded, single = make_pair(rng, config=EngineConfig())
+        try:
+            assert sharded.warm_executor() == "process"
+            fresh = UncertainObject.uniform("fresh", 40.0, 52.0)
+            for engine in (sharded, single):
+                engine.remove(objects[0].key)
+                engine.insert(fresh)
+            assert sharded.stats()["executor"]["pending_ops"] > 0
+            # Small batch: C-PNN verification stays inline (below the
+            # default process_min_batch) but the staging sweeps still
+            # fan out across the live pool, carrying the pending ops.
+            specs = specs_for((8.0, 21.0, 44.0, 55.0))
+            assert_batches_identical(
+                sharded.execute_batch(specs), single.execute_batch(specs)
+            )
+            stats = sharded.stats()["executor"]
+            assert stats["worker_failures"] == 0
+            assert stats["pending_ops"] == 0
+        finally:
+            sharded.close()
+
+    def test_linear_scan_mode(self, rng):
+        config = EngineConfig(use_rtree=False, process_min_batch=0)
+        _, sharded, single = make_pair(rng, config=config)
+        try:
+            specs = specs_for((9.0, 27.0, 44.0))
+            assert_batches_identical(
+                sharded.execute_batch(specs), single.execute_batch(specs)
+            )
+        finally:
+            sharded.close()
+
+    def test_small_batches_run_inline(self, rng):
+        config = EngineConfig(process_min_batch=64)
+        _, sharded, single = make_pair(rng, config=config)
+        try:
+            specs = specs_for((13.0, 31.0))
+            assert_batches_identical(
+                sharded.execute_batch(specs), single.execute_batch(specs)
+            )
+            stats = sharded.stats()["executor"]
+            assert stats["started"] is False  # no spawn was paid
+            assert sharded.stats()["shards"]["parallel"]["backend"] == "serial"
+        finally:
+            sharded.close()
+
+
+class TestCrashRecovery:
+    def test_worker_death_mid_batch_is_transparent(self, rng):
+        _, sharded, single = make_pair(rng, n=24)
+        try:
+            specs = specs_for(np.linspace(3.0, 57.0, 10))
+            want = single.execute_batch(specs)
+            assert_batches_identical(sharded.execute_batch(specs), want)
+            before = sharded.stats()["executor"]
+            assert before["worker_failures"] == 0
+            # Arm lane 0's worker to die the moment it receives its next
+            # work item — the parent must discover the corpse mid-batch,
+            # re-execute the item in-process, and still answer
+            # bit-identically.
+            sharded._executor.inject_crash(0)
+            assert_batches_identical(sharded.execute_batch(specs), want)
+            after = sharded.stats()["executor"]
+            assert after["worker_failures"] == before["worker_failures"] + 1
+            assert after["in_process_retries"] >= 1
+            # The pool heals: the next dispatch respawns the dead worker
+            # and answers keep matching.
+            assert_batches_identical(sharded.execute_batch(specs), want)
+            healed = sharded.stats()["executor"]
+            assert healed["respawns"] >= 1
+            assert healed["alive"] == healed["workers"]
+        finally:
+            sharded.close()
+
+    def test_crash_with_pending_mutations(self, rng):
+        objects, sharded, single = make_pair(rng, n=24)
+        try:
+            specs = specs_for((8.0, 29.0, 51.0))
+            assert_batches_identical(
+                sharded.execute_batch(specs), single.execute_batch(specs)
+            )
+            for engine in (sharded, single):
+                engine.remove(objects[1].key)
+            sharded._executor.inject_crash(0)
+            # The respawned worker must attach a post-mutation snapshot,
+            # not replay a stale one.
+            want = single.execute_batch(specs)
+            assert_batches_identical(sharded.execute_batch(specs), want)
+            assert_batches_identical(sharded.execute_batch(specs), want)
+        finally:
+            sharded.close()
+
+
+class TestLifecycle:
+    def test_no_segments_leak_across_lifecycle(self, rng):
+        before = set(leaked_segments())
+        _, sharded, single = make_pair(rng, n=20)
+        specs = specs_for((7.0, 26.0, 49.0))
+        sharded.execute_batch(specs)
+        # Steady state: the attach-time segment is already unlinked
+        # (workers keep their mappings; the name is gone).
+        assert set(leaked_segments()) <= before
+        sharded.close()
+        assert set(leaked_segments()) <= before
+
+    def test_close_is_idempotent_and_pool_restarts(self, rng):
+        _, sharded, single = make_pair(rng, n=20)
+        specs = specs_for((12.0, 34.0, 56.0))
+        want = single.execute_batch(specs)
+        assert_batches_identical(sharded.execute_batch(specs), want)
+        sharded.close()
+        sharded.close()
+        assert sharded.stats()["executor"]["started"] is False
+        # The engine stays usable: the next batch restarts the pool.
+        assert_batches_identical(sharded.execute_batch(specs), want)
+        assert sharded.stats()["executor"]["started"] is True
+        sharded.close()
+
+    def test_context_manager_and_del_release_workers(self, rng):
+        objects = make_random_objects(rng, 16)
+        with ShardedEngine(
+            objects, PROCESS_CONFIG, n_shards=2, max_workers=2,
+            executor="process",
+        ) as engine:
+            engine.execute_batch(specs_for((10.0, 40.0)))
+            assert engine.stats()["executor"]["alive"] == 2
+        assert engine.stats()["executor"]["started"] is False
+
+    def test_warm_executor_prestarts_pool(self, rng):
+        objects = make_random_objects(rng, 16)
+        engine = ShardedEngine(
+            objects, PROCESS_CONFIG, n_shards=2, max_workers=2,
+            executor="process",
+        )
+        try:
+            assert engine.warm_executor() == "process"
+            stats = engine.stats()["executor"]
+            assert stats["started"] is True
+            assert stats["alive"] == 2
+        finally:
+            engine.close()

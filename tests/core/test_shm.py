@@ -1,0 +1,206 @@
+"""Tests for the shared-memory export layer (DESIGN.md §13).
+
+``repro.shm`` turns named column sets into flat
+``multiprocessing.shared_memory`` segments plus cheap descriptors;
+``DistributionPack.to_shared`` / ``BatchMbrFilter.to_shared`` ride on
+it.  The load-bearing properties: rehydrated views are bit-identical
+and zero-copy, read-only until a mutation forces a private copy, and
+segments never outlive the engine (no ``/dev/shm`` leaks).
+"""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.index.filtering import BatchMbrFilter
+from repro.shm import (
+    SEGMENT_PREFIX,
+    ShmDescriptor,
+    attach_arrays,
+    export_arrays,
+    release_segment,
+)
+from repro.uncertainty.columnar import DistributionPack
+from tests.conftest import make_random_objects
+
+
+def leaked_segments() -> list[str]:
+    return glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*")
+
+
+@pytest.fixture(autouse=True)
+def no_leaks():
+    before = set(leaked_segments())
+    yield
+    after = set(leaked_segments())
+    assert after <= before, f"leaked shared-memory segments: {after - before}"
+
+
+class TestExportAttach:
+    def test_round_trip_bit_identical(self, rng):
+        arrays = {
+            "a": rng.normal(size=37),
+            "b": rng.normal(size=(5, 11)),
+            "c": np.arange(9, dtype=np.intp),
+        }
+        shm, desc = export_arrays(arrays)
+        try:
+            other, views = attach_arrays(desc)
+            try:
+                assert set(views) == set(arrays)
+                for name, src in arrays.items():
+                    np.testing.assert_array_equal(views[name], src)
+                    assert views[name].dtype == src.dtype
+            finally:
+                del views
+                other.close()
+        finally:
+            release_segment(shm)
+
+    def test_descriptor_is_plain_data(self, rng):
+        shm, desc = export_arrays({"x": rng.normal(size=8)})
+        try:
+            assert isinstance(desc, ShmDescriptor)
+            field = desc.field("x")
+            assert field.shape == (8,)
+            assert np.dtype(field.dtype) == np.float64
+            assert desc.nbytes >= 8 * 8
+            with pytest.raises(KeyError):
+                desc.field("missing")
+        finally:
+            release_segment(shm)
+
+    def test_attached_views_are_zero_copy_and_read_only(self, rng):
+        src = rng.normal(size=64)
+        shm, desc = export_arrays({"x": src})
+        try:
+            other, views = attach_arrays(desc)
+            try:
+                assert not views["x"].flags.writeable
+                with pytest.raises((ValueError, RuntimeError)):
+                    views["x"][0] = 1.0
+                # Zero-copy: the view's buffer is the mapped segment.
+                assert views["x"].base is not None
+            finally:
+                del views
+                other.close()
+        finally:
+            release_segment(shm)
+
+    def test_writable_attach_visible_to_other_views(self, rng):
+        shm, desc = export_arrays({"x": np.zeros(16)})
+        try:
+            w_shm, w_views = attach_arrays(desc, writable=True)
+            w_views["x"][:] = np.arange(16.0)
+            del w_views
+            w_shm.close()
+            r_shm, r_views = attach_arrays(desc)
+            try:
+                np.testing.assert_array_equal(r_views["x"], np.arange(16.0))
+            finally:
+                del r_views
+                r_shm.close()
+        finally:
+            release_segment(shm)
+
+    def test_release_is_idempotent(self, rng):
+        shm, _ = export_arrays({"x": np.ones(4)})
+        release_segment(shm)
+        release_segment(shm)  # second release must be a no-op
+        assert not leaked_segments()
+
+
+class TestDistributionPackShared:
+    def test_round_trip_matches_all_kernels(self, rng):
+        objects = make_random_objects(rng, 24)
+        distributions = [obj.distance_distribution(13.0) for obj in objects]
+        pack = DistributionPack(distributions)
+        shm, desc = pack.to_shared()
+        try:
+            twin = DistributionPack.from_shared(desc)
+            xs = rng.uniform(0.0, 80.0, size=7)
+            for x in xs:
+                np.testing.assert_array_equal(
+                    pack.cdf_many(float(x)), twin.cdf_many(float(x))
+                )
+        finally:
+            release_segment(shm)
+
+    def test_rehydrated_pack_owns_its_attachment(self, rng):
+        objects = make_random_objects(rng, 6)
+        distributions = [obj.distance_distribution(5.0) for obj in objects]
+        pack = DistributionPack(distributions)
+        shm, desc = pack.to_shared()
+        try:
+            twin = DistributionPack.from_shared(desc)
+            # The exporter unlinking must not invalidate the twin's
+            # mapping (POSIX keeps mappings alive past the name).
+            release_segment(shm)
+            np.testing.assert_array_equal(
+                pack.cdf_many(3.0), twin.cdf_many(3.0)
+            )
+        finally:
+            release_segment(shm)
+
+
+class TestBatchMbrFilterShared:
+    def test_round_trip_matrices_identical(self, rng):
+        objects = make_random_objects(rng, 40)
+        filt = BatchMbrFilter(objects)
+        queries = rng.uniform(0.0, 60.0, size=9)
+        shm, desc = filt.to_shared()
+        try:
+            twin = BatchMbrFilter.from_shared(desc, objects)
+            want_min, want_max = filt.matrices(queries)
+            got_min, got_max = twin.matrices(queries)
+            np.testing.assert_array_equal(got_min, want_min)
+            np.testing.assert_array_equal(got_max, want_max)
+        finally:
+            release_segment(shm)
+
+    def test_from_shared_validates_object_count(self, rng):
+        objects = make_random_objects(rng, 10)
+        shm, desc = BatchMbrFilter(objects).to_shared()
+        try:
+            with pytest.raises(ValueError):
+                BatchMbrFilter.from_shared(desc, objects[:-1])
+        finally:
+            release_segment(shm)
+
+    def test_matrices_rows_matches_column_slice(self, rng):
+        objects = make_random_objects(rng, 30)
+        filt = BatchMbrFilter(objects)
+        queries = rng.uniform(0.0, 60.0, size=6)
+        rows = np.array([2, 3, 11, 29], dtype=np.intp)
+        full_min, full_max = filt.matrices(queries)
+        part_min, part_max = filt.matrices_rows(queries, rows)
+        np.testing.assert_array_equal(part_min, full_min[:, rows])
+        np.testing.assert_array_equal(part_max, full_max[:, rows])
+
+    def test_replace_at_on_shared_columns_copies_first(self, rng):
+        objects = make_random_objects(rng, 12)
+        shm, desc = BatchMbrFilter(objects).to_shared()
+        try:
+            twin = BatchMbrFilter.from_shared(desc, objects)
+            replacement = make_random_objects(rng, 1)[0]
+            # Shared views are read-only; the in-place row write must
+            # transparently promote to a private copy, leaving the
+            # exporter's columns untouched.
+            twin.replace_at(3, replacement)
+            objects2 = list(objects)
+            objects2[3] = replacement
+            want_min, want_max = BatchMbrFilter(objects2).matrices([7.0, 31.0])
+            got_min, got_max = twin.matrices([7.0, 31.0])
+            np.testing.assert_array_equal(got_min, want_min)
+            np.testing.assert_array_equal(got_max, want_max)
+            check_shm, views = attach_arrays(desc)
+            try:
+                original = BatchMbrFilter(objects)
+                original._flush()
+                np.testing.assert_array_equal(views["lows"], original._lows)
+            finally:
+                del views
+                check_shm.close()
+        finally:
+            release_segment(shm)
