@@ -40,6 +40,7 @@ except ModuleNotFoundError:
 import test_batch_throughput as throughput_bench  # noqa: E402
 import test_columnar_speedup as columnar_bench  # noqa: E402
 import test_dynamic_updates as dynamic_bench  # noqa: E402
+import test_service_latency as service_bench  # noqa: E402
 import test_sharded_parallel as sharded_bench  # noqa: E402
 
 from repro.core.engine.executors.base import free_threaded  # noqa: E402
@@ -228,6 +229,18 @@ def measure_process_executor(repeats: int) -> dict:
     }
 
 
+def measure_service_latency(repeats: int) -> dict:
+    """Coalescing service vs a one-query-per-dispatch service under the
+    same burst (DESIGN.md §14): client-observed p50/p99 and served QPS
+    for both configurations, answers identity-checked first.  The p50
+    speedup is the comparable quantity — both runs pay the same asyncio
+    plumbing, so the ratio isolates the micro-batch amortisation."""
+    return {
+        **service_bench.measure(repeats),
+        **_environment("serial"),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -271,6 +284,7 @@ def main(argv=None) -> int:
         "dynamic_updates": measure_dynamic_updates(args.repeats),
         "sharded_parallel": measure_sharded_parallel(args.repeats),
         "process_executor": measure_process_executor(args.repeats),
+        "service_latency": measure_service_latency(args.repeats),
     }
     with open(args.output, "w") as handle:
         json.dump(snapshot, handle, indent=2, sort_keys=False)
@@ -283,7 +297,8 @@ def main(argv=None) -> int:
         f"{snapshot['batch_throughput']['speedup']:.2f}x, "
         f"knn batch {snapshot['knn_batch_throughput']['speedup']:.0f}x, "
         f"range batch {snapshot['range_batch_throughput']['speedup']:.2f}x, "
-        f"dynamic updates {snapshot['dynamic_updates']['speedup']:.2f}x"
+        f"dynamic updates {snapshot['dynamic_updates']['speedup']:.2f}x, "
+        f"service p50 {snapshot['service_latency']['p50_speedup']:.2f}x"
     )
     return 0
 

@@ -107,6 +107,14 @@ class EngineConfig:
         boundary — per-spec IPC would dominate tiny batches, and unit
         workloads should not pay a pool spawn.  0 forces every batch to
         the workers (useful in tests).
+    breaker_threshold:
+        Consecutive unhealthy dispatches before the sharded engine's
+        circuit breaker degrades the backend one level along
+        ``process → thread → serial`` (DESIGN.md §14).
+    breaker_probe_after:
+        Consecutive healthy dispatches a degraded breaker requires
+        before probing one dispatch at the healthier level; a clean
+        probe heals one level.
     """
 
     strategy: str = Strategy.VR
@@ -122,6 +130,8 @@ class EngineConfig:
     table_cache_size: int = 256
     executor: str = "auto"
     process_min_batch: int = 16
+    breaker_threshold: int = 3
+    breaker_probe_after: int = 8
 
     def __post_init__(self) -> None:
         if self.strategy not in Strategy.ALL:
@@ -133,6 +143,10 @@ class EngineConfig:
             )
         if self.process_min_batch < 0:
             raise ValueError("process_min_batch must be >= 0")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_probe_after < 1:
+            raise ValueError("breaker_probe_after must be >= 1")
         if self.refinement_order not in ("widest", "left"):
             raise ValueError("refinement_order must be 'widest' or 'left'")
         if self.grid_refinement < 1:

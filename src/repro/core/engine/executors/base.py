@@ -26,20 +26,94 @@ import os
 import pickle
 import sys
 import sysconfig
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 __all__ = [
     "BACKENDS",
+    "CancelScope",
+    "ExecutionTimeout",
     "ExecutorBase",
     "PnnItem",
     "SweepItem",
+    "check_cancel",
     "free_threaded",
     "resolve_backend",
 ]
 
 BACKENDS = ("auto", "serial", "thread", "process")
+
+
+class ExecutionTimeout(TimeoutError):
+    """A deadline expired while work items were executing.
+
+    Raised by any backend when the host's active
+    :class:`CancelScope` runs out mid-dispatch; the partial work is
+    abandoned (the process backend terminates in-flight workers — the
+    only true cancellation for a CPU-bound item — and respawns them on
+    the next dispatch).  The service layer maps this to its retry /
+    ε-early-answer policy.
+    """
+
+
+class CancelScope:
+    """A monotonic deadline that cooperating loops poll.
+
+    Engines expose it via ``with engine.deadline(seconds):`` — the scope
+    lands on ``host._cancel_scope`` and every backend (and the C-PNN
+    per-query loops) calls :meth:`check` at item boundaries.  The scope
+    is deliberately tiny: no threads, no signals, just a timestamp, so
+    checking it costs one ``time.monotonic()`` call.
+    """
+
+    __slots__ = ("deadline", "_cancelled")
+
+    def __init__(self, deadline: float | None) -> None:
+        self.deadline = deadline
+        self._cancelled = False
+
+    @classmethod
+    def after(cls, seconds: float) -> "CancelScope":
+        return cls(time.monotonic() + float(seconds))
+
+    def cancel(self) -> None:
+        """Expire the scope immediately (caller-initiated abort)."""
+        self._cancelled = True
+
+    def remaining(self) -> float:
+        """Seconds left (``inf`` for a deadline-less scope, ``0.0``
+        once expired or cancelled)."""
+        if self._cancelled:
+            return 0.0
+        if self.deadline is None:
+            return float("inf")
+        return max(0.0, self.deadline - time.monotonic())
+
+    def expired(self) -> bool:
+        if self._cancelled:
+            return True
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
+    def check(self) -> None:
+        """Raise :class:`ExecutionTimeout` if the scope has expired."""
+        if self.expired():
+            raise ExecutionTimeout(
+                "deadline expired while executing work items"
+            )
+
+
+def check_cancel(host) -> None:
+    """Poll ``host``'s active cancel scope, if any.
+
+    The hosts (engines, lanes) carry the scope as a plain
+    ``_cancel_scope`` attribute so the hot path without a deadline pays
+    one ``getattr`` and nothing else.
+    """
+    scope = getattr(host, "_cancel_scope", None)
+    if scope is not None:
+        scope.check()
 
 
 @dataclass(frozen=True, eq=False)

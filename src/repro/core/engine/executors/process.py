@@ -31,18 +31,38 @@ same host callbacks the serial backend uses — answers are bit-identical
 because it is the same pipeline, only colder caches — the failure is
 counted in :meth:`ProcessExecutor.stats`, and the worker is respawned
 (with a fresh snapshot) before the next dispatch.  Workers are daemons:
-an abandoned engine can never wedge interpreter exit.
+an abandoned engine can never wedge interpreter exit, and a module
+``atexit`` hook closes any pool whose engine was abandoned without
+``close()`` so no worker or segment survives a normal interpreter end.
+
+Beyond plain crashes, the pool carries three further defences
+(DESIGN.md §14): a **poison quarantine** — specs present in an item
+whose worker died twice are permanently routed to the in-process serial
+path, so one pathological query cannot crash-loop the pool; **deadline
+cancellation** — when the host carries an active
+:class:`~repro.core.engine.executors.base.CancelScope`, waiting on a
+reply past the budget terminates the in-flight workers (the only true
+cancellation for a CPU-bound item) and raises :class:`ExecutionTimeout
+<repro.core.engine.executors.base.ExecutionTimeout>`; and **shm attach
+fallback** — a worker that cannot map the exported coordinate segment
+rebuilds its filter from the pickled objects instead (slower attach,
+same floats), while a failed parent-side sweep readback recomputes the
+columns inline.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing as mp
 import os
 import time
+import weakref
 
 import numpy as np
 
-from repro.core.engine.executors.base import ExecutorBase
+from repro import hooks
+from repro.core.batch import point_key
+from repro.core.engine.executors.base import ExecutionTimeout, ExecutorBase
 from repro.shm import attach_arrays, export_arrays, release_segment
 
 __all__ = ["ProcessExecutor"]
@@ -53,6 +73,10 @@ _POLL_S = 0.05
 
 #: Grace period for a worker to exit after the ``exit`` message.
 _JOIN_S = 5.0
+
+#: Worker deaths holding a given spec before it is quarantined to the
+#: in-process serial path (the issue's "kills a worker twice" rule).
+_QUARANTINE_KILLS = 2
 
 
 class _WorkerDied(Exception):
@@ -67,7 +91,15 @@ class _WorkerDied(Exception):
 class _WorkerState:
     """One worker's resident replica: objects, filter, and its lane."""
 
-    __slots__ = ("lane", "objects", "key_list", "filter", "use_rtree", "shm")
+    __slots__ = (
+        "lane",
+        "objects",
+        "key_list",
+        "filter",
+        "use_rtree",
+        "shm",
+        "attach_fallback",
+    )
 
     def __init__(self) -> None:
         self.lane = None
@@ -76,6 +108,7 @@ class _WorkerState:
         self.filter = None
         self.use_rtree = True
         self.shm = None
+        self.attach_fallback = False
 
 
 def _worker_attach(lane_id, config, objects, n_lanes, columns_desc):
@@ -89,8 +122,19 @@ def _worker_attach(lane_id, config, objects, n_lanes, columns_desc):
     state.use_rtree = config.use_rtree
     if state.use_rtree:
         if columns_desc is not None and state.objects:
-            state.filter = BatchMbrFilter.from_shared(columns_desc, state.objects)
-            state.shm = state.filter._shm
+            try:
+                state.filter = BatchMbrFilter.from_shared(
+                    columns_desc, state.objects
+                )
+                state.shm = state.filter._shm
+            except (FileNotFoundError, OSError, ValueError):
+                # The segment vanished (or could not be mapped) between
+                # export and attach.  The objects travelled in the same
+                # message, so rebuild the filter locally: a slower
+                # attach, bit-identical coordinates, and the parent is
+                # told so it can count the degradation.
+                state.filter = BatchMbrFilter(state.objects)
+                state.attach_fallback = True
         elif state.objects:
             state.filter = BatchMbrFilter(state.objects)
         # The lane consults the *current* filter at call time (mutations
@@ -182,7 +226,7 @@ def _worker_main(conn, lane_id: int) -> None:
                 state = _worker_attach(
                     lane_id, config, objects, n_lanes, columns_desc
                 )
-                conn.send(("ok", len(state.objects)))
+                conn.send(("ok", (len(state.objects), state.attach_fallback)))
             elif kind == "pnn":
                 _, ops, specs, strategy = msg
                 if ops:
@@ -240,6 +284,22 @@ class _Worker:
         self.alive = True
 
 
+#: Every live pool in this interpreter, so an abandoned engine's
+#: workers are still closed gracefully at interpreter exit (workers are
+#: daemons and also die on pipe EOF, but an explicit exit keeps the
+#: shutdown deterministic and /dev/shm clean even under teardown races).
+_LIVE_POOLS: "weakref.WeakSet[ProcessExecutor]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_leftover_pools() -> None:  # pragma: no cover - interpreter exit
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.close()
+        except Exception:
+            pass
+
+
 class ProcessExecutor(ExecutorBase):
     """Persistent spawn-based worker pool, one addressed worker per lane."""
 
@@ -259,6 +319,16 @@ class ProcessExecutor(ExecutorBase):
         self._respawns = 0
         self._dispatches = 0
         self._retries = 0
+        self._timeouts = 0
+        self._errors = 0
+        self._shm_fallbacks = 0
+        self._quarantine_hits = 0
+        #: Worker-death counts per spec signature; at
+        #: ``_QUARANTINE_KILLS`` the signature moves to ``_quarantined``
+        #: and that spec never reaches a worker again.
+        self._poison: dict[tuple, int] = {}
+        self._quarantined: set[tuple] = set()
+        _LIVE_POOLS.add(self)
 
     # -- pool lifecycle -------------------------------------------------
 
@@ -293,6 +363,9 @@ class ProcessExecutor(ExecutorBase):
             from repro.index.filtering import BatchMbrFilter
 
             columns_shm, columns_desc = BatchMbrFilter(host._objects).to_shared()
+            # Injection point: a handler may unlink the segment here to
+            # exercise the workers' attach-failure fallback.
+            hooks.fire("process.attach", segment=columns_desc.segment)
         try:
             top = self._ops_base + len(self._ops)
             spawned = []
@@ -322,6 +395,8 @@ class ProcessExecutor(ExecutorBase):
                 status, payload = self._recv(worker)
                 if status != "ok":  # pragma: no cover - attach never raises
                     raise RuntimeError(f"worker attach failed: {payload}")
+                if isinstance(payload, tuple) and payload[1]:
+                    self._shm_fallbacks += 1
         finally:
             # Mappings outlive the name: once every worker holds its
             # attachment the name can go, so a crash can't leak it.
@@ -386,11 +461,36 @@ class ProcessExecutor(ExecutorBase):
         self._mark_dead(worker)
         self._failures += 1
 
-    def _recv(self, worker: _Worker):
+    def _cancel_worker(self, worker: _Worker) -> None:
+        """Deadline cancellation: a CPU-bound work item cannot be
+        interrupted cooperatively across the process boundary, so the
+        honest cancellation is to kill the worker (its late reply would
+        desync the pipe anyway) and let the next dispatch respawn it
+        with a fresh snapshot."""
+        self._timeouts += 1
+        self._mark_dead(worker)
+        worker.proc.terminate()
+
+    def _retire(self, worker: _Worker) -> None:
+        """A worker answered with an error: its replica may be mid-
+        mutation (ops replay before compute), so retire it rather than
+        risk desync — the next dispatch respawns it clean."""
+        self._errors += 1
+        self._mark_dead(worker)
+        worker.proc.terminate()
+
+    def _recv(self, worker: _Worker, scope=None):
         """Receive one reply, raising :class:`_WorkerDied` if the
         process ends first (the pipe may still hold a buffered reply,
-        which is drained)."""
+        which is drained) and :class:`ExecutionTimeout` if ``scope``
+        expires first."""
+        hooks.fire("process.recv", worker=worker)
         while True:
+            # Deadline first, even when a reply is already buffered: a
+            # lapsed budget means the caller must take the deadline
+            # path now, not deliver late.
+            if scope is not None:
+                scope.check()
             if worker.conn.poll(_POLL_S):
                 try:
                     return worker.conn.recv()
@@ -403,6 +503,36 @@ class ProcessExecutor(ExecutorBase):
                     except (EOFError, OSError):
                         raise _WorkerDied from None
                 raise _WorkerDied
+
+    # -- poison quarantine ----------------------------------------------
+
+    @staticmethod
+    def _spec_key(spec) -> tuple:
+        """Content signature of one spec for the quarantine ledger."""
+        return (
+            type(spec).__name__,
+            point_key(spec.q),
+            spec.threshold,
+            spec.tolerance,
+            getattr(spec, "k", None),
+            getattr(spec, "radius", None),
+        )
+
+    def _suspect(self, specs) -> None:
+        """A worker died holding these specs: raise their suspicion,
+        quarantining any that has now killed ``_QUARANTINE_KILLS``
+        workers."""
+        for spec in specs:
+            key = self._spec_key(spec)
+            count = self._poison.get(key, 0) + 1
+            self._poison[key] = count
+            if count >= _QUARANTINE_KILLS:
+                self._quarantined.add(key)
+
+    def _is_quarantined(self, item) -> bool:
+        if not self._quarantined:
+            return False
+        return any(self._spec_key(s) in self._quarantined for s in item.specs)
 
     def _call_ok(self, worker: _Worker, message: tuple, synced_to: int):
         """Send + receive one request; updates the worker's sync mark on
@@ -424,37 +554,77 @@ class ProcessExecutor(ExecutorBase):
     def run_pnn(self, items, staged, snapshot) -> list:
         """Dispatch each item to its lane's worker; a dead worker's item
         is transparently re-executed in-process (``staged``/``snapshot``
-        are ignored — workers filter against their resident replicas)."""
+        are ignored — workers filter against their resident replicas).
+
+        Quarantined specs never reach a worker (their item runs on the
+        serial in-process path); an active host deadline terminates
+        workers still computing past the budget and raises
+        :class:`ExecutionTimeout
+        <repro.core.engine.executors.base.ExecutionTimeout>` — the pool
+        heals by respawn on the next dispatch.
+        """
+        scope = getattr(self._host, "_cancel_scope", None)
+        if scope is not None:
+            scope.check()
+        hooks.fire(
+            "executor.dispatch", backend=self.name, kind="pnn", executor=self
+        )
         self.ensure_started()
         self._dispatches += 1
         top = self._ops_base + len(self._ops)
         outcomes: list = [None] * len(items)
         inflight = []
         for position, item in enumerate(items):
+            if self._is_quarantined(item):
+                # Poison rule: a spec that killed a worker twice runs
+                # in-process forever after (lane-mates ride along — the
+                # item is the dispatch unit and the path is identical).
+                self._quarantine_hits += 1
+                outcomes[position] = self._host._run_pnn_item_local(item)
+                continue
             worker = self._workers[item.lane]
             if worker is None or not worker.alive:
                 outcomes[position] = self._retry_inline(item)
                 continue
             try:
+                hooks.fire(
+                    "process.send", lane=item.lane, kind="pnn", worker=worker
+                )
                 worker.conn.send(
                     ("pnn", self._ops_for(worker), item.specs, item.strategy)
                 )
                 inflight.append((position, item, worker))
             except (OSError, ValueError):
                 self._fail(worker)
+                self._suspect(item.specs)
                 outcomes[position] = self._retry_inline(item)
+        timed_out = False
         for position, item, worker in inflight:
+            if timed_out:
+                self._cancel_worker(worker)
+                continue
             try:
-                status, payload = self._recv(worker)
+                status, payload = self._recv(worker, scope)
+            except ExecutionTimeout:
+                self._cancel_worker(worker)
+                timed_out = True
+                continue
             except _WorkerDied:
                 self._fail(worker)
+                self._suspect(item.specs)
                 outcomes[position] = self._retry_inline(item)
                 continue
             if status != "ok":
-                raise RuntimeError(f"lane {item.lane} worker failed: {payload}")
+                self._retire(worker)
+                outcomes[position] = self._retry_inline(item)
+                continue
             worker.synced = top
             outcomes[position] = payload
         self._compact_ops()
+        if timed_out:
+            raise ExecutionTimeout(
+                "deadline expired waiting on worker replies"
+            )
         return outcomes
 
     def _retry_inline(self, item):
@@ -466,7 +636,12 @@ class ProcessExecutor(ExecutorBase):
     def run_sweeps(self, items, queries, mindist, maxdist) -> None:
         """Fan sweep items out across live workers, which write their
         columns into a per-batch shared output segment; anything a dead
-        (or not-yet-started) pool can't take runs inline."""
+        (or not-yet-started) pool can't take runs inline.  A failed
+        readback attach recomputes the columns inline (same floats);
+        an expired host deadline cancels in-flight workers and raises
+        :class:`ExecutionTimeout
+        <repro.core.engine.executors.base.ExecutionTimeout>`."""
+        scope = getattr(self._host, "_cancel_scope", None)
         if not self._started or not any(
             w is not None and w.alive for w in self._workers
         ):
@@ -474,10 +649,15 @@ class ProcessExecutor(ExecutorBase):
             # the GIL, so inline is what the thread backend would do on
             # one runnable thread anyway).
             for item in items:
+                if scope is not None:
+                    scope.check()
                 shard_min, shard_max = self._host._run_sweep_item(item, queries)
                 mindist[:, item.cols] = shard_min
                 maxdist[:, item.cols] = shard_max
             return
+        hooks.fire(
+            "executor.dispatch", backend=self.name, kind="sweep", executor=self
+        )
         self.ensure_started()
         self._dispatches += 1
         top = self._ops_base + len(self._ops)
@@ -504,6 +684,9 @@ class ProcessExecutor(ExecutorBase):
                 # mutations on the worker replica).
                 ops = () if id(worker) in carried else self._ops_for(worker)
                 try:
+                    hooks.fire(
+                        "process.send", lane=None, kind="sweep", worker=worker
+                    )
                     worker.conn.send(("sweep", ops, queries, item.cols, out_desc))
                     carried.add(id(worker))
                     inflight.append((item, worker))
@@ -511,25 +694,48 @@ class ProcessExecutor(ExecutorBase):
                     self._fail(worker)
                     fallback.append(item)
             done = []
+            timed_out = False
             for item, worker in inflight:
+                if timed_out:
+                    self._cancel_worker(worker)
+                    continue
                 try:
-                    status, payload = self._recv(worker)
+                    status, payload = self._recv(worker, scope)
+                except ExecutionTimeout:
+                    self._cancel_worker(worker)
+                    timed_out = True
+                    continue
                 except _WorkerDied:
                     self._fail(worker)
                     fallback.append(item)
                     continue
                 if status != "ok":
-                    raise RuntimeError(f"sweep worker failed: {payload}")
+                    self._retire(worker)
+                    fallback.append(item)
+                    continue
                 worker.synced = top
                 done.append(item)
+            if timed_out:
+                raise ExecutionTimeout(
+                    "deadline expired waiting on sweep replies"
+                )
             if done:
-                _, views = attach_arrays(out_desc)
                 try:
-                    for item in done:
-                        mindist[:, item.cols] = views["mindist"][:, item.cols]
-                        maxdist[:, item.cols] = views["maxdist"][:, item.cols]
-                finally:
-                    del views
+                    out_attach, views = attach_arrays(out_desc)
+                except Exception:
+                    # Readback attach failed (injected or real): the
+                    # workers' columns are unreachable — recompute them
+                    # inline, same arithmetic, same floats.
+                    self._shm_fallbacks += 1
+                    fallback.extend(done)
+                else:
+                    try:
+                        for item in done:
+                            mindist[:, item.cols] = views["mindist"][:, item.cols]
+                            maxdist[:, item.cols] = views["maxdist"][:, item.cols]
+                    finally:
+                        del views
+                        out_attach.close()
             for item in fallback:
                 self._retries += 1
                 shard_min, shard_max = self._host._run_sweep_item(item, queries)
@@ -566,4 +772,9 @@ class ProcessExecutor(ExecutorBase):
             "respawns": self._respawns,
             "in_process_retries": self._retries,
             "pending_ops": len(self._ops),
+            "timeouts": self._timeouts,
+            "worker_errors": self._errors,
+            "shm_fallbacks": self._shm_fallbacks,
+            "quarantined": len(self._quarantined),
+            "quarantine_hits": self._quarantine_hits,
         }

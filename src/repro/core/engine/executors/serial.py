@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.core.engine.executors.base import ExecutorBase
+from repro.core.engine.executors.base import ExecutorBase, check_cancel
 
 __all__ = ["SerialExecutor"]
 
@@ -12,19 +12,24 @@ class SerialExecutor(ExecutorBase):
 
     Exactly the single-engine evaluation order with the sharded
     engine's reconciliation around it — the reference the parallel
-    backends are asserted bit-identical against, and the zero-overhead
-    choice for tiny workloads.
+    backends are asserted bit-identical against, the zero-overhead
+    choice for tiny workloads, and the circuit breaker's last resort
+    (it cannot lose a worker).  Deadlines are honoured at item
+    boundaries (and inside the C-PNN per-query loops).
     """
 
     name = "serial"
 
     def run_sweeps(self, items, queries, mindist, maxdist) -> None:
         for item in items:
+            check_cancel(self._host)
             shard_min, shard_max = self._host._run_sweep_item(item, queries)
             mindist[:, item.cols] = shard_min
             maxdist[:, item.cols] = shard_max
 
     def run_pnn(self, items, staged, snapshot) -> list:
-        return [
-            self._host._run_pnn_item(item, staged, snapshot) for item in items
-        ]
+        outcomes = []
+        for item in items:
+            check_cancel(self._host)
+            outcomes.append(self._host._run_pnn_item(item, staged, snapshot))
+        return outcomes

@@ -10,8 +10,14 @@ cores (DESIGN.md §13).
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
 
-from repro.core.engine.executors.base import ExecutorBase
+from repro import hooks
+from repro.core.engine.executors.base import (
+    ExecutionTimeout,
+    ExecutorBase,
+    check_cancel,
+)
 
 __all__ = ["ThreadExecutor"]
 
@@ -22,7 +28,12 @@ class ThreadExecutor(ExecutorBase):
     Single-item dispatches (and ``max_workers == 1`` hosts) run inline
     — same bits, no pool round-trip.  Distinct items never share
     mutable state (disjoint output columns, disjoint lanes), so no
-    locks are needed.
+    locks are needed.  When the host carries an active deadline scope,
+    result collection waits at most the remaining budget; not-started
+    items are cancelled and :class:`ExecutionTimeout
+    <repro.core.engine.executors.base.ExecutionTimeout>` propagates
+    (already-running threads also poll the scope inside the C-PNN
+    loops, so they unwind on their own).
     """
 
     name = "thread"
@@ -32,17 +43,42 @@ class ThreadExecutor(ExecutorBase):
         self._pool: ThreadPoolExecutor | None = None
 
     def _map(self, thunks: list) -> list:
+        scope = getattr(self._host, "_cancel_scope", None)
         if len(thunks) <= 1 or self._host._max_workers <= 1:
-            return [thunk() for thunk in thunks]
+            results = []
+            for thunk in thunks:
+                check_cancel(self._host)
+                results.append(thunk())
+            return results
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
                 max_workers=self._host._max_workers,
                 thread_name_prefix="repro-shard",
             )
         futures = [self._pool.submit(thunk) for thunk in thunks]
-        return [future.result() for future in futures]
+        results = []
+        try:
+            for future in futures:
+                if scope is None:
+                    results.append(future.result())
+                else:
+                    try:
+                        results.append(future.result(timeout=scope.remaining()))
+                    except _FutureTimeout:
+                        raise ExecutionTimeout(
+                            "deadline expired waiting on thread-pool items"
+                        ) from None
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        return results
 
     def run_sweeps(self, items, queries, mindist, maxdist) -> None:
+        hooks.fire(
+            "executor.dispatch", backend=self.name, kind="sweep", executor=self
+        )
+
         def sweep(item):
             shard_min, shard_max = self._host._run_sweep_item(item, queries)
             mindist[:, item.cols] = shard_min
@@ -51,6 +87,9 @@ class ThreadExecutor(ExecutorBase):
         self._map([(lambda it=item: sweep(it)) for item in items])
 
     def run_pnn(self, items, staged, snapshot) -> list:
+        hooks.fire(
+            "executor.dispatch", backend=self.name, kind="pnn", executor=self
+        )
         return self._map(
             [
                 (lambda it=item: self._host._run_pnn_item(it, staged, snapshot))

@@ -19,6 +19,7 @@ remain as thin deprecation shims (DESIGN.md §7).
 from __future__ import annotations
 
 import warnings
+from contextlib import contextmanager
 from typing import Sequence
 
 import numpy as np
@@ -26,6 +27,7 @@ import numpy as np
 from repro.core.batch import BatchResult, DistributionCache, TableCache
 from repro.core.engine.config import EngineConfig, Strategy
 from repro.core.engine.dispatch import SpecDispatchMixin
+from repro.core.engine.executors.base import CancelScope
 from repro.core.engine.filtering import FilterStageMixin
 from repro.core.engine.knn import KnnExecutorMixin
 from repro.core.engine.pnn import PnnExecutorMixin
@@ -52,6 +54,75 @@ class QueryFacadeMixin(SpecDispatchMixin):
     :class:`~repro.core.engine.sharded.ShardedEngine`, which is how the
     two stay behaviourally interchangeable.
     """
+
+    #: No active deadline by default; ``deadline()`` swaps a scope in.
+    _cancel_scope: CancelScope | None = None
+
+    #: Canonical failure-counter keys every ``stats()["executor"]`` /
+    #: ``explain().executor`` dict carries (missing ones read 0, so
+    #: monitoring code never branches on the backend).
+    _EXECUTOR_COUNTERS = (
+        "worker_failures",
+        "respawns",
+        "in_process_retries",
+        "timeouts",
+        "worker_errors",
+        "shm_fallbacks",
+        "quarantined",
+        "quarantine_hits",
+    )
+
+    @contextmanager
+    def deadline(self, seconds: float | None):
+        """Bound every query executed inside the block by a deadline.
+
+        ``with engine.deadline(0.05): engine.execute_batch(specs)``
+        raises :class:`ExecutionTimeout
+        <repro.core.engine.executors.base.ExecutionTimeout>` if the
+        budget expires mid-execution — cooperating loops poll the scope
+        at item and per-query boundaries, and the process backend
+        terminates in-flight workers (respawned on the next dispatch).
+        ``None`` means no deadline (an explicit infinite scope that can
+        still be :meth:`~repro.core.engine.executors.base.CancelScope.cancel`-ed).
+        Scopes nest; the inner block's deadline wins while it is open.
+        """
+        previous = self._cancel_scope
+        scope = (
+            CancelScope.after(seconds) if seconds is not None else CancelScope(None)
+        )
+        self._cancel_scope = scope
+        try:
+            yield scope
+        finally:
+            self._cancel_scope = previous
+
+    def _executor_diagnostics(self) -> dict:
+        """The executor failure story for ``stats()`` / ``explain()``.
+
+        The single engine executes inline, so its counters are
+        structurally zero — but the schema matches the sharded
+        engine's, so dashboards read one shape.
+        """
+        backend = self._executor_backend()
+        diagnostics: dict = {"backend": backend, "configured": backend}
+        for counter in self._EXECUTOR_COUNTERS:
+            diagnostics[counter] = 0
+        diagnostics["inline_fallbacks"] = 0
+        diagnostics["breaker"] = {"state": "disabled"}
+        return diagnostics
+
+    def explain(self, spec, strategy: str | None = None) -> "QueryPlan":
+        """The evaluation plan for ``spec``, without computing answers.
+
+        Runs only the filtering phase (cheap — no distribution is
+        built, no probability computed) and reports which pipeline
+        stages ``execute`` would run, what the filter keeps, the cache
+        state, and the executor's failure counters
+        (:attr:`~repro.core.types.QueryPlan.executor`).
+        """
+        plan = self._explain(spec, strategy)
+        plan.executor = self._executor_diagnostics()
+        return plan
 
     @staticmethod
     def _family_of(spec) -> str:
@@ -265,14 +336,22 @@ class UncertainEngine(
     def config(self) -> EngineConfig:
         return self._config
 
-    def explain(self, spec, strategy: str | None = None) -> QueryPlan:
-        """The evaluation plan for ``spec``, without computing answers.
+    def close(self) -> None:
+        """Release resources (none resident for the single engine; the
+        method exists so engines are interchangeable with
+        :class:`~repro.core.engine.sharded.ShardedEngine` in ``with``
+        blocks and service shutdown paths)."""
 
-        Runs only the filtering phase (cheap — no distribution is
-        built, no probability computed) and reports which pipeline
-        stages ``execute`` would run, what the filter keeps, and the
-        engine's cache state.
-        """
+    def __enter__(self) -> "UncertainEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _explain(self, spec, strategy: str | None = None) -> QueryPlan:
+        """Single-engine plan arithmetic behind the façade's
+        :meth:`~QueryFacadeMixin.explain` wrapper (which stamps the
+        executor diagnostics on the returned plan)."""
         spec = self._as_spec(spec)
         self._flush_table_invalidations()  # report live entry counts
         caches = self._cache_stats()
@@ -390,7 +469,7 @@ class UncertainEngine(
             "engine": type(self).__name__,
             "objects": len(self._objects),
             "index": index,
-            "executor": self._executor_backend(),
+            "executor": self._executor_diagnostics(),
             "pending_tree_ops": len(self._pending_tree_ops),
             "filter_stale": self._filter_stale,
             "pending_invalidations": len(self._pending_invalidation),

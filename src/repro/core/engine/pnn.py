@@ -27,6 +27,7 @@ from repro.core.batch import (
     point_key,
 )
 from repro.core.engine.config import Strategy
+from repro.core.engine.executors.base import check_cancel
 from repro.core.refinement import Refiner
 from repro.core.state import CandidateStates
 from repro.core.subregions import SubregionTable
@@ -175,6 +176,7 @@ class PnnExecutorMixin:
         distributions_built = 0
         built_this_batch: dict[Hashable, CachedTable] = {}
         for b, query, fr in zip(live, queries, filter_results):
+            check_cancel(self)
             key = point_key(query.q)
             entry = entries.get(b)
             if entry is None:
@@ -263,6 +265,7 @@ class PnnExecutorMixin:
 
             tick = time.perf_counter()
             for b, prep, query, outcome in zip(live, prepared, queries, outcomes):
+                check_cancel(self)
                 states = prep.states
                 finished = states.n_unknown == 0
                 survivors = states.unknown_indices()
@@ -283,6 +286,7 @@ class PnnExecutorMixin:
                 self._run_basic if strategy == Strategy.BASIC else self._run_refine
             )
             for b, prep, query in zip(live, prepared, queries):
+                check_cancel(self)
                 slots[b] = runner(prep, query)
             timings.refinement = sum(
                 slots[b].timings.refinement for b in live

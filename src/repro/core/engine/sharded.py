@@ -71,7 +71,12 @@ from repro.core.batch import (
 )
 from repro.core.engine.config import EngineConfig
 from repro.core.engine.executors import make_executor, resolve_backend
-from repro.core.engine.executors.base import PnnItem, SweepItem
+from repro.core.engine.executors.base import (
+    ExecutionTimeout,
+    PnnItem,
+    SweepItem,
+)
+from repro.core.engine.executors.breaker import CircuitBreaker
 from repro.core.engine.facade import QueryFacadeMixin, UncertainEngine
 from repro.core.engine.knn import KnnExecutorMixin
 from repro.core.engine.lanes import FanoutMbrFilter, Lane, lane_for
@@ -154,6 +159,17 @@ class ShardedEngine(
             self._config, parallel=True, override=executor
         )
         self._executor = make_executor(self._backend, self)
+        #: Lazily built cache of every backend the breaker may route to
+        #: (the configured one is pre-seeded so tests and callers can
+        #: keep reaching ``self._executor`` directly).
+        self._executors = {self._backend: self._executor}
+        self._breaker = CircuitBreaker(
+            self._backend,
+            threshold=self._config.breaker_threshold,
+            probe_after=self._config.breaker_probe_after,
+        )
+        self._fallback_items = 0
+        self._cancel_scope = None
         self._init_registry(objects)
         self._init_chains()
         self._dim = self._objects[0].mbr.dim if self._objects else None
@@ -213,11 +229,33 @@ class ShardedEngine(
             starter()
         return self._backend
 
+    def _executor_for(self, name: str):
+        """The executor instance for backend ``name``, built on first
+        use (the circuit breaker may route a dispatch to a healthier
+        backend than the configured one)."""
+        executor = self._executors.get(name)
+        if executor is None:
+            executor = make_executor(name, self)
+            self._executors[name] = executor
+        return executor
+
+    @staticmethod
+    def _failure_fingerprint(executor) -> tuple:
+        """Counters whose movement marks a dispatch unhealthy for the
+        circuit breaker (absorbed worker deaths included: the answer
+        was right, the pool wasn't)."""
+        return (
+            getattr(executor, "_failures", 0),
+            getattr(executor, "_errors", 0),
+            getattr(executor, "_shm_fallbacks", 0),
+        )
+
     def close(self) -> None:
-        """Release the backend's resources — thread pool, worker
+        """Release every backend's resources — thread pools, worker
         processes, shared-memory segments (idempotent; engine stays
         usable — they are recreated on the next parallel call)."""
-        self._executor.close()
+        for executor in self._executors.values():
+            executor.close()
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -286,6 +324,13 @@ class ShardedEngine(
     # these route the index work to the owning shard, keep every lane's
     # caches exact, and log the op for backends with remote replicas.
 
+    def _record_mutation(self, op) -> None:
+        """Log one mutation to every live backend — a degraded engine
+        may heal back onto a pool whose replicas must not have missed
+        anything in between."""
+        for executor in self._executors.values():
+            executor.record_mutation(op)
+
     def _maintain_insert(self, obj, was_empty: bool) -> None:
         self._columns = None
         if was_empty or self._router is None:
@@ -298,7 +343,7 @@ class ShardedEngine(
             self._maybe_rebalance()
         for lane in self._lanes:
             lane._queue_invalidation(obj)
-        self._executor.record_mutation(("insert", obj))
+        self._record_mutation(("insert", obj))
 
     def _maintain_remove(self, victim, index: int) -> None:
         self._columns = None
@@ -326,7 +371,7 @@ class ShardedEngine(
             # Removals skew too: draining other tiles shrinks the
             # ideal occupancy under a shard that kept its objects.
             self._maybe_rebalance()
-        self._executor.record_mutation(("remove", victim.key))
+        self._record_mutation(("remove", victim.key))
 
     def _maintain_replace(self, victim, obj, index: int) -> None:
         self._columns = None
@@ -345,7 +390,7 @@ class ShardedEngine(
             if lane._distribution_cache is not None:
                 lane._distribution_cache.evict_object(victim)
         self._maybe_rebalance()
-        self._executor.record_mutation(("replace", victim.key, obj))
+        self._record_mutation(("replace", victim.key, obj))
 
     # ------------------------------------------------------------------
     # Stage 1: concurrent per-shard sweeps, global reconciliation
@@ -380,7 +425,12 @@ class ShardedEngine(
             for sid, cols in enumerate(columns)
             if cols.size
         ]
-        self._executor.run_sweeps(items, queries, mindist, maxdist)
+        # Sweeps follow the breaker's current level passively (no
+        # begin/record — health is judged on the C-PNN dispatches,
+        # which exercise the pool far harder).
+        self._executor_for(self._breaker.backend).run_sweeps(
+            items, queries, mindist, maxdist
+        )
         return mindist, maxdist
 
     def _run_sweep_item(self, item: SweepItem, queries: np.ndarray):
@@ -443,24 +493,47 @@ class ShardedEngine(
             for lane_id, indices in assignments.items()
         ]
 
-        remote = self._backend == "process" and len(queries) >= max(
+        active = self._breaker.begin()
+        executor = self._executor_for(active)
+        before = self._failure_fingerprint(executor)
+        remote = active == "process" and len(queries) >= max(
             1, self._config.process_min_batch
         )
-        if remote:
-            # Workers filter against their resident replicas; the
-            # parent neither sweeps nor stages anything.
-            outcomes = self._executor.run_pnn(items, None, None)
-        else:
-            staged, snapshot = self._stage_filter_results(queries, strategy)
-            if self._backend == "process":
-                # Below the dispatch floor: run on the parent lanes
-                # (exactly the serial backend's path) so unit-scale
-                # workloads never pay a spawn.
-                outcomes = [
-                    self._run_pnn_item(item, staged, snapshot) for item in items
-                ]
+        fell_back = False
+        try:
+            if remote:
+                # Workers filter against their resident replicas; the
+                # parent neither sweeps nor stages anything.
+                outcomes = executor.run_pnn(items, None, None)
             else:
-                outcomes = self._executor.run_pnn(items, staged, snapshot)
+                staged, snapshot = self._stage_filter_results(queries, strategy)
+                if active == "process":
+                    # Below the dispatch floor: run on the parent lanes
+                    # (exactly the serial backend's path) so unit-scale
+                    # workloads never pay a spawn.
+                    outcomes = [
+                        self._run_pnn_item(item, staged, snapshot)
+                        for item in items
+                    ]
+                else:
+                    outcomes = executor.run_pnn(items, staged, snapshot)
+        except ExecutionTimeout:
+            # The caller's deadline, not the pool's health.
+            self._breaker.abort()
+            raise
+        except Exception:
+            # The backend itself blew up past its own recovery: answer
+            # the batch wholly in-process (bit-identical path), and let
+            # the breaker judge.
+            fell_back = True
+            self._fallback_items += len(items)
+            outcomes = [self._run_pnn_item_local(item) for item in items]
+        healthy = not fell_back and before == self._failure_fingerprint(executor)
+        transition = self._breaker.record(healthy)
+        if transition == "degraded" and active == "process":
+            # Walking away from a sick pool: release its workers now
+            # rather than keeping zombies resident while degraded.
+            executor.close()
 
         slots: list[QueryResult | None] = [None] * len(queries)
         lane_seconds = 0.0
@@ -481,14 +554,32 @@ class ShardedEngine(
             batch.result_hits += sub.result_hits
         batch.results = slots
         wall = time.perf_counter() - wall_tick
+        if fell_back:
+            ran_on = "serial"
+        elif remote or active != "process":
+            ran_on = active
+        else:
+            ran_on = "serial"
         self._last_parallel = {
             "specs": len(queries),
             "lanes_used": len(items),
-            "backend": self._backend if remote or self._backend != "process" else "serial",
+            "backend": ran_on,
             "wall_s": wall,
             "lane_s": lane_seconds,
             "parallel_speedup": (lane_seconds / wall) if wall > 0 else 1.0,
         }
+        if fell_back or not healthy:
+            # Something failed under this batch (even though every
+            # answer is exact): stamp the story on each result so a
+            # caller holding only the QueryResult can see it.
+            note = {
+                "backend": ran_on,
+                "configured": self._backend,
+                "recovered_inline": fell_back,
+                "breaker": self._breaker.snapshot()["state"],
+            }
+            for result in batch.results:
+                result.diagnostics["executor"] = dict(note)
         return batch
 
     def _stage_filter_results(
@@ -539,12 +630,16 @@ class ShardedEngine(
         lane = self._lanes[item.lane]
         lane._staged = staged
         lane._scan_objects = snapshot
+        # Lanes run the single-engine pipeline, whose C-PNN loops poll
+        # their own host's scope — hand them the parent's.
+        lane._cancel_scope = getattr(self, "_cancel_scope", None)
         tick = time.perf_counter()
         try:
             sub = lane._pnn_batch(list(item.specs), item.strategy)
         finally:
             lane._staged = None
             lane._scan_objects = None
+            lane._cancel_scope = None
         return sub, time.perf_counter() - tick
 
     def _run_pnn_item_local(self, item: PnnItem) -> tuple[BatchResult, float]:
@@ -603,6 +698,21 @@ class ShardedEngine(
     # Observability
     # ------------------------------------------------------------------
 
+    def _executor_stats(self) -> dict:
+        """The breaker-active backend's counters, normalised to one
+        schema (missing counters read 0 — the serial backend cannot
+        lose a worker), plus the engine-level failure story."""
+        stats = dict(self._executor_for(self._breaker.backend).stats())
+        for counter in self._EXECUTOR_COUNTERS:
+            stats.setdefault(counter, 0)
+        stats["configured"] = self._backend
+        stats["inline_fallbacks"] = self._fallback_items
+        stats["breaker"] = self._breaker.snapshot()
+        return stats
+
+    def _executor_diagnostics(self) -> dict:
+        return self._executor_stats()
+
     def _shard_stats(self) -> dict:
         occupancy = [len(shard) for shard in self._shards]
         n = len(self._objects)
@@ -645,19 +755,21 @@ class ShardedEngine(
             ),
             "caches": self._cache_stats(),
             "shards": self._shard_stats(),
-            "executor": self._executor.stats(),
+            "executor": self._executor_stats(),
         }
 
-    def explain(self, spec, strategy: str | None = None) -> QueryPlan:
+    def _explain(self, spec, strategy: str | None = None) -> QueryPlan:
         """The sharded evaluation plan: the single-engine plan shape
         plus per-shard occupancy and parallel accounting in
-        :attr:`~repro.core.types.QueryPlan.shards`."""
+        :attr:`~repro.core.types.QueryPlan.shards` (the façade's
+        :meth:`~repro.core.engine.facade.QueryFacadeMixin.explain`
+        wrapper stamps executor diagnostics on top)."""
         spec = self._as_spec(spec)
         for lane in self._lanes:
             lane._flush_table_invalidations()  # report live entry counts
         caches = self._cache_stats()
         shards = self._shard_stats()
-        shards["executor"] = self._executor.stats()
+        shards["executor"] = self._executor_stats()
         n = len(self._objects)
         family = self._family_of(spec)
         if not self._objects:

@@ -215,6 +215,13 @@ class QueryResult:
     cache_hits / cache_misses:
         Distance-distribution cache traffic attributable to this
         query, for paths routed through the engine's LRU cache.
+    diagnostics:
+        Out-of-band execution notes, populated only when something
+        noteworthy happened on the way to this (still exact) answer —
+        e.g. ``diagnostics["executor"]`` when a worker died and the
+        batch recovered inline, or ``diagnostics["approximate"]`` when
+        the service's ε-early-answer path widened the tolerance under
+        a deadline.  Empty on the happy path.
     """
 
     answers: tuple
@@ -227,6 +234,7 @@ class QueryResult:
     spec: QuerySpec | None = None
     cache_hits: int = 0
     cache_misses: int = 0
+    diagnostics: dict = field(default_factory=dict)
 
     def record_for(self, key: Hashable) -> AnswerRecord:
         for record in self.records:
@@ -239,11 +247,14 @@ class QueryResult:
         so the dataclass default (which dumps them all) is useless at a
         REPL and hazardous in logs."""
         spec = type(self.spec).__name__ if self.spec is not None else None
-        return (
+        summary = (
             f"{type(self).__name__}(answers={len(self.answers)}, "
             f"records={len(self.records)}, fmin={self.fmin:.6g}, "
-            f"refined_objects={self.refined_objects}, spec={spec})"
+            f"refined_objects={self.refined_objects}, spec={spec}"
         )
+        if self.diagnostics:
+            summary += f", diagnostics={sorted(self.diagnostics)}"
+        return summary + ")"
 
 
 #: Legacy name of :class:`QueryResult` (pre-façade API), kept as an
@@ -298,6 +309,12 @@ class QueryPlan:
         wall seconds — the realised parallel speedup).  See
         :class:`~repro.core.engine.sharded.ShardedEngine` and
         DESIGN.md §12.
+    executor:
+        The executor failure story at plan time: active/configured
+        backend, the canonical failure counters (worker deaths,
+        respawns, retries, timeouts, quarantines, shared-memory
+        fallbacks — structurally 0 for inline engines), and the
+        circuit-breaker snapshot (DESIGN.md §14).
     """
 
     spec: QuerySpec
@@ -311,6 +328,7 @@ class QueryPlan:
     fmin: float = float("nan")
     caches: dict = field(default_factory=dict)
     shards: dict = field(default_factory=dict)
+    executor: dict = field(default_factory=dict)
 
     def describe(self) -> str:
         """A printable multi-line summary of the plan."""
@@ -344,4 +362,12 @@ class QueryPlan:
                     f"{parallel.get('wall_s', 0.0):.4g}s wall "
                     f"({parallel.get('parallel_speedup', 1.0):.2f}x)"
                 )
+        if self.executor:
+            breaker = self.executor.get("breaker") or {}
+            lines.append(
+                f"  executor  : {self.executor.get('backend')} "
+                f"(configured {self.executor.get('configured')}, "
+                f"breaker {breaker.get('state', 'disabled')}, "
+                f"{self.executor.get('worker_failures', 0)} worker failures)"
+            )
         return "\n".join(lines)

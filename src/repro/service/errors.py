@@ -1,0 +1,60 @@
+"""Typed service failures: every rejection names its policy.
+
+The service never answers with a partially-wrong result — failure is
+always one of these exceptions (or an explicitly ``approximate``-marked
+reply under the ε-early-answer policy).  Callers branch on the type:
+``QueueFull`` means back off and resubmit, ``DeadlineExceeded`` means
+the budget was too small, ``RequestFailed`` wraps an engine error that
+survived the retry policy, ``ServiceClosed`` means stop submitting.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DeadlineExceeded",
+    "QueueFull",
+    "RequestFailed",
+    "ServiceClosed",
+    "ServiceError",
+]
+
+
+class ServiceError(Exception):
+    """Base of every service-level failure."""
+
+
+class ServiceClosed(ServiceError):
+    """The service is shut down (or shutting down); submissions are
+    no longer accepted.  In-flight requests at close time still
+    complete."""
+
+
+class QueueFull(ServiceError):
+    """Admission control shed this request: the bounded queue was at
+    capacity.  Carries the observed ``depth`` and the configured
+    ``limit`` so callers can log the pressure they hit."""
+
+    def __init__(self, depth: int, limit: int) -> None:
+        super().__init__(
+            f"admission queue full ({depth}/{limit}): request shed"
+        )
+        self.depth = depth
+        self.limit = limit
+
+
+class DeadlineExceeded(ServiceError, TimeoutError):
+    """The request's deadline expired before an exact answer was ready
+    and no ε-early answer was allowed (``epsilon == 0``)."""
+
+
+class RequestFailed(ServiceError):
+    """The engine kept failing past the retry policy.  ``cause`` is the
+    last underlying exception; ``attempts`` how many times the request
+    was tried."""
+
+    def __init__(self, cause: BaseException, attempts: int) -> None:
+        super().__init__(
+            f"request failed after {attempts} attempt(s): {cause!r}"
+        )
+        self.cause = cause
+        self.attempts = attempts

@@ -39,6 +39,8 @@ from typing import Mapping
 
 import numpy as np
 
+from repro import hooks
+
 __all__ = [
     "SEGMENT_PREFIX",
     "ShmDescriptor",
@@ -135,6 +137,7 @@ def attach_arrays(
     unlinks.  Callers must drop every view before ``close()``-ing the
     returned segment (a mapped buffer cannot be closed while exported).
     """
+    hooks.fire("shm.attach", segment=descriptor.segment)
     shm = _attach_untracked(descriptor.segment)
     views: dict[str, np.ndarray] = {}
     for field in descriptor.fields:

@@ -122,7 +122,7 @@ class TestObservability:
 
     def test_single_engine_stats_report_serial(self, rng):
         engine = UncertainEngine(make_random_objects(rng, 8))
-        assert engine.stats()["executor"] == "serial"
+        assert engine.stats()["executor"]["backend"] == "serial"
 
     def test_explain_mentions_backend(self, rng):
         objects = make_random_objects(rng, 15)

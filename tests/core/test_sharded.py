@@ -28,20 +28,24 @@ def mixed_specs(points=(4.0, 19.0, 33.0, 57.0)):
     return specs
 
 
+def assert_results_identical(a, b):
+    assert a.answers == b.answers
+    assert (a.fmin == b.fmin) or (np.isnan(a.fmin) and np.isnan(b.fmin))
+    assert len(a.records) == len(b.records)
+    for x, y in zip(a.records, b.records):
+        assert (x.key, x.label, x.lower, x.upper, x.exact) == (
+            y.key,
+            y.label,
+            y.lower,
+            y.upper,
+            y.exact,
+        )
+
+
 def assert_batches_identical(got, want):
     assert len(got.results) == len(want.results)
     for a, b in zip(got.results, want.results):
-        assert a.answers == b.answers
-        assert (a.fmin == b.fmin) or (np.isnan(a.fmin) and np.isnan(b.fmin))
-        assert len(a.records) == len(b.records)
-        for x, y in zip(a.records, b.records):
-            assert (x.key, x.label, x.lower, x.upper, x.exact) == (
-                y.key,
-                y.label,
-                y.lower,
-                y.upper,
-                y.exact,
-            )
+        assert_results_identical(a, b)
 
 
 class TestPartition:

@@ -1,0 +1,321 @@
+"""Behavioural tests for the async query service (DESIGN.md §14).
+
+Coalescing, mutation barriers, admission control, deadlines, and the
+ε-early-answer policy — all against the bit-identity yardstick: a
+sequential ``execute`` loop on a replica engine.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ShardedEngine, UncertainEngine
+from repro.core.types import CKNNQuery, CPNNQuery, CRangeQuery
+from repro.service import (
+    DeadlineExceeded,
+    QueryService,
+    QueueFull,
+    ServiceClosed,
+    ServiceConfig,
+)
+from repro.service.faults import FaultPlan, delay
+from tests.conftest import make_random_objects
+from tests.core.test_sharded import assert_results_identical
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def specs_for(points):
+    return [CPNNQuery(float(q), threshold=0.3, tolerance=0.01) for q in points]
+
+
+@pytest.fixture
+def engines(rng):
+    objects = make_random_objects(rng, 20)
+    sharded = ShardedEngine(objects, n_shards=2, executor="serial")
+    yield sharded, UncertainEngine(list(objects))
+    sharded.close()
+
+
+class TestCoalescing:
+    def test_concurrent_submissions_ride_one_batch(self, engines):
+        engine, single = engines
+        specs = specs_for(np.linspace(2.0, 58.0, 12))
+        want = [single.execute(spec) for spec in specs]
+
+        async def main():
+            config = ServiceConfig(coalesce_window_s=0.02, max_batch=64)
+            async with QueryService(engine, config) as service:
+                replies = await asyncio.gather(
+                    *[service.submit(spec) for spec in specs]
+                )
+                return replies, service.stats()
+
+        replies, stats = run(main())
+        for reply, expected in zip(replies, want):
+            assert_results_identical(reply.result, expected)
+        # All 12 submissions coalesced far below one-batch-per-query.
+        assert stats["batches"] < len(specs)
+        assert any(reply.coalesced > 1 for reply in replies)
+
+    def test_zero_window_ships_queries_alone(self, engines):
+        engine, single = engines
+        specs = specs_for((7.0, 31.0, 48.0))
+
+        async def main():
+            config = ServiceConfig(coalesce_window_s=0.0)
+            async with QueryService(engine, config) as service:
+                for spec in specs:
+                    reply = await service.submit(spec)
+                    assert_results_identical(reply.result, single.execute(spec))
+                return service.stats()
+
+        stats = run(main())
+        assert stats["batches"] == len(specs)
+
+    def test_mixed_families(self, engines):
+        engine, single = engines
+        specs = [
+            CPNNQuery(12.0, threshold=0.3),
+            CKNNQuery(25.0, threshold=0.4, k=2),
+            CRangeQuery(40.0, threshold=0.5, radius=6.0),
+        ]
+
+        async def main():
+            async with QueryService(engine, ServiceConfig()) as service:
+                return await asyncio.gather(
+                    *[service.submit(spec) for spec in specs]
+                )
+
+        for reply, spec in zip(run(main()), specs):
+            assert_results_identical(reply.result, single.execute(spec))
+
+
+class TestMutationBarriers:
+    def test_queries_after_a_mutation_see_its_effect(self, rng, engines):
+        engine, single = engines
+        fresh = make_random_objects(rng, 25)[-1]  # key 24: no collision
+        spec = CPNNQuery(15.0, threshold=0.3)
+
+        async def main():
+            async with QueryService(engine, ServiceConfig()) as service:
+                before = await service.submit(spec)
+                await service.insert(fresh)
+                after = await service.submit(spec)
+                removed = await service.remove(fresh.key)
+                final = await service.submit(spec)
+                return before, after, removed, final
+
+        before, after, removed, final = run(main())
+        assert_results_identical(before.result, single.execute(spec))
+        single.insert(fresh)
+        assert_results_identical(after.result, single.execute(spec))
+        assert removed is True
+        single.remove(fresh.key)
+        assert_results_identical(final.result, single.execute(spec))
+
+    def test_interleaved_submissions_and_mutations_stay_exact(
+        self, rng, engines
+    ):
+        engine, single = engines
+        extras = make_random_objects(rng, 30)[20:]  # keys 20-29
+        spec_points = (5.0, 18.0, 33.0, 47.0)
+
+        async def main():
+            async with QueryService(
+                engine, ServiceConfig(coalesce_window_s=0.005)
+            ) as service:
+                replies = []
+                for i, obj in enumerate(extras):
+                    batch = await asyncio.gather(
+                        *[
+                            service.submit(CPNNQuery(q, threshold=0.3))
+                            for q in spec_points
+                        ]
+                    )
+                    replies.append(batch)
+                    await service.insert(obj)
+                tail = await asyncio.gather(
+                    *[
+                        service.submit(CPNNQuery(q, threshold=0.3))
+                        for q in spec_points
+                    ]
+                )
+                replies.append(tail)
+                return replies
+
+        replies = run(main())
+        for i, batch in enumerate(replies):
+            for reply, q in zip(batch, spec_points):
+                assert_results_identical(
+                    reply.result, single.execute(CPNNQuery(q, threshold=0.3))
+                )
+            if i < len(extras):
+                single.insert(extras[i])
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_with_queue_full(self, engines):
+        engine, single = engines
+        config = ServiceConfig(
+            coalesce_window_s=0.005, max_batch=4, max_queue=6
+        )
+        total = 24
+
+        async def main():
+            async with QueryService(engine, config) as service:
+                # All submit coroutines take their first step (spec →
+                # offer) before the dispatcher's wakeup callback runs,
+                # so the burst hits the admission queue as one wave:
+                # max_queue admitted, the rest shed deterministically.
+                tasks = [
+                    asyncio.ensure_future(
+                        service.submit(CPNNQuery(float(3 + i), threshold=0.3))
+                    )
+                    for i in range(total)
+                ]
+                results = await asyncio.gather(*tasks, return_exceptions=True)
+                return results, service.stats()
+
+        results, stats = run(main())
+        shed = [r for r in results if isinstance(r, QueueFull)]
+        served = [r for r in results if not isinstance(r, BaseException)]
+        assert shed, "overload never shed anything"
+        assert stats["shed"] == len(shed)
+        assert len(served) + len(shed) == total
+        # Everything admitted was answered exactly.
+        for reply in served:
+            assert_results_identical(
+                reply.result, single.execute(reply.result.spec)
+            )
+        rejection = shed[0]
+        assert rejection.limit == 6
+        assert rejection.depth >= rejection.limit
+
+    def test_closed_service_rejects_submissions(self, engines):
+        engine, _ = engines
+
+        async def main():
+            service = QueryService(engine, ServiceConfig())
+            async with service:
+                await service.submit(CPNNQuery(10.0, threshold=0.3))
+            with pytest.raises(ServiceClosed):
+                await service.submit(CPNNQuery(10.0, threshold=0.3))
+
+        run(main())
+
+
+class TestDeadlines:
+    def test_generous_deadline_answers_exactly(self, engines):
+        engine, single = engines
+        spec = CPNNQuery(22.0, threshold=0.3)
+
+        async def main():
+            async with QueryService(engine, ServiceConfig()) as service:
+                return await service.submit(spec, deadline_s=30.0)
+
+        reply = run(main())
+        assert reply.approximate is False
+        assert_results_identical(reply.result, single.execute(spec))
+
+    def test_expired_deadline_without_epsilon_is_typed(self, engines):
+        engine, _ = engines
+        plan = FaultPlan().script("service.batch", delay(0.05), at=1)
+
+        async def main():
+            async with QueryService(
+                engine, ServiceConfig(coalesce_window_s=0.0)
+            ) as service:
+                with pytest.raises(DeadlineExceeded):
+                    await service.submit(
+                        CPNNQuery(22.0, threshold=0.3), deadline_s=0.01
+                    )
+                return service.stats()
+
+        with plan:
+            stats = run(main())
+        assert plan.fired
+        assert stats["deadline_misses"] == 1
+        assert stats["approximate"] == 0
+
+
+class TestEpsilonEarlyAnswers:
+    def test_epsilon_answer_is_bound_certified(self, engines):
+        engine, single = engines
+        spec = CPNNQuery(22.0, threshold=0.3, tolerance=0.01)
+        epsilon = 0.2
+        plan = FaultPlan().script("service.batch", delay(0.05), at=1)
+
+        async def main():
+            async with QueryService(
+                engine, ServiceConfig(coalesce_window_s=0.0)
+            ) as service:
+                reply = await service.submit(
+                    spec, deadline_s=0.01, epsilon=epsilon
+                )
+                return reply, service.stats()
+
+        with plan:
+            reply, stats = run(main())
+        assert reply.approximate is True
+        assert reply.epsilon == epsilon
+        assert stats["approximate"] == 1
+        note = reply.result.diagnostics["approximate"]
+        assert note["reason"] == "deadline"
+        assert note["certified_tolerance"] == max(spec.tolerance, epsilon)
+        # The C-PNN contract with the widened tolerance:
+        # {p >= P} ⊆ answers ⊆ {p >= P - max(Δ, ε)}.
+        exact = single.pnn(spec.q)
+        answers = set(reply.result.answers)
+        must_have = {k for k, p in exact.items() if p >= spec.threshold}
+        may_have = {
+            k
+            for k, p in exact.items()
+            if p >= spec.threshold - max(spec.tolerance, epsilon)
+        }
+        assert must_have <= answers <= may_have
+
+    def test_epsilon_zero_preserves_exactness(self, engines):
+        """With ε=0 a lapsed deadline is always a typed error — the
+        service never silently loosens an answer."""
+        engine, single = engines
+        spec = CPNNQuery(22.0, threshold=0.3)
+        plan = FaultPlan().script("service.batch", delay(0.05), at=1)
+
+        async def main():
+            async with QueryService(
+                engine, ServiceConfig(coalesce_window_s=0.0)
+            ) as service:
+                with pytest.raises(DeadlineExceeded):
+                    await service.submit(spec, deadline_s=0.01, epsilon=0.0)
+                # The service keeps answering exactly afterwards.
+                reply = await service.submit(spec)
+                return reply
+
+        with plan:
+            reply = run(main())
+        assert reply.approximate is False
+        assert_results_identical(reply.result, single.execute(spec))
+
+
+class TestStats:
+    def test_stats_expose_service_and_executor_counters(self, engines):
+        engine, _ = engines
+
+        async def main():
+            async with QueryService(engine, ServiceConfig()) as service:
+                await service.submit(CPNNQuery(12.0, threshold=0.3))
+                await service.insert(
+                    make_random_objects(np.random.default_rng(7), 30)[-1]
+                )
+                return service.stats()
+
+        stats = run(main())
+        assert stats["submitted"] == 1
+        assert stats["mutations"] == 1
+        assert stats["batches"] == 1
+        assert stats["executor"]["backend"] == "serial"
+        assert "breaker" in stats["executor"]
