@@ -40,6 +40,7 @@ except ModuleNotFoundError:
 import test_batch_throughput as throughput_bench  # noqa: E402
 import test_columnar_speedup as columnar_bench  # noqa: E402
 import test_dynamic_updates as dynamic_bench  # noqa: E402
+import test_parametric_init as parametric_bench  # noqa: E402
 import test_service_latency as service_bench  # noqa: E402
 import test_sharded_parallel as sharded_bench  # noqa: E402
 
@@ -229,6 +230,19 @@ def measure_process_executor(repeats: int) -> dict:
     }
 
 
+def measure_parametric_init(repeats: int) -> dict:
+    """Parametric vs eager-histogram initialisation on the Gaussian
+    workload (DESIGN.md §15): object-set build plus per-query
+    initialisation for a fig14-style batch, best-of-``repeats``, with
+    every repetition's answer sets cross-checked for contract
+    compatibility.  The init speedup is the issue's gated quantity
+    (≥ 3x locally)."""
+    return {
+        **parametric_bench.measure(repeats),
+        **_environment("serial"),
+    }
+
+
 def measure_service_latency(repeats: int) -> dict:
     """Coalescing service vs a one-query-per-dispatch service under the
     same burst (DESIGN.md §14): client-observed p50/p99 and served QPS
@@ -285,6 +299,7 @@ def main(argv=None) -> int:
         "sharded_parallel": measure_sharded_parallel(args.repeats),
         "process_executor": measure_process_executor(args.repeats),
         "service_latency": measure_service_latency(args.repeats),
+        "parametric_init": measure_parametric_init(args.repeats),
     }
     with open(args.output, "w") as handle:
         json.dump(snapshot, handle, indent=2, sort_keys=False)
@@ -298,7 +313,8 @@ def main(argv=None) -> int:
         f"knn batch {snapshot['knn_batch_throughput']['speedup']:.0f}x, "
         f"range batch {snapshot['range_batch_throughput']['speedup']:.2f}x, "
         f"dynamic updates {snapshot['dynamic_updates']['speedup']:.2f}x, "
-        f"service p50 {snapshot['service_latency']['p50_speedup']:.2f}x"
+        f"service p50 {snapshot['service_latency']['p50_speedup']:.2f}x, "
+        f"parametric init {snapshot['parametric_init']['init_speedup']:.2f}x"
     )
     return 0
 

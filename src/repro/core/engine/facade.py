@@ -170,11 +170,27 @@ class QueryFacadeMixin(SpecDispatchMixin):
         if strategy == Strategy.VR:
             chain = self._chain_for(type(spec))
             verifiers = tuple(v.name for v in chain.verifiers)
-            return verifiers, [
+            stages = [
                 "distance distributions + subregion table",
                 "verifier chain: " + " → ".join(verifiers),
                 "incremental refinement of surviving candidates",
             ]
+            if self._config.parametric_fast_path:
+                stages.insert(
+                    0,
+                    "parametric fast path: analytic subregion table when "
+                    "every candidate has a closed-form distance "
+                    "(histogram pipeline on fallback)",
+                )
+            if self._config.mc_tier:
+                stages.insert(
+                    len(stages) - 1,
+                    "MC tier: Hoeffding bounds from "
+                    f"{self._config.mc_trials} joint samples at "
+                    f"{self._config.mc_confidence:g} confidence "
+                    "(uncertified; certified tiers unaffected)",
+                )
+            return verifiers, stages
         if strategy == Strategy.REFINE:
             return (), [
                 "distance distributions + subregion table",
@@ -474,6 +490,17 @@ class UncertainEngine(
             "filter_stale": self._filter_stale,
             "pending_invalidations": len(self._pending_invalidation),
             "caches": self._cache_stats(),
+            "mc": {
+                "enabled": self._config.mc_tier,
+                "trials": self._config.mc_trials,
+                "confidence": self._config.mc_confidence,
+                "seed": self._config.mc_seed,
+            },
+            "parametric": {
+                "fast_path": self._config.parametric_fast_path,
+                "grid": self._config.analytic_grid,
+                "max_grid": self._config.analytic_max_grid,
+            },
         }
 
     # ------------------------------------------------------------------

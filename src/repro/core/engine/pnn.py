@@ -39,6 +39,7 @@ from repro.core.types import (
     QueryResult,
 )
 from repro.index.filtering import FilterResult
+from repro.uncertainty.parametric.table import AnalyticTable
 
 __all__ = ["PnnExecutorMixin"]
 
@@ -102,12 +103,74 @@ class PnnExecutorMixin:
     """C-PNN evaluation (single + batch) against the host protocol."""
 
     def _execute_pnn(self, query: CPNNQuery, strategy: str) -> QueryResult:
-        prepared = self._prepare(query)
+        filter_result = None
+        filter_time = 0.0
+        if strategy == Strategy.VR and self._config.parametric_fast_path:
+            tick = time.perf_counter()
+            filter_result = self._single_filter()(query.q)
+            filter_time = time.perf_counter() - tick
+            result = self._run_parametric(filter_result, query, filter_time)
+            if result is not None:
+                return result
+        prepared = self._prepare(query, filter_result, filter_time)
         if strategy == Strategy.BASIC:
             return self._run_basic(prepared, query)
         if strategy == Strategy.REFINE:
             return self._run_refine(prepared, query)
         return self._run_vr(prepared, query)
+
+    def _run_parametric(
+        self, filter_result: FilterResult, query: CPNNQuery, filter_time: float
+    ) -> QueryResult | None:
+        """Verify on an analytic table — no histogram materialisation.
+
+        Returns ``None`` when the fast path does not apply (some
+        candidate has no closed form) or cannot settle every candidate
+        within ``analytic_max_grid``; the caller then reruns the
+        standard histogram pipeline from *fresh* states, so fallback
+        answers are bit-identical to the histogram engine's.
+        """
+        candidates = filter_result.candidates
+        if not candidates or not all(
+            hasattr(obj, "parametric_distance") for obj in candidates
+        ):
+            return None
+        timings = PhaseTimings(filtering=filter_time)
+        tick = time.perf_counter()
+        distances = [obj.parametric_distance(query.q) for obj in candidates]
+        try:
+            table = AnalyticTable(distances, grid=self._config.analytic_grid)
+        except ValueError:
+            return None
+        states = CandidateStates(table.keys, pad=self._config.bound_pad)
+        timings.initialization = time.perf_counter() - tick
+
+        chain = self._chain_for(type(query))
+        unknown_after: dict[str, float] = {}
+        tick = time.perf_counter()
+        while True:
+            outcome = chain.run(table, states, query)
+            unknown_after.update(outcome.unknown_after)
+            if states.n_unknown == 0:
+                break
+            next_grid = table.grid * 4
+            if next_grid > self._config.analytic_max_grid:
+                timings.verification += time.perf_counter() - tick
+                return None
+            # Same states across escalations: every certified bound
+            # already recorded is valid for the exact model, so the
+            # finer table's brackets only tighten the intersection.
+            table = table.refined(next_grid)
+        timings.verification += time.perf_counter() - tick
+        return self._build_result(
+            table.keys,
+            states,
+            filter_result.fmin,
+            timings,
+            unknown_after=unknown_after,
+            finished_after_verification=True,
+            refined=0,
+        )
 
     def _pnn_batch(
         self, queries: list[CPNNQuery], strategy: str | None
@@ -171,6 +234,38 @@ class PnnExecutorMixin:
                 result.spec = query
             return batch
 
+        if strategy == Strategy.VR and self._config.parametric_fast_path:
+            # Queries whose candidates all evaluate in closed form are
+            # answered analytically right here, skipping table build,
+            # caching, and snapshot memoisation (re-running the fast
+            # path is cheaper than pinning a materialised table).
+            # Queries with a warm cached table keep the standard flow.
+            keep = []
+            for i, b in enumerate(live):
+                if entries.get(b) is None:
+                    check_cancel(self)
+                    result = self._run_parametric(
+                        filter_results[i], queries[i], 0.0
+                    )
+                    if result is not None:
+                        slots[b] = result
+                        timings.initialization += result.timings.initialization
+                        timings.verification += result.timings.verification
+                        continue
+                keep.append(i)
+            if len(keep) < len(live):
+                live = [live[i] for i in keep]
+                queries = [queries[i] for i in keep]
+                filter_results = [filter_results[i] for i in keep]
+            if not queries:
+                batch.results = slots
+                for result, query in zip(slots, all_queries):
+                    result.spec = query
+                if cache is not None:
+                    batch.cache_hits = cache.hits - hits_before
+                    batch.cache_misses = cache.misses - misses_before
+                return batch
+
         tick = time.perf_counter()
         tables = []
         distributions_built = 0
@@ -202,6 +297,8 @@ class PnnExecutorMixin:
                     entries[b] = entry
                     built_this_batch[key] = entry
             tables.append(table)
+        # Phase times accumulate (+=): the parametric pre-pass above may
+        # already have booked its share for fast-path queries.
         offsets = np.zeros(len(tables) + 1, dtype=np.intp)
         np.cumsum([table.size for table in tables], out=offsets[1:])
         total = int(offsets[-1])
@@ -232,7 +329,7 @@ class PnnExecutorMixin:
                 order=self._config.refinement_order,
             )
             prepared.append(_Prepared(fr, table, states, refiner))
-        timings.initialization = time.perf_counter() - tick
+        timings.initialization += time.perf_counter() - tick
 
         if strategy == Strategy.VR:
             # The flat sweep classifies the whole batch against one
@@ -261,7 +358,7 @@ class PnnExecutorMixin:
                     self._chain_for(type(query)).run(table, prep.states, query)
                     for table, prep, query in zip(tables, prepared, queries)
                 ]
-            timings.verification = time.perf_counter() - tick
+            timings.verification += time.perf_counter() - tick
 
             tick = time.perf_counter()
             for b, prep, query, outcome in zip(live, prepared, queries, outcomes):
@@ -331,11 +428,17 @@ class PnnExecutorMixin:
     # C-PNN phases
     # ------------------------------------------------------------------
 
-    def _prepare(self, query: CPNNQuery) -> _Prepared:
-        timings = PhaseTimings()
-        tick = time.perf_counter()
-        filter_result = self._single_filter()(query.q)
-        timings.filtering = time.perf_counter() - tick
+    def _prepare(
+        self,
+        query: CPNNQuery,
+        filter_result: FilterResult | None = None,
+        filter_time: float = 0.0,
+    ) -> _Prepared:
+        timings = PhaseTimings(filtering=filter_time)
+        if filter_result is None:
+            tick = time.perf_counter()
+            filter_result = self._single_filter()(query.q)
+            timings.filtering = time.perf_counter() - tick
 
         tick = time.perf_counter()
         distributions = [
@@ -428,11 +531,34 @@ class PnnExecutorMixin:
         refined: int,
         exact: np.ndarray | None = None,
     ) -> QueryResult:
-        states = prepared.states
-        table = prepared.table
+        return self._build_result(
+            prepared.table.keys,
+            prepared.states,
+            prepared.filter_result.fmin,
+            prepared.timings,
+            unknown_after=unknown_after,
+            finished_after_verification=finished_after_verification,
+            refined=refined,
+            exact=exact,
+        )
+
+    def _build_result(
+        self,
+        keys,
+        states: CandidateStates,
+        fmin: float,
+        timings: PhaseTimings,
+        unknown_after: dict[str, float],
+        finished_after_verification: bool,
+        refined: int,
+        exact: np.ndarray | None = None,
+    ) -> QueryResult:
+        """Assemble a :class:`QueryResult` from final candidate states —
+        shared by the histogram pipeline (via :meth:`_assemble`) and the
+        table-less parametric fast path."""
         records = []
         answers = []
-        for i, key in enumerate(table.keys):
+        for i, key in enumerate(keys):
             label = _CODE_TO_LABEL[int(states.labels[i])]
             exact_p = float(exact[i]) if exact is not None else None
             if exact_p is None and states.upper[i] - states.lower[i] <= 3 * states.pad:
@@ -451,8 +577,8 @@ class PnnExecutorMixin:
         return QueryResult(
             answers=tuple(answers),
             records=records,
-            fmin=prepared.filter_result.fmin,
-            timings=prepared.timings,
+            fmin=fmin,
+            timings=timings,
             unknown_after_verifier=dict(unknown_after),
             finished_after_verification=finished_after_verification,
             refined_objects=refined,

@@ -44,6 +44,13 @@ class Verifier(abc.ABC):
     #: orders verifiers by ascending running cost).
     cost_rank: int = 0
 
+    #: Whether the verifier's bounds hold with certainty.  Certified
+    #: bounds are intersected with the running interval and survive
+    #: escalation; uncertified ones (e.g. Monte-Carlo confidence
+    #: bounds) may classify candidates but are *not* allowed to
+    #: constrain later certified tiers — see the chain runner.
+    certified: bool = True
+
     @abc.abstractmethod
     def compute(self, table: SubregionTable) -> BoundUpdate:
         """Bounds for every candidate in ``table`` (vectorised)."""

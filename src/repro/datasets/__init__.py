@@ -13,6 +13,7 @@ synthetic workloads live in :mod:`repro.datasets.synthetic`.
 from repro.datasets.longbeach import LONG_BEACH_SIZE, long_beach_surrogate
 from repro.datasets.planar import planar_disks, planar_mixed_objects
 from repro.datasets.queries import random_query_points
+from repro.datasets.scenarios import gps_ellipse_objects, sensor_noise_objects
 from repro.datasets.synthetic import (
     clustered_intervals,
     interval_objects,
@@ -23,11 +24,13 @@ from repro.datasets.synthetic import (
 __all__ = [
     "LONG_BEACH_SIZE",
     "clustered_intervals",
+    "gps_ellipse_objects",
     "interval_objects",
     "long_beach_surrogate",
     "mixed_pdf_objects",
     "planar_disks",
     "planar_mixed_objects",
     "random_query_points",
+    "sensor_noise_objects",
     "uniform_intervals",
 ]

@@ -49,6 +49,7 @@ def long_beach_surrogate(
     pdf: str = "uniform",
     bars: int = DEFAULT_GAUSSIAN_BARS,
     mean_length: float = _CALIBRATED_MEAN_LENGTH,
+    representation: str = "parametric",
     seed: int = 20080407,
 ) -> list[UncertainObject]:
     """Generate the Long Beach surrogate workload.
@@ -67,6 +68,11 @@ def long_beach_surrogate(
         Mean interval length; the default is calibrated for the
         paper's reported average candidate-set size of ≈ 96 at the
         full 53,144-interval scale.
+    representation:
+        How Gaussian objects are built (ignored for uniform pdfs):
+        ``'parametric'`` (default) defers every 300-bar histogram
+        behind a closed-form distance law, ``'histogram'`` keeps the
+        paper-faithful eager construction — see DESIGN.md §15.
     seed:
         Deterministic by default so experiments are repeatable.
     """
@@ -80,5 +86,6 @@ def long_beach_surrogate(
         min_length=0.5,
         pdf=pdf,
         bars=bars,
+        representation=representation,
         rng=rng,
     )

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.uncertainty.histogram import Histogram
 from repro.uncertainty.objects import UncertainObject
+from repro.uncertainty.parametric.objects import GaussianObject
 from repro.uncertainty.pdfs import DEFAULT_GAUSSIAN_BARS
 
 __all__ = [
@@ -22,6 +23,9 @@ __all__ = [
     "interval_objects",
     "mixed_pdf_objects",
 ]
+
+#: Representations an interval generator can emit for Gaussian pdfs.
+REPRESENTATIONS = ("parametric", "histogram")
 
 
 def _lengths(
@@ -44,21 +48,34 @@ def interval_objects(
     lengths: np.ndarray,
     pdf: str = "uniform",
     bars: int = DEFAULT_GAUSSIAN_BARS,
+    representation: str = "parametric",
 ) -> list[UncertainObject]:
     """Materialise interval objects with the requested pdf family.
 
     ``pdf`` is ``'uniform'`` (the Long Beach treatment) or
     ``'gaussian'`` (Section V-B experiment 5: mean at the centre,
     sigma = width / 6, ``bars``-bar histogram).
+
+    ``representation`` selects how Gaussian objects are built:
+    ``'parametric'`` (default) yields
+    :class:`~repro.uncertainty.parametric.objects.GaussianObject` —
+    closed-form distance law, histogram materialised lazily and
+    byte-identically on demand — while ``'histogram'`` keeps the
+    paper-faithful eager ``bars``-bar construction.  Uniform objects
+    are unaffected (their histogram is a single bar either way).
     """
     if pdf not in ("uniform", "gaussian"):
         raise ValueError("pdf must be 'uniform' or 'gaussian'")
+    if representation not in REPRESENTATIONS:
+        raise ValueError("representation must be 'parametric' or 'histogram'")
     objects = []
     for i, (center, length) in enumerate(zip(centers, lengths)):
         lo = float(center - length / 2.0)
         hi = float(center + length / 2.0)
         if pdf == "uniform":
             objects.append(UncertainObject.uniform(i, lo, hi))
+        elif representation == "parametric":
+            objects.append(GaussianObject(i, lo, hi, bars=bars))
         else:
             objects.append(UncertainObject.gaussian(i, lo, hi, bars=bars))
     return objects
@@ -71,13 +88,16 @@ def uniform_intervals(
     min_length: float = 0.5,
     pdf: str = "uniform",
     bars: int = DEFAULT_GAUSSIAN_BARS,
+    representation: str = "parametric",
     rng: np.random.Generator | None = None,
 ) -> list[UncertainObject]:
     """``n`` intervals with uniformly distributed centers."""
     rng = rng or np.random.default_rng()
     centers = rng.uniform(domain[0], domain[1], n)
     lengths = _lengths(n, mean_length, min_length, rng)
-    return interval_objects(centers, lengths, pdf=pdf, bars=bars)
+    return interval_objects(
+        centers, lengths, pdf=pdf, bars=bars, representation=representation
+    )
 
 
 def clustered_intervals(
@@ -89,6 +109,7 @@ def clustered_intervals(
     min_length: float = 0.5,
     pdf: str = "uniform",
     bars: int = DEFAULT_GAUSSIAN_BARS,
+    representation: str = "parametric",
     rng: np.random.Generator | None = None,
 ) -> list[UncertainObject]:
     """``n`` intervals whose centers cluster around random seeds.
@@ -103,7 +124,9 @@ def clustered_intervals(
     centers = seeds[assignment] + rng.normal(0.0, cluster_spread, n)
     centers = np.clip(centers, domain[0], domain[1])
     lengths = _lengths(n, mean_length, min_length, rng)
-    return interval_objects(centers, lengths, pdf=pdf, bars=bars)
+    return interval_objects(
+        centers, lengths, pdf=pdf, bars=bars, representation=representation
+    )
 
 
 def mixed_pdf_objects(

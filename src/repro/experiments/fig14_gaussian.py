@@ -35,12 +35,22 @@ class Fig14Params:
     dataset_size: int = 53_144
     #: Histogram bars per Gaussian; the paper uses 300.
     bars: int = 300
+    #: ``'parametric'`` (default) builds closed-form Gaussian objects —
+    #: VR runs on the analytic fast path with zero histogram
+    #: constructions; ``'histogram'`` replays the paper-faithful eager
+    #: 300-bar build (DESIGN.md §15).
+    representation: str = "parametric"
     seed: int = DEFAULT_QUERY_SEED
 
 
 def run(params: Fig14Params | None = None) -> ExperimentResult:
     params = params or Fig14Params()
-    engine = cached_engine(params.dataset_size, pdf="gaussian", bars=params.bars)
+    engine = cached_engine(
+        params.dataset_size,
+        pdf="gaussian",
+        bars=params.bars,
+        representation=params.representation,
+    )
     points = query_points(params.n_queries, seed=params.seed)
     result = ExperimentResult(
         experiment_id="fig14",
@@ -51,6 +61,7 @@ def run(params: Fig14Params | None = None) -> ExperimentResult:
             "n_queries": params.n_queries,
             "bars": params.bars,
             "tolerance": params.tolerance,
+            "representation": params.representation,
         },
     )
     series = {name: Series(f"{name}_ms") for name in ("basic", "refine", "vr")}

@@ -48,10 +48,19 @@ def cached_engine(
     pdf: str = "uniform",
     bars: int = 300,
     mean_length: float | None = None,
+    representation: str = "parametric",
 ) -> UncertainEngine:
-    """An engine over the Long Beach surrogate (memoised)."""
+    """An engine over the Long Beach surrogate (memoised).
+
+    ``representation`` picks how Gaussian objects are built (ignored
+    for uniform pdfs): ``'parametric'`` (default) enables the engine's
+    analytic fast path, ``'histogram'`` replays the paper-faithful
+    eager 300-bar construction.
+    """
     kwargs = {} if mean_length is None else {"mean_length": mean_length}
-    objects = long_beach_surrogate(n=n, pdf=pdf, bars=bars, **kwargs)
+    objects = long_beach_surrogate(
+        n=n, pdf=pdf, bars=bars, representation=representation, **kwargs
+    )
     return UncertainEngine(objects, EngineConfig())
 
 

@@ -1,0 +1,48 @@
+"""Analytic (parametric) distance distributions — DESIGN.md §15.
+
+Closed-form ``pdf``/``cdf``/``sf``/``mass_between`` for the model
+families the paper's experiments need (truncated Gaussian, Gaussian
+mixture, uniform disk, GPS error ellipse), a mixed parametric +
+histogram columnar pack, and the analytic subregion table the
+verifier chain consumes on the parametric fast path.
+"""
+
+from repro.uncertainty.parametric.base import (
+    FAMILY_REGISTRY,
+    ParametricDistance,
+    register_family,
+)
+from repro.uncertainty.parametric.disk import UniformDiskDistance
+from repro.uncertainty.parametric.ellipse import (
+    GpsEllipseDistance,
+    ellipse_half_extents,
+)
+from repro.uncertainty.parametric.gaussian import (
+    GaussianMixtureDistance,
+    TruncatedGaussianDistance,
+)
+from repro.uncertainty.parametric.objects import (
+    GaussianMixtureObject,
+    GaussianObject,
+    GpsEllipseObject,
+    ParametricDisk,
+)
+from repro.uncertainty.parametric.pack import MixedDistributionPack
+from repro.uncertainty.parametric.table import AnalyticTable
+
+__all__ = [
+    "AnalyticTable",
+    "FAMILY_REGISTRY",
+    "GaussianMixtureDistance",
+    "GaussianMixtureObject",
+    "GaussianObject",
+    "GpsEllipseDistance",
+    "GpsEllipseObject",
+    "MixedDistributionPack",
+    "ParametricDistance",
+    "ParametricDisk",
+    "TruncatedGaussianDistance",
+    "UniformDiskDistance",
+    "ellipse_half_extents",
+    "register_family",
+]

@@ -1,0 +1,157 @@
+"""Closed-form distance distribution for uniform-disk objects.
+
+For a uniform pdf over the disk of radius ``R`` around ``c`` and a
+query point ``q`` at distance ``d = |q - c|``, the distance cdf is
+the lens area of circle(q, r) ∩ disk(c, R) over ``πR²`` — exactly
+the formula :meth:`UncertainDisk.distance_cdf` evaluates, vectorised
+over ``r`` here.  The pdf follows from ``dA/dr = 2·α(r)·r`` where
+``α`` is the half-angle of the arc of circle(q, r) inside the disk.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+import numpy as np
+
+from repro.uncertainty.distance import DistanceDistribution
+from repro.uncertainty.parametric.base import (
+    ParametricDistance,
+    as_float_array,
+    register_family,
+    scalar_or_array,
+)
+from repro.uncertainty.twod import (
+    DEFAULT_DISTANCE_BINS,
+    _as_point2d,
+    circle_circle_intersection_area,
+)
+
+__all__ = ["UniformDiskDistance"]
+
+
+@register_family
+class UniformDiskDistance(ParametricDistance):
+    """Exact ``|X - q|`` distribution for a uniform disk region."""
+
+    __slots__ = ("_q", "_center", "_radius", "_d", "_bins", "_near", "_far")
+
+    family = "uniform_disk"
+
+    def __init__(
+        self,
+        q,
+        center,
+        radius: float,
+        distance_bins: int = DEFAULT_DISTANCE_BINS,
+        key: Hashable = None,
+    ) -> None:
+        super().__init__(key)
+        self._q = _as_point2d(q)
+        self._center = _as_point2d(center)
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        self._radius = float(radius)
+        self._bins = int(distance_bins)
+        self._d = float(np.linalg.norm(self._q - self._center))
+        self._near = max(0.0, self._d - self._radius)
+        self._far = self._d + self._radius
+
+    # ------------------------------------------------------------------
+
+    @property
+    def near(self) -> float:
+        return self._near
+
+    @property
+    def far(self) -> float:
+        return self._far
+
+    def cdf(self, r):
+        arr, was_scalar = as_float_array(r)
+        rr = np.maximum(arr, 0.0)
+        d, R = self._d, self._radius
+        area = np.empty_like(rr)
+        # Same case split as circle_circle_intersection_area, vectorised.
+        disjoint = rr <= max(d - R, 0.0)
+        disk_inside = rr >= d + R
+        query_inside = (rr <= R - d) & ~disk_inside
+        lens = ~(disjoint | disk_inside | query_inside)
+        area[disjoint] = 0.0
+        area[disk_inside] = math.pi * R * R
+        area[query_inside] = math.pi * rr[query_inside] ** 2
+        if np.any(lens):
+            rl = rr[lens]
+            cos_a = np.clip((d * d + rl * rl - R * R) / (2.0 * d * rl), -1.0, 1.0)
+            cos_b = np.clip((d * d + R * R - rl * rl) / (2.0 * d * R), -1.0, 1.0)
+            alpha = np.arccos(cos_a)
+            beta = np.arccos(cos_b)
+            kernel = (
+                (-d + rl + R) * (d + rl - R) * (d - rl + R) * (d + rl + R)
+            )
+            area[lens] = (
+                rl * rl * alpha
+                + R * R * beta
+                - 0.5 * np.sqrt(np.maximum(kernel, 0.0))
+            )
+        values = area / (math.pi * R * R)
+        return scalar_or_array(np.clip(values, 0.0, 1.0), was_scalar)
+
+    def pdf(self, r):
+        arr, was_scalar = as_float_array(r)
+        d, R = self._d, self._radius
+        rr = np.maximum(arr, 0.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            cos_half = (d * d + rr * rr - R * R) / (2.0 * d * rr)
+        alpha = np.arccos(np.clip(np.nan_to_num(cos_half, nan=-1.0), -1.0, 1.0))
+        alpha = np.where(rr <= R - d, math.pi, alpha)
+        alpha = np.where((rr <= max(d - R, 0.0)) | (rr >= d + R), 0.0, alpha)
+        values = 2.0 * alpha * rr / (math.pi * R * R)
+        return scalar_or_array(np.where(arr < 0, 0.0, values), was_scalar)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        angles = rng.uniform(0.0, 2.0 * math.pi, size)
+        radii = self._radius * np.sqrt(rng.uniform(0.0, 1.0, size))
+        points = self._center + np.column_stack(
+            (radii * np.cos(angles), radii * np.sin(angles))
+        )
+        return np.linalg.norm(points - self._q, axis=1)
+
+    def knots(self) -> np.ndarray:
+        # The arc half-angle saturates at π when r crosses R - d (query
+        # point inside the disk) — the only interior non-smooth radius.
+        pivot = self._radius - self._d
+        if self._near < pivot < self._far:
+            return np.array([pivot])
+        return np.empty(0)
+
+    # ------------------------------------------------------------------
+
+    def _materialize(self) -> DistanceDistribution:
+        d, R = self._d, self._radius
+
+        def scalar_cdf(r: float) -> float:
+            area = circle_circle_intersection_area(d, R, max(float(r), 0.0))
+            return area / (math.pi * R * R)
+
+        return DistanceDistribution.from_cdf(
+            scalar_cdf, self._near, self._far, self._bins, key=self._key
+        )
+
+    def pack_params(self) -> np.ndarray:
+        return np.array(
+            [
+                self._q[0],
+                self._q[1],
+                self._center[0],
+                self._center[1],
+                self._radius,
+                float(self._bins),
+            ]
+        )
+
+    @classmethod
+    def from_params(cls, params: np.ndarray) -> "UniformDiskDistance":
+        qx, qy, cx, cy, radius, bins = (float(v) for v in params)
+        return cls((qx, qy), (cx, cy), radius, distance_bins=int(bins))

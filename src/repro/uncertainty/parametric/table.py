@@ -1,0 +1,226 @@
+"""Analytic subregion tables for parametric candidate sets.
+
+:class:`AnalyticTable` duck-types the slice of
+:class:`~repro.core.subregions.SubregionTable` the verifier chain
+reads — ``keys``/``size``/``fmin``/``fmax``/``edges``/``s_inner``/
+``s_right``/``q_lower``/``q_upper``/``distributions`` — but is built
+from exact closed-form cdfs instead of histogram breakpoints, so its
+grid is *chosen*, not dictated by 300 bars per candidate.
+
+Soundness under arbitrary smooth cdfs
+-------------------------------------
+The histogram table's Lemma-2/Equation-5 bounds lean on pdfs being
+constant inside every subregion.  Analytic models void that premise,
+so this table uses the coarser-but-always-sound Riemann bracketing:
+``Z_i(r) = Π_{k≠i}(1 − D_k(r))`` is non-increasing in ``r``, hence
+for the inner subregion ``S_j = [e_j, e_{j+1}]``
+
+    p_ij = ∫_{S_j} d_i(r) · Z_i(r) dr  ∈  [s_ij·Z_i(e_{j+1}), s_ij·Z_i(e_j)]
+
+which is exactly what L-SR/U-SR compute from ``q_lower = Z[:, 1:]``
+and ``q_upper = Z[:, :-1]``.  No ``1/c_j`` divisor appears: it would
+*raise* the lower bound past what monotonicity alone guarantees.  The
+rightmost subregion contributes exactly zero (some candidate's
+support ends at ``f_min``, so beyond it either that candidate is
+certainly closer or ``d_i`` is zero), which also keeps R-S's
+``1 − s_iM = D_i(f_min)`` upper bound valid.  Both brackets converge
+to ``p_i`` as the grid refines, so verification terminates for any
+positive tolerance; callers escalate via :meth:`refined` and fall
+back to the histogram pipeline only if escalation runs out.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.uncertainty.parametric.base import ParametricDistance
+from repro.uncertainty.parametric.pack import MixedDistributionPack
+
+__all__ = ["AnalyticTable"]
+
+#: Relative tolerance for deduplicating pooled grid points.
+_EDGE_RTOL = 1e-12
+
+
+class AnalyticTable:
+    """Verifier-facing subregion matrices over exact parametric cdfs.
+
+    Parameters
+    ----------
+    distributions:
+        The candidate set — parametric distances, or a mix with
+        histogram-backed ones (any order; sorted by near point here).
+    grid:
+        Target number of inner subregions.  The pooled analytic knots
+        and near points always stay in the grid; intervals are split
+        uniformly until the count reaches the target.
+    """
+
+    def __init__(self, distributions: Sequence, grid: int = 64) -> None:
+        if not distributions:
+            raise ValueError("candidate set must not be empty")
+        if grid < 1:
+            raise ValueError("grid must be >= 1")
+        self._grid = int(grid)
+        ordered = sorted(distributions, key=lambda d: (d.near, d.far))
+        self._distributions = tuple(ordered)
+        self._pack = MixedDistributionPack(ordered)
+        fars = self._pack.far
+        self._fmin = float(fars.min())
+        self._fmax = float(fars.max())
+        self._edges = self._build_edges()
+        cdf = np.clip(self._pack.cdf_many(self._edges), 0.0, 1.0)
+        # Guard against last-ulp wiggle in the closed forms: the
+        # downstream algebra assumes each row is a non-decreasing cdf.
+        np.maximum.accumulate(cdf, axis=1, out=cdf)
+        self._cdf_matrix = cdf
+
+    # ------------------------------------------------------------------
+
+    def _build_edges(self) -> np.ndarray:
+        """Knot-pinned grid from ``n_min`` to ``f_min``, ≥ ``grid`` cells."""
+        n_min = float(self._pack.near.min())
+        if not self._fmin > n_min:
+            raise ValueError(
+                "f_min must exceed the smallest near point; the candidate "
+                "set is degenerate (a zero-width distance support?)"
+            )
+        pool = [np.asarray([n_min, self._fmin])]
+        for dist in self._distributions:
+            if isinstance(dist, ParametricDistance):
+                knots = dist.knots()
+            else:
+                knots = np.empty(0)
+            pool.append(knots[(knots > n_min) & (knots < self._fmin)])
+        nears = self._pack.near
+        pool.append(nears[(nears > n_min) & (nears < self._fmin)])
+        merged = np.sort(np.concatenate(pool))
+        scale = max(abs(float(merged[0])), abs(float(merged[-1])), 1.0)
+        keep = np.empty(merged.size, dtype=bool)
+        keep[0] = True
+        np.greater(np.diff(merged), _EDGE_RTOL * scale, out=keep[1:])
+        edges = merged[keep]
+        edges[-1] = self._fmin
+        inner = edges.size - 1
+        if inner < self._grid:
+            parts = -(-self._grid // inner)
+            steps = np.linspace(0.0, 1.0, parts + 1)[:-1]
+            widths = np.diff(edges)
+            fine = (edges[:-1, None] + widths[:, None] * steps[None, :]).reshape(-1)
+            edges = np.concatenate((fine, edges[-1:]))
+        return edges
+
+    def refined(self, grid: int) -> "AnalyticTable":
+        """A finer table over the same candidates (bounds only tighten)."""
+        return AnalyticTable(self._distributions, grid=grid)
+
+    # ------------------------------------------------------------------
+    # Shape and identity (SubregionTable surface)
+    # ------------------------------------------------------------------
+
+    @property
+    def distributions(self) -> tuple:
+        return self._distributions
+
+    @property
+    def pack(self) -> MixedDistributionPack:
+        return self._pack
+
+    @property
+    def keys(self) -> tuple[Hashable, ...]:
+        return tuple(d.key for d in self._distributions)
+
+    @property
+    def size(self) -> int:
+        return len(self._distributions)
+
+    @property
+    def grid(self) -> int:
+        return self._grid
+
+    @property
+    def fmin(self) -> float:
+        return self._fmin
+
+    @property
+    def fmax(self) -> float:
+        return self._fmax
+
+    @property
+    def edges(self) -> np.ndarray:
+        view = self._edges.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def n_inner(self) -> int:
+        return self._edges.size - 1
+
+    @property
+    def n_subregions(self) -> int:
+        return self.n_inner + 1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"AnalyticTable(|C|={self.size}, M={self.n_subregions}, "
+            f"fmin={self._fmin:.6g}, fmax={self._fmax:.6g})"
+        )
+
+    # ------------------------------------------------------------------
+    # Matrices consumed by the verifiers
+    # ------------------------------------------------------------------
+
+    @property
+    def cdf_at_edges(self) -> np.ndarray:
+        view = self._cdf_matrix.view()
+        view.flags.writeable = False
+        return view
+
+    @cached_property
+    def s_inner(self) -> np.ndarray:
+        s = np.diff(self._cdf_matrix, axis=1)
+        np.clip(s, 0.0, 1.0, out=s)
+        s.flags.writeable = False
+        return s
+
+    @cached_property
+    def s_right(self) -> np.ndarray:
+        s = 1.0 - self._cdf_matrix[:, -1]
+        np.clip(s, 0.0, 1.0, out=s)
+        s.flags.writeable = False
+        return s
+
+    @cached_property
+    def Z(self) -> np.ndarray:
+        """``Z_ij = Π_{k≠i} (1 − D_k(e_j))`` — log-space, zero-aware."""
+        survival = 1.0 - self._cdf_matrix
+        zero = survival <= 0.0
+        safe = np.where(zero, 1.0, survival)
+        logs = np.log(safe)
+        col_zero_count = zero.sum(axis=0)
+        col_log_sum = logs.sum(axis=0)
+        zeros_excluding_self = col_zero_count[None, :] - zero.astype(np.int64)
+        log_excluding_self = col_log_sum[None, :] - logs
+        z = np.where(zeros_excluding_self > 0, 0.0, np.exp(log_excluding_self))
+        np.clip(z, 0.0, 1.0, out=z)
+        z.flags.writeable = False
+        return z
+
+    @cached_property
+    def q_lower(self) -> np.ndarray:
+        """Right-edge Riemann bound: ``Z_i(e_{j+1})`` (see module docs)."""
+        q = np.array(self.Z[:, 1:])
+        q[self.s_inner <= 0.0] = 0.0
+        q.flags.writeable = False
+        return q
+
+    @cached_property
+    def q_upper(self) -> np.ndarray:
+        """Left-edge Riemann bound: ``Z_i(e_j)`` (see module docs)."""
+        q = np.array(self.Z[:, :-1])
+        q[self.s_inner <= 0.0] = 0.0
+        q.flags.writeable = False
+        return q

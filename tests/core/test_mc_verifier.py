@@ -1,0 +1,181 @@
+"""MC verifier tier: certified-confidence sampling bounds that may
+classify candidates but never pollute the certified tiers
+(DESIGN.md §15)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import EngineConfig, UncertainEngine
+from repro.core.refinement import Refiner
+from repro.core.state import CandidateStates
+from repro.core.subregions import SubregionTable
+from repro.core.types import CPNNQuery
+from repro.core.verifiers import MCVerifier, VerifierChain, default_chain
+from repro.core.verifiers.base import BoundUpdate
+from tests.conftest import make_random_objects
+
+
+def small_table(rng, n=6, q=30.0):
+    objects = make_random_objects(rng, n)
+    return SubregionTable([o.distance_distribution(q) for o in objects])
+
+
+class TestMCVerifierUnit:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MCVerifier(trials=0)
+        with pytest.raises(ValueError):
+            MCVerifier(confidence=1.0)
+
+    def test_epsilon_formula(self):
+        mc = MCVerifier(trials=1000, confidence=0.99)
+        expected = np.sqrt(np.log(2 * 5 / 0.01) / (2 * 1000))
+        assert mc.epsilon(5) == pytest.approx(expected)
+        # More candidates → wider union bound; more trials → tighter.
+        assert mc.epsilon(50) > mc.epsilon(5)
+        assert MCVerifier(trials=4000).epsilon(5) < MCVerifier(trials=400).epsilon(5)
+
+    def test_deterministic_per_table(self, rng):
+        table = small_table(rng)
+        mc = MCVerifier(trials=512)
+        a, b = mc.compute(table), mc.compute(table)
+        np.testing.assert_array_equal(a.lower, b.lower)
+        np.testing.assert_array_equal(a.upper, b.upper)
+
+    def test_different_seeds_differ(self, rng):
+        table = small_table(rng)
+        a = MCVerifier(trials=512, seed=1).compute(table)
+        b = MCVerifier(trials=512, seed=2).compute(table)
+        assert not np.array_equal(a.lower, b.lower)
+
+    def test_bounds_bracket_exact_probability(self, rng):
+        """The statistical bracket holds (at 4096 trials and 99.9%
+        simultaneous confidence a violation would be a soundness bug
+        with overwhelming probability)."""
+        table = small_table(rng, n=8)
+        exact = Refiner(table).exact_all()
+        update = MCVerifier().compute(table)
+        assert np.all(update.lower <= exact + 1e-12)
+        assert np.all(exact <= update.upper + 1e-12)
+        assert np.all(update.lower >= 0.0) and np.all(update.upper <= 1.0)
+
+    def test_runs_before_rs_in_chain(self):
+        chain = VerifierChain([*default_chain().verifiers, MCVerifier()])
+        assert chain.verifiers[0].name == "MC"
+        assert chain.verifiers[0].certified is False
+        assert all(v.certified for v in chain.verifiers[1:])
+
+
+class TestUncertifiedChainSemantics:
+    def test_unknown_rows_keep_certified_bounds(self, rng):
+        """Rows MC cannot settle must exit with their pre-MC bounds."""
+        table = small_table(rng, n=6)
+        chain = VerifierChain([MCVerifier(trials=8)])  # hopeless epsilon
+        states = CandidateStates(table.keys)
+        query = CPNNQuery(30.0, threshold=0.5, tolerance=0.0)
+        before_lower = states.lower.copy()
+        before_upper = states.upper.copy()
+        chain.run(table, states, query)
+        unknown = states.unknown_mask()
+        np.testing.assert_array_equal(states.lower[unknown], before_lower[unknown])
+        np.testing.assert_array_equal(states.upper[unknown], before_upper[unknown])
+
+    def test_contradictory_update_falls_back_to_certified(self):
+        states = CandidateStates(("a", "b"))
+        states.tighten(
+            lower=np.array([0.4, 0.0]), upper=np.array([0.6, 0.2])
+        )
+        # The statistical interval for "a" lands entirely outside the
+        # certified [0.4, 0.6]: the row must keep its certified bounds
+        # rather than classify from the contradiction.
+        update = BoundUpdate(
+            lower=np.array([0.8, 0.0]), upper=np.array([0.9, 0.05])
+        )
+        VerifierChain._apply_uncertified(update, states, 0.95, 0.0)
+        assert states.lower[0] == pytest.approx(0.4)
+        assert states.upper[0] == pytest.approx(0.6)
+
+    def test_outcome_records_probabilistic_terms(self, rng):
+        table = small_table(rng, n=5)
+        chain = VerifierChain([MCVerifier(trials=2048), *default_chain().verifiers])
+        states = CandidateStates(table.keys)
+        outcome = chain.run(table, states, CPNNQuery(30.0, threshold=0.3, tolerance=0.01))
+        assert outcome.executed[0] == "MC"
+        info = outcome.probabilistic["MC"]
+        assert info["trials"] == 2048
+        assert 0.0 < info["epsilon"] < 1.0
+        assert info["classified"] >= 0
+
+
+class TestEngineIntegration:
+    def engine(self, rng, **overrides):
+        objects = make_random_objects(rng, 24)
+        config = EngineConfig(mc_tier=True, **overrides)
+        return UncertainEngine(objects, config)
+
+    def test_chain_composition_and_stats(self, rng):
+        engine = self.engine(rng, mc_trials=1024, mc_confidence=0.99)
+        stats = engine.stats()
+        assert stats["mc"] == {
+            "enabled": True,
+            "trials": 1024,
+            "confidence": 0.99,
+            "seed": 20080199,
+        }
+        plan = engine.explain(CPNNQuery(30.0, threshold=0.3, tolerance=0.01))
+        assert any("MC tier" in stage for stage in plan.stages)
+
+    def test_answers_within_stated_confidence(self, rng):
+        """MC-tier answers agree with the certified engine's on every
+        candidate whose exact probability is ≥ epsilon away from the
+        threshold (closer calls are legitimately statistical)."""
+        objects = make_random_objects(rng, 24)
+        certified = UncertainEngine(objects, EngineConfig())
+        mc_engine = UncertainEngine(objects, EngineConfig(mc_tier=True))
+        spec = CPNNQuery(30.0, threshold=0.3, tolerance=0.01)
+        base = certified.execute(spec)
+        probed = mc_engine.execute(spec)
+        eps = MCVerifier().epsilon(len(base.records))
+        exact_by_key = {
+            r.key: (r.lower + r.upper) / 2.0 for r in base.records
+        }
+        base_answers = set(base.answers)
+        probed_answers = set(probed.answers)
+        for record in probed.records:
+            exact = exact_by_key[record.key]
+            if abs(exact - spec.threshold) <= eps + spec.tolerance:
+                continue  # statistical-margin call, either label is fine
+            assert (record.key in base_answers) == (record.key in probed_answers)
+
+    def test_batch_equals_sequential_with_mc_tier(self, rng):
+        engine = self.engine(rng)
+        specs = [
+            CPNNQuery(float(q), threshold=0.3, tolerance=0.01)
+            for q in np.linspace(5.0, 55.0, 7)
+        ]
+        sequential = [engine.execute(s) for s in specs]
+        engine2 = self.engine(np.random.default_rng(20080407))
+        batch = engine2.execute_batch(specs)
+        for seq, bat in zip(sequential, batch.results):
+            assert seq.answers == bat.answers
+            for a, b in zip(seq.records, bat.records):
+                assert (a.key, a.label, a.lower, a.upper) == (
+                    b.key,
+                    b.label,
+                    b.lower,
+                    b.upper,
+                )
+
+    def test_mc_tier_off_by_default(self, rng):
+        engine = UncertainEngine(make_random_objects(rng, 8))
+        assert engine.stats()["mc"]["enabled"] is False
+        plan = engine.explain(CPNNQuery(30.0, threshold=0.3))
+        assert not any("MC tier" in stage for stage in plan.stages)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(mc_trials=0)
+        with pytest.raises(ValueError):
+            EngineConfig(mc_confidence=0.0)
+        with pytest.raises(ValueError):
+            EngineConfig(analytic_max_grid=8, analytic_grid=64)

@@ -23,6 +23,14 @@ from repro.core.types import (
     QueryResult,
 )
 from repro.shm import ShmDescriptor, ShmField
+from repro.uncertainty.parametric import (
+    GaussianMixtureDistance,
+    GpsEllipseDistance,
+    MixedDistributionPack,
+    TruncatedGaussianDistance,
+    UniformDiskDistance,
+)
+from repro.uncertainty.pdfs import TruncatedGaussianPdf
 from tests.conftest import make_random_objects
 
 
@@ -80,6 +88,50 @@ class TestDescriptorPickling:
         twin = round_trip(desc)
         assert twin == desc
         assert twin.field("highs").offset == 64
+
+
+class TestParametricPickling:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            TruncatedGaussianDistance(5.0, 2.0, 8.0, key="g"),
+            GaussianMixtureDistance(
+                4.0,
+                [
+                    TruncatedGaussianPdf(0.0, 3.0, bars=16),
+                    TruncatedGaussianPdf(5.0, 9.0, bars=16),
+                ],
+                key="m",
+            ),
+            UniformDiskDistance((0.0, 0.0), (3.0, 4.0), 2.0, key="d"),
+            GpsEllipseDistance(
+                (0.0, 0.0), (6.0, 2.0), 2.0, 0.8, angle=0.6, k=3.0, key="e"
+            ),
+        ],
+        ids=lambda d: str(d.key),
+    )
+    def test_parametric_distances_round_trip(self, dist):
+        twin = round_trip(dist)
+        assert type(twin) is type(dist)
+        assert (twin.key, twin.family) == (dist.key, dist.family)
+        xs = np.linspace(dist.near, dist.far, 25)
+        np.testing.assert_array_equal(twin.cdf(xs), dist.cdf(xs))
+
+    def test_mixed_pack_shm_descriptor_round_trips(self):
+        rows = [
+            TruncatedGaussianDistance(5.0, 2.0, 8.0, bars=24, key=0),
+            UniformDiskDistance((0.0, 0.0), (3.0, 4.0), 2.0, key=1),
+        ]
+        pack = MixedDistributionPack(rows)
+        shm, descriptor = pack.to_shared()
+        try:
+            twin = MixedDistributionPack.from_shared(round_trip(descriptor))
+            xs = np.linspace(0.0, 10.0, 33)
+            np.testing.assert_array_equal(twin.cdf_many(xs), pack.cdf_many(xs))
+            del twin
+        finally:
+            shm.close()
+            shm.unlink()
 
 
 class TestResultPickling:

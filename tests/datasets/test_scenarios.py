@@ -1,0 +1,100 @@
+"""Scenario generators: determinism, object families, and parametric /
+histogram representation equivalence (DESIGN.md §15)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import gps_ellipse_objects, sensor_noise_objects
+from repro.uncertainty.objects import UncertainObject
+from repro.uncertainty.parametric import (
+    GaussianMixtureObject,
+    GaussianObject,
+    GpsEllipseObject,
+)
+
+
+class TestSensorNoise:
+    def test_deterministic_by_default(self):
+        a = sensor_noise_objects(40)
+        b = sensor_noise_objects(40)
+        for x, y in zip(a, b):
+            assert type(x) is type(y)
+            assert (x.lo, x.hi) == (y.lo, y.hi)
+
+    def test_object_families(self):
+        objects = sensor_noise_objects(120, bimodal_fraction=0.25)
+        kinds = {type(o) for o in objects}
+        assert kinds == {GaussianObject, GaussianMixtureObject}
+        mixtures = sum(isinstance(o, GaussianMixtureObject) for o in objects)
+        assert 10 <= mixtures <= 50, "~25% of sensors should be bimodal"
+        assert [o.key for o in objects] == list(range(120))
+
+    def test_no_bimodal_sensors_when_fraction_zero(self):
+        objects = sensor_noise_objects(30, bimodal_fraction=0.0)
+        assert all(isinstance(o, GaussianObject) for o in objects)
+
+    def test_histogram_representation_equivalent(self):
+        """Same rng stream on both paths: the eager histogram twin of
+        each parametric object is byte-identical."""
+        parametric = sensor_noise_objects(25)
+        histogram = sensor_noise_objects(25, representation="histogram")
+        for p, h in zip(parametric, histogram):
+            assert isinstance(h, UncertainObject)
+            assert not isinstance(h, (GaussianObject, GaussianMixtureObject))
+            np.testing.assert_array_equal(p.histogram.edges, h.histogram.edges)
+            np.testing.assert_array_equal(
+                p.histogram.densities, h.histogram.densities
+            )
+
+    def test_truncation_and_domain(self):
+        objects = sensor_noise_objects(
+            50, domain=(0.0, 100.0), sigma_range=(1.0, 2.0), k=3.0,
+            bimodal_fraction=0.0,
+        )
+        for obj in objects:
+            width = obj.hi - obj.lo
+            assert 6.0 - 1e-9 <= width <= 12.0 + 1e-9  # 2·k·sigma
+            center = (obj.lo + obj.hi) / 2.0
+            assert 0.0 <= center <= 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sensor_noise_objects(0)
+        with pytest.raises(ValueError):
+            sensor_noise_objects(5, bimodal_fraction=1.5)
+        with pytest.raises(ValueError):
+            sensor_noise_objects(5, representation="wavelet")
+
+    def test_explicit_rng_shifts_the_draw(self):
+        default = sensor_noise_objects(10)
+        shifted = sensor_noise_objects(10, rng=np.random.default_rng(7))
+        assert any(
+            x.lo != y.lo for x, y in zip(default, shifted)
+        ), "a custom rng must change the sample"
+
+
+class TestGpsEllipses:
+    def test_deterministic_by_default(self):
+        a = gps_ellipse_objects(20)
+        b = gps_ellipse_objects(20)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.mbr.lows, y.mbr.lows)
+            np.testing.assert_array_equal(x.mbr.highs, y.mbr.highs)
+
+    def test_objects_and_extent(self):
+        extent = (0.0, 500.0)
+        objects = gps_ellipse_objects(30, extent=extent, sigma_range=(1.0, 4.0))
+        assert all(isinstance(o, GpsEllipseObject) for o in objects)
+        for obj in objects:
+            center = (obj.mbr.lows + obj.mbr.highs) / 2.0
+            assert np.all(center >= extent[0]) and np.all(center <= extent[1])
+
+    def test_distance_law_is_parametric(self):
+        obj = gps_ellipse_objects(1)[0]
+        dist = obj.parametric_distance((0.0, 0.0))
+        assert dist.cdf(dist.far) == pytest.approx(1.0, abs=1e-9)
+        assert dist.near >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gps_ellipse_objects(0)

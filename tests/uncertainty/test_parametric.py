@@ -1,0 +1,207 @@
+"""Parametric distance distributions: analytic laws and their
+byte-identical histogram fallbacks (DESIGN.md §15)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.uncertainty.objects import UncertainObject
+from repro.uncertainty.parametric import (
+    FAMILY_REGISTRY,
+    GaussianMixtureDistance,
+    GaussianMixtureObject,
+    GaussianObject,
+    GpsEllipseDistance,
+    GpsEllipseObject,
+    ParametricDisk,
+    TruncatedGaussianDistance,
+    UniformDiskDistance,
+    ellipse_half_extents,
+)
+from repro.uncertainty.pdfs import TruncatedGaussianPdf
+from repro.uncertainty.twod import UncertainDisk
+
+
+def all_distances():
+    """One instance of every family, with the query in assorted spots."""
+    return [
+        TruncatedGaussianDistance(5.0, 2.0, 8.0, key="inside"),
+        TruncatedGaussianDistance(12.0, 2.0, 8.0, key="right"),
+        TruncatedGaussianDistance(-1.0, 2.0, 8.0, key="left"),
+        GaussianMixtureDistance(
+            4.0,
+            [
+                TruncatedGaussianPdf(0.0, 3.0, bars=24),
+                TruncatedGaussianPdf(5.0, 9.0, bars=24),
+            ],
+            weights=[0.7, 0.3],
+            key="mix",
+        ),
+        UniformDiskDistance((0.0, 0.0), (3.0, 4.0), 2.0, key="disk-out"),
+        UniformDiskDistance((3.0, 4.0), (3.0, 4.5), 2.0, key="disk-in"),
+        GpsEllipseDistance(
+            (0.0, 0.0), (6.0, 2.0), 2.0, 0.8, angle=0.6, k=3.0, key="gps"
+        ),
+    ]
+
+
+class TestDistanceLaws:
+    @pytest.mark.parametrize("dist", all_distances(), ids=lambda d: str(d.key))
+    def test_cdf_shape(self, dist):
+        xs = np.linspace(dist.near, dist.far, 257)
+        cdf = dist.cdf(xs)
+        assert cdf[0] == pytest.approx(0.0, abs=1e-9)
+        assert cdf[-1] == pytest.approx(1.0, abs=1e-9)
+        assert np.all(np.diff(cdf) >= -1e-12), "cdf must be non-decreasing"
+        # Outside the support the cdf saturates.
+        assert dist.cdf(dist.near - 1.0) == pytest.approx(0.0, abs=1e-12)
+        assert dist.cdf(dist.far + 1.0) == pytest.approx(1.0, abs=1e-12)
+
+    @pytest.mark.parametrize("dist", all_distances(), ids=lambda d: str(d.key))
+    def test_sf_and_mass_between(self, dist):
+        xs = np.linspace(dist.near, dist.far, 33)
+        np.testing.assert_allclose(dist.sf(xs), 1.0 - dist.cdf(xs), atol=1e-12)
+        a, b = dist.near + 0.1 * (dist.far - dist.near), dist.far
+        assert dist.mass_between(a, b) == pytest.approx(
+            float(dist.cdf(b) - dist.cdf(a)), abs=1e-12
+        )
+
+    @pytest.mark.parametrize("dist", all_distances(), ids=lambda d: str(d.key))
+    def test_pdf_integrates_to_cdf(self, dist):
+        """Trapezoid integral of the analytic pdf tracks the cdf."""
+        xs = np.linspace(dist.near, dist.far, 4097)
+        pdf = np.asarray(dist.pdf(xs))
+        assert np.all(pdf >= -1e-12)
+        integral = np.trapezoid(pdf, xs)
+        assert integral == pytest.approx(1.0, abs=5e-3)
+
+    @pytest.mark.parametrize("dist", all_distances(), ids=lambda d: str(d.key))
+    def test_sampling_matches_cdf(self, dist):
+        """Empirical cdf of 20k draws tracks the analytic one (DKW)."""
+        rng = np.random.default_rng(7)
+        draws = np.sort(dist.sample(rng, 20_000))
+        assert draws.min() >= dist.near - 1e-9
+        assert draws.max() <= dist.far + 1e-9
+        probe = np.linspace(dist.near, dist.far, 41)
+        empirical = np.searchsorted(draws, probe, side="right") / draws.size
+        np.testing.assert_allclose(empirical, dist.cdf(probe), atol=0.025)
+
+    @pytest.mark.parametrize("dist", all_distances(), ids=lambda d: str(d.key))
+    def test_pickle_and_params_round_trip(self, dist):
+        twin = pickle.loads(pickle.dumps(dist))
+        xs = np.linspace(dist.near, dist.far, 17)
+        np.testing.assert_array_equal(twin.cdf(xs), dist.cdf(xs))
+        rebuilt = type(dist).from_params(dist.pack_params())
+        np.testing.assert_allclose(rebuilt.cdf(xs), dist.cdf(xs), atol=1e-12)
+        assert rebuilt.near == pytest.approx(dist.near)
+        assert rebuilt.far == pytest.approx(dist.far)
+
+    def test_family_registry_covers_all(self):
+        for dist in all_distances():
+            assert FAMILY_REGISTRY[dist.family] is type(dist)
+
+    def test_materialized_is_memoised_and_probes_as_histogram(self):
+        dist = TruncatedGaussianDistance(5.0, 2.0, 8.0)
+        assert dist.materialized() is dist.materialized()
+        # The DistributionPack probes `_histogram` first; parametric
+        # objects must NOT expose it (that attrgetter must fall through
+        # to the lazy `histogram` property).
+        assert not hasattr(type(dist), "_histogram")
+        assert dist.histogram is dist.materialized().histogram
+
+
+class TestMaterializationIdentity:
+    """The lazy fallback is *byte-identical* to the eager twin — the
+    property that makes the exact refinement tier bit-identical."""
+
+    @pytest.mark.parametrize("q", [0.0, 4.9, 7.3, 20.0])
+    def test_gaussian_matches_eager_object(self, q):
+        eager = UncertainObject.gaussian("g", 2.0, 8.0, bars=48)
+        reference = eager.distance_distribution(q)
+        analytic = TruncatedGaussianDistance(q, 2.0, 8.0, bars=48, key="g")
+        twin = analytic.materialized()
+        np.testing.assert_array_equal(
+            twin.histogram.edges, reference.histogram.edges
+        )
+        np.testing.assert_array_equal(
+            twin.histogram.densities, reference.histogram.densities
+        )
+
+    def test_disk_matches_uncertain_disk(self):
+        disk = UncertainDisk("d", (3.0, 4.0), 2.0, distance_bins=32)
+        reference = disk.distance_distribution((0.0, 0.0))
+        analytic = UniformDiskDistance(
+            (0.0, 0.0), (3.0, 4.0), 2.0, distance_bins=32, key="d"
+        )
+        twin = analytic.materialized()
+        np.testing.assert_array_equal(
+            twin.histogram.edges, reference.histogram.edges
+        )
+        np.testing.assert_array_equal(
+            twin.histogram.densities, reference.histogram.densities
+        )
+
+
+class TestParametricObjects:
+    def test_gaussian_object_lazy_histogram_identical(self):
+        lazy = GaussianObject("g", 10.0, 16.0, bars=36)
+        eager = UncertainObject.gaussian("g", 10.0, 16.0, bars=36)
+        assert (lazy.lo, lazy.hi) == (eager.lo, eager.hi)
+        np.testing.assert_array_equal(lazy.histogram.edges, eager.histogram.edges)
+        np.testing.assert_array_equal(
+            lazy.histogram.densities, eager.histogram.densities
+        )
+
+    def test_gaussian_object_distance_paths_agree(self):
+        obj = GaussianObject("g", 10.0, 16.0, bars=36)
+        q = 11.5
+        parametric = obj.parametric_distance(q)
+        folded = obj.distance_distribution(q)
+        xs = np.linspace(parametric.near, parametric.far, 400)
+        # Analytic law vs 36-bar fold: equal up to discretisation.
+        np.testing.assert_allclose(
+            parametric.cdf(xs), folded.cdf(xs), atol=2.0 / 36
+        )
+
+    def test_mixture_object(self):
+        obj = GaussianMixtureObject(
+            "m",
+            [
+                TruncatedGaussianPdf(0.0, 4.0, bars=24),
+                TruncatedGaussianPdf(6.0, 10.0, bars=24),
+            ],
+            weights=[0.5, 0.5],
+        )
+        assert (obj.lo, obj.hi) == (0.0, 10.0)
+        dist = obj.parametric_distance(5.0)
+        assert isinstance(dist, GaussianMixtureDistance)
+        assert dist.cdf(dist.far) == pytest.approx(1.0, abs=1e-12)
+
+    def test_parametric_disk_keeps_disk_contract(self):
+        disk = ParametricDisk("d", (1.0, 2.0), 1.5, distance_bins=24)
+        q = (5.0, 2.0)
+        analytic = disk.parametric_distance(q)
+        folded = disk.distance_distribution(q)
+        np.testing.assert_array_equal(
+            analytic.materialized().histogram.edges, folded.histogram.edges
+        )
+
+    def test_gps_ellipse_object_geometry(self):
+        obj = GpsEllipseObject("e", (10.0, 20.0), 3.0, 1.0, angle=0.5, k=2.5)
+        half_x, half_y = ellipse_half_extents(3.0, 1.0, 0.5, 2.5)
+        rect = obj.mbr
+        np.testing.assert_allclose(rect.lows, [10.0 - half_x, 20.0 - half_y])
+        np.testing.assert_allclose(rect.highs, [10.0 + half_x, 20.0 + half_y])
+        q = (10.0, 30.0)
+        assert obj.mindist(q) <= obj.parametric_distance(q).near + 1e-9
+        assert obj.maxdist(q) >= obj.parametric_distance(q).far - 1e-9
+
+    def test_objects_pickle_with_lazy_state_reset(self):
+        obj = GaussianObject("g", 0.0, 6.0, bars=24)
+        obj.histogram  # materialise, then ensure the twin re-derives it
+        twin = pickle.loads(pickle.dumps(obj))
+        assert twin._histogram is None
+        np.testing.assert_array_equal(
+            twin.histogram.densities, obj.histogram.densities
+        )
