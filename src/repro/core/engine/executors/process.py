@@ -12,16 +12,20 @@ Worker lifecycle
 ----------------
 On (re)spawn, a worker receives one ``attach`` message: the pickled
 :class:`~repro.core.engine.config.EngineConfig`, the object list, and a
-:class:`~repro.shm.ShmDescriptor` for the parent-exported coordinate
-segment.  It rebuilds a full
-:class:`~repro.index.filtering.BatchMbrFilter` as zero-copy views over
-that segment (no coordinate is re-pickled) and a resident
+:class:`~repro.storage.StoreDescriptor` for the parent-exported
+coordinate store — a shared-memory segment by default, or the mmap
+column file when ``config.storage == "mmap"`` (workers then map the
+file read-only through their own bounded buffer pools instead of a
+segment; DESIGN.md §16).  It rebuilds a full
+:class:`~repro.index.filtering.BatchMbrFilter` over that store (no
+coordinate is re-pickled) and a resident
 :class:`~repro.core.engine.lanes.Lane`; thereafter each work message
 piggybacks the mutation-log suffix the worker hasn't seen, which it
 replays against its replica with the registry's exact ordering
-semantics before executing.  The parent unlinks the segment as soon as
-every worker has attached — mappings outlive the name, so nothing can
-leak in ``/dev/shm`` past the handshake.
+semantics before executing.  The parent unlinks the store's name as
+soon as every worker has attached — shm mappings and open file
+descriptors outlive the name, so nothing can leak in ``/dev/shm`` or
+the spill directory past the handshake.
 
 Crash recovery
 --------------
@@ -114,6 +118,7 @@ class _WorkerState:
 def _worker_attach(lane_id, config, objects, n_lanes, columns_desc):
     from repro.core.engine.lanes import Lane
     from repro.index.filtering import BatchMbrFilter
+    from repro.storage import StorageError, open_store
 
     state = _WorkerState()
     state.lane = Lane(config, n_lanes)
@@ -123,16 +128,17 @@ def _worker_attach(lane_id, config, objects, n_lanes, columns_desc):
     if state.use_rtree:
         if columns_desc is not None and state.objects:
             try:
-                state.filter = BatchMbrFilter.from_shared(
-                    columns_desc, state.objects
+                store = open_store(columns_desc)
+                state.filter = BatchMbrFilter.from_store(
+                    store, state.objects
                 )
-                state.shm = state.filter._shm
-            except (FileNotFoundError, OSError, ValueError):
-                # The segment vanished (or could not be mapped) between
-                # export and attach.  The objects travelled in the same
-                # message, so rebuild the filter locally: a slower
-                # attach, bit-identical coordinates, and the parent is
-                # told so it can count the degradation.
+                state.shm = store
+            except (StorageError, FileNotFoundError, OSError, ValueError):
+                # The backing store vanished (or could not be mapped)
+                # between export and attach.  The objects travelled in
+                # the same message, so rebuild the filter locally: a
+                # slower attach, bit-identical coordinates, and the
+                # parent is told so it can count the degradation.
                 state.filter = BatchMbrFilter(state.objects)
                 state.attach_fallback = True
         elif state.objects:
@@ -358,14 +364,31 @@ class ProcessExecutor(ExecutorBase):
     def _spawn_group(self, lanes: list[int]) -> None:
         host = self._host
         columns_desc = None
-        columns_shm = None
+        columns_store = None
         if host._config.use_rtree and host._objects:
             from repro.index.filtering import BatchMbrFilter
 
-            columns_shm, columns_desc = BatchMbrFilter(host._objects).to_shared()
-            # Injection point: a handler may unlink the segment here to
+            # The transport follows the engine's storage knob: mmap
+            # engines ship the coordinate file (workers map it read-only
+            # through their own buffer pools), everything else ships one
+            # shared-memory segment (DESIGN.md §16).
+            transport = "mmap" if host._config.storage == "mmap" else "shm"
+            options = (
+                {
+                    "page_bytes": host._config.storage_page_bytes,
+                    "pool_pages": host._config.storage_pool_pages,
+                    "directory": host._config.storage_dir,
+                }
+                if transport == "mmap"
+                else {}
+            )
+            columns_store = BatchMbrFilter(host._objects).to_store(
+                transport, **options
+            )
+            columns_desc = columns_store.descriptor()
+            # Injection point: a handler may unlink the backing here to
             # exercise the workers' attach-failure fallback.
-            hooks.fire("process.attach", segment=columns_desc.segment)
+            hooks.fire("process.attach", segment=columns_desc.location)
         try:
             top = self._ops_base + len(self._ops)
             spawned = []
@@ -398,10 +421,11 @@ class ProcessExecutor(ExecutorBase):
                 if isinstance(payload, tuple) and payload[1]:
                     self._shm_fallbacks += 1
         finally:
-            # Mappings outlive the name: once every worker holds its
-            # attachment the name can go, so a crash can't leak it.
-            if columns_shm is not None:
-                release_segment(columns_shm)
+            # Mappings and open descriptors outlive the name: once every
+            # worker holds its attachment the name can go, so a crash
+            # can't leak it (shm unlink / file unlink alike).
+            if columns_store is not None:
+                columns_store.close()
 
     def close(self) -> None:
         for worker in self._workers:

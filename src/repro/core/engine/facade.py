@@ -122,6 +122,7 @@ class QueryFacadeMixin(SpecDispatchMixin):
         """
         plan = self._explain(spec, strategy)
         plan.executor = self._executor_diagnostics()
+        plan.storage = self._storage_stats()
         return plan
 
     @staticmethod
@@ -353,10 +354,15 @@ class UncertainEngine(
         return self._config
 
     def close(self) -> None:
-        """Release resources (none resident for the single engine; the
-        method exists so engines are interchangeable with
-        :class:`~repro.core.engine.sharded.ShardedEngine` in ``with``
-        blocks and service shutdown paths)."""
+        """Release engine-owned resources.
+
+        For ``storage="ram"`` engines there is nothing resident; for
+        ``shm``/``mmap`` storage this unlinks the engine-owned column
+        stores (DESIGN.md §16).  Exists on both engine classes so they
+        are interchangeable in ``with`` blocks and service shutdown
+        paths.
+        """
+        self._release_stores()
 
     def __enter__(self) -> "UncertainEngine":
         return self
@@ -490,6 +496,7 @@ class UncertainEngine(
             "filter_stale": self._filter_stale,
             "pending_invalidations": len(self._pending_invalidation),
             "caches": self._cache_stats(),
+            "storage": self._storage_stats(),
             "mc": {
                 "enabled": self._config.mc_tier,
                 "trials": self._config.mc_trials,

@@ -252,10 +252,13 @@ class ShardedEngine(
 
     def close(self) -> None:
         """Release every backend's resources — thread pools, worker
-        processes, shared-memory segments (idempotent; engine stays
-        usable — they are recreated on the next parallel call)."""
+        processes, shared-memory segments, and the shard engines' column
+        stores (idempotent; engine stays usable — they are recreated on
+        the next parallel call)."""
         for executor in self._executors.values():
             executor.close()
+        for shard in self._shards:
+            shard.close()
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -282,6 +285,8 @@ class ShardedEngine(
     # ------------------------------------------------------------------
 
     def _build_shards(self) -> None:
+        for shard in self._shards:
+            shard.close()  # unlink any shard-owned column stores
         groups, router = str_shard_split(self._objects, self._n_shards)
         self._shards = [UncertainEngine(group, self._config) for group in groups]
         self._owner = {
@@ -713,6 +718,37 @@ class ShardedEngine(
     def _executor_diagnostics(self) -> dict:
         return self._executor_stats()
 
+    def _storage_stats(self) -> dict:
+        """The ``stats()["storage"]`` payload, aggregated over every
+        shard engine's owned column stores (one store-backed
+        :class:`~repro.index.filtering.BatchMbrFilter` per non-empty
+        shard when ``config.storage != "ram"``)."""
+        stats: dict = {
+            "backend": self._config.storage,
+            "stores": 0,
+            "nbytes": 0,
+            "logical_reads": 0,
+            "page_faults": 0,
+            "evictions": 0,
+            "resident_bytes": 0,
+        }
+        for shard in self._shards:
+            snapshot = shard._storage_stats()
+            for key in (
+                "stores",
+                "nbytes",
+                "logical_reads",
+                "page_faults",
+                "evictions",
+                "resident_bytes",
+            ):
+                stats[key] += int(snapshot.get(key, 0))
+        reads = stats["logical_reads"]
+        stats["hit_rate"] = (
+            1.0 - stats["page_faults"] / reads if reads else 1.0
+        )
+        return stats
+
     def _shard_stats(self) -> dict:
         occupancy = [len(shard) for shard in self._shards]
         n = len(self._objects)
@@ -754,6 +790,7 @@ class ShardedEngine(
                 len(lane._pending_invalidation) for lane in self._lanes
             ),
             "caches": self._cache_stats(),
+            "storage": self._storage_stats(),
             "shards": self._shard_stats(),
             "executor": self._executor_stats(),
         }

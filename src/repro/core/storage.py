@@ -11,7 +11,11 @@ disk pages."
 This module implements that structure faithfully enough to *measure*
 it: fixed-size pages hold packed ``(object, s_ij, D_i(e_j))`` entries,
 a directory maps each subregion to its page chain, and an LRU buffer
-pool counts logical reads, page faults and evictions.  The
+pool (now the shared :class:`repro.storage.pool.BufferPool`, which
+also serves the mmap column backend) counts logical reads, page
+faults and evictions.  Missing pages raise the typed
+:class:`repro.storage.errors.MissingPageError` — still a ``KeyError``
+— naming the page, the requesting subregion chain, and the backend.  The
 storage-backed verifier functions compute exactly the same bounds as
 the in-memory verifiers (asserted by tests) while exposing the I/O
 cost profile a disk-resident implementation would pay:
@@ -26,17 +30,19 @@ cost profile a disk-resident implementation would pay:
 from __future__ import annotations
 
 import struct
-from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np
 
 from repro.core.subregions import SubregionTable
+from repro.storage.errors import MissingPageError, StorageError
+from repro.storage.pool import BufferPool, PageStats
 
 __all__ = [
     "BufferPool",
+    "MissingPageError",
     "PageStats",
+    "StorageError",
     "SubregionStore",
     "rs_upper_bounds_from_store",
     "subregion_bounds_from_store",
@@ -47,76 +53,6 @@ _ENTRY = struct.Struct("<qdd")
 
 #: Default page size in bytes (a classic small DB page).
 DEFAULT_PAGE_SIZE = 4096
-
-
-@dataclass
-class PageStats:
-    """I/O counters maintained by the buffer pool."""
-
-    logical_reads: int = 0
-    page_faults: int = 0
-    evictions: int = 0
-    pages_written: int = 0
-
-    @property
-    def hit_rate(self) -> float:
-        if self.logical_reads == 0:
-            return 1.0
-        return 1.0 - self.page_faults / self.logical_reads
-
-
-class BufferPool:
-    """An LRU cache of page payloads over a backing "disk" dict.
-
-    The backing store stands in for a file; the pool is the only
-    component allowed to touch it, so the stats faithfully count what
-    a disk-resident implementation would read and write.
-    """
-
-    def __init__(self, capacity_pages: int) -> None:
-        if capacity_pages < 1:
-            raise ValueError("buffer pool needs at least one frame")
-        self._capacity = int(capacity_pages)
-        self._disk: dict[int, bytes] = {}
-        self._frames: OrderedDict[int, bytes] = OrderedDict()
-        self.stats = PageStats()
-
-    @property
-    def capacity(self) -> int:
-        return self._capacity
-
-    @property
-    def pages_on_disk(self) -> int:
-        return len(self._disk)
-
-    def write_page(self, page_id: int, payload: bytes) -> None:
-        """Write a fresh page through to disk (build-time only)."""
-        self._disk[page_id] = payload
-        self.stats.pages_written += 1
-
-    def read_page(self, page_id: int) -> bytes:
-        """Fetch a page via the pool, faulting it in if necessary."""
-        self.stats.logical_reads += 1
-        if page_id in self._frames:
-            self._frames.move_to_end(page_id)
-            return self._frames[page_id]
-        self.stats.page_faults += 1
-        try:
-            payload = self._disk[page_id]
-        except KeyError:
-            raise KeyError(f"page {page_id} was never written") from None
-        if len(self._frames) >= self._capacity:
-            self._frames.popitem(last=False)
-            self.stats.evictions += 1
-        self._frames[page_id] = payload
-        return payload
-
-    def reset_stats(self) -> None:
-        self.stats = PageStats()
-
-    def drop_cache(self) -> None:
-        """Empty the frames (cold-cache measurements)."""
-        self._frames.clear()
 
 
 class SubregionStore:
@@ -211,8 +147,11 @@ class SubregionStore:
         paying buffer-pool I/O for every page touched."""
         if j not in self._directory:
             raise KeyError(f"no such subregion: {j}")
-        for page_id in self._directory[j]:
-            payload = self.pool.read_page(page_id)
+        pages = self._directory[j]
+        for pos, page_id in enumerate(pages):
+            payload = self.pool.read_page(
+                page_id, chain=f"subregion {j}, page {pos + 1}/{len(pages)}"
+            )
             for offset in range(0, len(payload), _ENTRY.size):
                 yield _ENTRY.unpack_from(payload, offset)
 

@@ -315,6 +315,12 @@ class QueryPlan:
         respawns, retries, timeouts, quarantines, shared-memory
         fallbacks — structurally 0 for inline engines), and the
         circuit-breaker snapshot (DESIGN.md §14).
+    storage:
+        The column-store story at plan time (DESIGN.md §16): the
+        configured backend plus aggregated buffer-pool counters
+        (logical reads, page faults, evictions, resident bytes,
+        hit rate) over every engine-owned store — structurally
+        all-zero/all-hit for ``ram`` engines.
     """
 
     spec: QuerySpec
@@ -329,6 +335,7 @@ class QueryPlan:
     caches: dict = field(default_factory=dict)
     shards: dict = field(default_factory=dict)
     executor: dict = field(default_factory=dict)
+    storage: dict = field(default_factory=dict)
 
     def describe(self) -> str:
         """A printable multi-line summary of the plan."""

@@ -22,6 +22,17 @@ mixed with a digest of the table's geometry, so a query answers
 identically across runs, executors, and batch compositions (the
 per-table stream does not depend on which other queries share the
 batch).
+
+When every candidate is a histogram-backed distance distribution, the
+``T`` draws per row run through the table's columnar pack —
+``rng.uniform(0.0, 1.0, (n, T))`` scaled by the pack's per-row total
+masses, inverted by one :meth:`DistributionPack.ppf_many
+<repro.uncertainty.columnar.DistributionPack.ppf_many>` call — which
+consumes the *identical* generator stream and computes the identical
+interpolation the per-row ``Histogram.sample`` loop would (asserted
+bit-exactly by tests), so the batched kernel is invisible in the
+answers.  Tables without a pack (the analytic fast path) or with
+parametric rows keep the row loop.
 """
 
 from __future__ import annotations
@@ -83,13 +94,53 @@ class MCVerifier(Verifier):
         )
         return np.random.default_rng((self.seed, digest))
 
+    @staticmethod
+    def _sampling_pack(table, distributions):
+        """The table's columnar pack when batched sampling preserves the
+        per-row generator stream, else ``None``.
+
+        The batched path is only stream-identical when every row's
+        ``sample`` is the histogram inverse-cdf draw; parametric rows
+        consume the generator differently, and analytic tables carry no
+        pack at all — both fall back to the row loop.
+        """
+        from repro.uncertainty.distance import DistanceDistribution
+
+        if not all(
+            type(dist).sample is DistanceDistribution.sample
+            for dist in distributions
+        ):
+            return None
+        try:
+            pack = table.pack
+        except (AttributeError, TypeError, ValueError):
+            return None
+        if pack is None or pack.size != len(distributions):
+            return None
+        return pack
+
+    def _sample_all(self, table, distributions, rng) -> np.ndarray:
+        """The ``(n, T)`` joint distance sample matrix."""
+        n = len(distributions)
+        pack = self._sampling_pack(table, distributions)
+        if pack is not None:
+            # One stream draw, one columnar inversion.  uniform(0, m)
+            # is 0 + m·u per double, so scaling the (n, T) unit block
+            # row-wise by the pack's total masses consumes the exact
+            # doubles (in the exact order) the per-row loop would.
+            u = rng.uniform(0.0, 1.0, (n, self.trials))
+            u *= pack.totals[:, None]
+            return pack.ppf_many(u)
+        samples = np.empty((n, self.trials))
+        for i, dist in enumerate(distributions):
+            samples[i] = dist.sample(rng, self.trials)
+        return samples
+
     def compute(self, table) -> BoundUpdate:
         rng = self._rng(table)
         distributions = table.distributions
         n = len(distributions)
-        samples = np.empty((n, self.trials))
-        for i, dist in enumerate(distributions):
-            samples[i] = dist.sample(rng, self.trials)
+        samples = self._sample_all(table, distributions, rng)
         winners = np.argmin(samples, axis=0)
         phat = np.bincount(winners, minlength=n) / float(self.trials)
         eps = self.epsilon(n)

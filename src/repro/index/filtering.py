@@ -16,12 +16,18 @@ Two implementations are provided with identical semantics:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
 from repro.index.rtree import RTree, RTreeStats
+
+#: Byte budget of one chunked-sweep block's output (the two (B, rows)
+#: matrices plus the transient (B, rows, d) gap scratch).  Determines
+#: how many coordinate rows a store-backed filter pulls per block.
+_SWEEP_BLOCK_BYTES = 4 << 20
 
 __all__ = [
     "BatchMbrFilter",
@@ -190,6 +196,11 @@ class BatchMbrFilter:
         self._alive: np.ndarray | None = None
         self._n_dead = 0
         self._pending: list = []
+        #: A pinned column store.  For resident backends the coordinate
+        #: arrays are zero-copy views over it; for chunked backends
+        #: (``_lows is None``) sweeps stream row blocks through
+        #: :meth:`_sweep` instead (same arithmetic, same bits).
+        self._store = None
 
     @property
     def dim(self) -> int:
@@ -204,63 +215,119 @@ class BatchMbrFilter:
         return len(self._objects)
 
     # ------------------------------------------------------------------
-    # Shared-memory transport (DESIGN.md §13)
+    # Column-store transport (DESIGN.md §13/§16)
     # ------------------------------------------------------------------
 
-    def to_shared(self):
-        """Export the flushed ``(N, d)`` coordinate arrays into one
-        shared-memory segment.
+    def to_store(self, backend: str = "shm", **options):
+        """Export the flushed ``(N, d)`` coordinate arrays into a fresh
+        column store of ``backend``.
 
-        Returns ``(segment, descriptor)`` from
-        :func:`repro.shm.export_arrays`; the caller owns the segment,
-        the descriptor rehydrates via :meth:`from_shared` (objects ship
-        separately — coordinates are the bulk, objects pickle once per
-        worker).  Pending appends and masked rows are compacted first so
-        the exported rows equal the logical row order.
+        The caller owns the store; the descriptor rehydrates via
+        :meth:`from_store` (objects ship separately — coordinates are
+        the bulk, objects pickle once per worker).  Pending appends and
+        masked rows are compacted first so the exported rows equal the
+        logical row order.
         """
-        from repro.shm import export_arrays
+        from repro.storage import create_store
 
         self._flush()
-        return export_arrays({"lows": self._lows, "highs": self._highs})
+        if self._lows is None:
+            # Unmutated chunk-backed filter: re-export from the store.
+            lows = self._store.get("lows")
+            highs = self._store.get("highs")
+        else:
+            lows, highs = self._lows, self._highs
+        return create_store(backend, {"lows": lows, "highs": highs}, **options)
 
     @classmethod
-    def from_shared(cls, descriptor, objects: Sequence) -> "BatchMbrFilter":
-        """Rebuild a filter over an exported coordinate segment, zero-copy.
+    def from_store(cls, store, objects: Sequence) -> "BatchMbrFilter":
+        """Rebuild a filter over an exported coordinate store.
 
         ``objects`` must be the same sequence (same order) the exporter
-        held.  The coordinate arrays are read-only views over the
-        mapped segment; every sweep is bit-identical to the exporter's
-        because the arithmetic reads the same bytes.  Mutations remain
-        supported: appends/removals already build fresh arrays on the
-        next :meth:`_flush`, and :meth:`replace_at` copies the views
-        out of the segment before its first in-place write
-        (copy-on-write), so an attached filter never writes into the
-        shared segment.
+        held.  Resident backends (``ram``/``shm``) hand out read-only
+        zero-copy coordinate views; the chunked ``mmap`` backend keeps
+        the coordinates on disk and streams sweeps block by block —
+        bit-identical either way because :meth:`_sweep` is elementwise
+        per row.  Mutations remain supported: appends/removals build
+        fresh arrays on the next :meth:`_flush` (a chunk-backed filter
+        materialises its columns first, once), and :meth:`replace_at`
+        copies before its first in-place write (copy-on-write), so an
+        attached filter never writes into the shared backing.
         """
-        from repro.shm import attach_arrays
-
         objects = list(objects)
-        shm, views = attach_arrays(descriptor)
-        lows, highs = views["lows"], views["highs"]
-        if lows.shape[0] != len(objects):
+        rows = store.shape("lows")[0]
+        if rows != len(objects):
             raise ValueError(
-                f"descriptor carries {lows.shape[0]} rows for "
-                f"{len(objects)} objects"
+                f"descriptor carries {rows} rows for {len(objects)} objects"
             )
         flt = cls.__new__(cls)
         flt._objects = objects
-        flt._lows = lows
-        flt._highs = highs
-        flt._dim = lows.shape[1]
+        if store.chunked:
+            flt._lows = None
+            flt._highs = None
+        else:
+            flt._lows = store.get("lows")
+            flt._highs = store.get("highs")
+        flt._dim = store.shape("lows")[1]
         flt._alive = None
         flt._n_dead = 0
         flt._pending = []
-        flt._shm = shm  # pins the attachment for the filter's lifetime
+        flt._store = store  # pins the backing for the filter's lifetime
         return flt
 
+    # -- legacy shared-memory surface (deprecated, one release) ---------
+
+    def to_shared(self):
+        """Deprecated: use ``to_store('shm')``."""
+        warnings.warn(
+            "BatchMbrFilter.to_shared is deprecated; use to_store('shm') "
+            "(repro.storage)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        store = self.to_store("shm")
+        return store.segment, store.shm_descriptor
+
+    @classmethod
+    def from_shared(cls, descriptor, objects: Sequence) -> "BatchMbrFilter":
+        """Deprecated: use ``from_store(open_store(descriptor), objects)``."""
+        warnings.warn(
+            "BatchMbrFilter.from_shared is deprecated; use "
+            "from_store(open_store(descriptor), objects) (repro.storage)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.storage import ShmStore
+
+        flt = cls.from_store(ShmStore.attach(descriptor), objects)
+        flt._shm = flt._store.segment
+        return flt
+
+    # ------------------------------------------------------------------
+
+    @property
+    def chunked(self) -> bool:
+        """True while sweeps stream from a chunked store (no resident
+        coordinate arrays)."""
+        return self._lows is None
+
+    def _physical_count(self) -> int:
+        """Physical coordinate rows (before masks/pending)."""
+        if self._lows is not None:
+            return self._lows.shape[0]
+        return self._store.shape("lows")[0]
+
+    def _materialize(self) -> None:
+        """Pull the full coordinate columns resident (chunk-backed
+        filters do this once, on first mutation flush or write)."""
+        if self._lows is None:
+            self._lows = self._store.get("lows")
+            self._highs = self._store.get("highs")
+
     def _ensure_writable(self) -> None:
-        """Copy-on-write: detach from a shared segment before an
+        """Copy-on-write: detach from a shared backing before an
         in-place coordinate write."""
+        self._materialize()
         if not self._lows.flags.writeable:
             self._lows = self._lows.copy()
             self._highs = self._highs.copy()
@@ -297,12 +364,12 @@ class BatchMbrFilter:
         if not 0 <= index < n:
             raise IndexError(f"row {index} out of range for {n} objects")
         del self._objects[index]
-        alive_rows = self._lows.shape[0] - self._n_dead
+        alive_rows = self._physical_count() - self._n_dead
         if index >= alive_rows:
             del self._pending[index - alive_rows]
             return
         if self._alive is None:
-            self._alive = np.ones(self._lows.shape[0], dtype=bool)
+            self._alive = np.ones(self._physical_count(), dtype=bool)
         self._alive[self._physical_row(index)] = False
         self._n_dead += 1
 
@@ -317,7 +384,7 @@ class BatchMbrFilter:
             raise IndexError(f"row {index} out of range for {n} objects")
         self._check_dim(obj)
         self._objects[index] = obj
-        alive_rows = self._lows.shape[0] - self._n_dead
+        alive_rows = self._physical_count() - self._n_dead
         if index >= alive_rows:
             self._pending[index - alive_rows] = obj
             return
@@ -328,7 +395,17 @@ class BatchMbrFilter:
         self._highs[row] = mbr.highs
 
     def _flush(self) -> None:
-        """Fold masked rows and queued appends into contiguous arrays."""
+        """Fold masked rows and queued appends into contiguous arrays.
+
+        A chunk-backed filter materialises its columns first (once) —
+        the streaming representation is immutable, so the first
+        structural mutation pays one full-column read and the filter
+        behaves residently from then on.
+        """
+        if self._lows is None:
+            if not (self._n_dead or self._pending):
+                return
+            self._materialize()
         if self._n_dead:
             self._lows = self._lows[self._alive]
             self._highs = self._highs[self._alive]
@@ -366,6 +443,8 @@ class BatchMbrFilter:
         """
         self._flush()
         queries = self._as_matrix(points)  # (B, d)
+        if self._lows is None:
+            return self._sweep_chunked(queries)
         return self._sweep(queries, self._lows, self._highs)
 
     def matrices_rows(
@@ -383,7 +462,66 @@ class BatchMbrFilter:
         self._flush()
         queries = self._as_matrix(points)
         rows = np.asarray(rows, dtype=np.intp)
+        if self._lows is None:
+            lows, highs = self._gather_chunked(rows)
+            return self._sweep(queries, lows, highs)
         return self._sweep(queries, self._lows[rows], self._highs[rows])
+
+    def _sweep_chunked(
+        self, queries: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Full sweep streamed in row blocks from the chunked store.
+
+        :meth:`_sweep` is elementwise per object row (each output cell
+        depends only on its own row's coordinates), so filling the
+        ``(B, N)`` matrices block by block is bit-identical to one
+        resident sweep.
+        """
+        n = self._physical_count()
+        block = self._sweep_block_rows(queries.shape[0])
+        mindist = np.empty((queries.shape[0], n))
+        maxdist = np.empty((queries.shape[0], n))
+        for r0 in range(0, n, block):
+            r1 = min(n, r0 + block)
+            lows = self._store.read("lows", r0, r1)
+            highs = self._store.read("highs", r0, r1)
+            mindist[:, r0:r1], maxdist[:, r0:r1] = self._sweep(
+                queries, lows, highs
+            )
+        return mindist, maxdist
+
+    def _sweep_block_rows(self, n_queries: int) -> int:
+        """Rows per chunked-sweep block within ``_SWEEP_BLOCK_BYTES``."""
+        per_row = 8 * max(1, n_queries) * (2 + self._dim)
+        return max(1, _SWEEP_BLOCK_BYTES // per_row)
+
+    def _gather_chunked(
+        self, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Gather an arbitrary row subset from the chunked store.
+
+        Consecutive runs become single range reads (the process
+        executor's shard rows are contiguous or low-stride, so this
+        degenerates to a handful of reads in practice).
+        """
+        n = self._physical_count()
+        norm = np.where(rows < 0, rows + n, rows)
+        if norm.size and (int(norm.min()) < 0 or int(norm.max()) >= n):
+            raise IndexError(
+                f"row index out of range for {n} physical rows"
+            )
+        lows = np.empty((norm.size, self._dim))
+        highs = np.empty((norm.size, self._dim))
+        j = 0
+        while j < norm.size:
+            k = j + 1
+            while k < norm.size and norm[k] == norm[k - 1] + 1:
+                k += 1
+            r0, r1 = int(norm[j]), int(norm[k - 1]) + 1
+            lows[j:k] = self._store.read("lows", r0, r1)
+            highs[j:k] = self._store.read("highs", r0, r1)
+            j = k
+        return lows, highs
 
     @staticmethod
     def _sweep(

@@ -1,0 +1,197 @@
+"""The pluggable column store: one interface, three backings.
+
+A :class:`ColumnStore` holds a named set of numpy columns (flat or
+2-D) behind four operations — ``get`` (whole column), ``read``
+(first-axis range), ``descriptor`` (a picklable rehydration recipe),
+and ``close`` — plus uniform I/O ``stats``.  Three backends implement
+it:
+
+* ``ram`` — plain ndarrays, the zero-overhead default;
+* ``shm`` — one ``multiprocessing.shared_memory`` segment
+  (:mod:`repro.shm` underneath), zero-copy across process workers;
+* ``mmap`` — a 64-byte-aligned on-disk file served through a
+  page-granular :class:`~repro.storage.pool.BufferPool` of real mmap
+  windows, so column sets larger than RAM stay queryable.
+
+``chunked`` distinguishes the modes of consumption: non-chunked
+stores hand out zero-copy views (``ram``/``shm``), chunked stores
+(``mmap``) copy the requested range out of pooled windows — callers
+that can stream should prefer ``read`` over ``get`` on them.
+
+One descriptor type (:class:`StoreDescriptor`) covers every backend:
+a backend tag, a location (segment name or file path), and the same
+per-field ``(name, dtype, shape, offset)`` table
+:mod:`repro.shm` uses.  ``open_store`` rehydrates it in any process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.shm import ShmField
+from repro.storage.errors import StorageError
+
+__all__ = [
+    "BACKENDS",
+    "ColumnStore",
+    "StoreDescriptor",
+    "create_store",
+    "open_store",
+]
+
+#: The recognised backend tags, in documentation order.
+BACKENDS = ("ram", "shm", "mmap")
+
+
+@dataclass(frozen=True)
+class StoreDescriptor:
+    """A column set's rehydration recipe — cheap to pickle.
+
+    Attributes
+    ----------
+    backend:
+        ``'ram'`` / ``'shm'`` / ``'mmap'``.
+    location:
+        Segment name (shm), file path (mmap), or ``None`` (ram).
+    nbytes:
+        Total backing size in bytes.
+    fields:
+        Per-column layout, the same ``(name, dtype, shape, offset)``
+        records shared-memory descriptors use.
+    arrays:
+        Ram only: the columns themselves.  A ram descriptor pickles
+        O(data) — it exists so the API is total, not as a transport;
+        processes should ship shm or mmap descriptors.
+    """
+
+    backend: str
+    location: str | None
+    nbytes: int
+    fields: tuple[ShmField, ...] = ()
+    arrays: dict | None = field(default=None, compare=False)
+
+    def field(self, name: str) -> ShmField:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise KeyError(name)
+
+
+class ColumnStore:
+    """Abstract base: a named, immutable set of numpy columns."""
+
+    backend: str = "?"
+    #: True when ``read`` streams copies out of a bounded pool rather
+    #: than slicing resident arrays; consumers should walk chunked
+    #: stores in blocks instead of materialising whole columns.
+    chunked: bool = False
+
+    # -- required surface ------------------------------------------------
+
+    def columns(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    def shape(self, name: str) -> tuple[int, ...]:
+        raise NotImplementedError
+
+    def get(self, name: str) -> np.ndarray:
+        """The whole column (a view for resident backends, a copy for
+        chunked ones)."""
+        raise NotImplementedError
+
+    def read(self, name: str, start: int, stop: int) -> np.ndarray:
+        """Rows ``[start, stop)`` along the column's first axis."""
+        raise NotImplementedError
+
+    def descriptor(self) -> StoreDescriptor:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release the backing (owner semantics are backend-specific:
+        the creator unlinks, attachers only unmap).  Idempotent."""
+
+    # -- shared surface --------------------------------------------------
+
+    def stats(self) -> dict:
+        """Uniform I/O counters; resident backends report all-hit."""
+        return {
+            "backend": self.backend,
+            "nbytes": self.nbytes,
+            "resident_bytes": self.nbytes,
+            "logical_reads": 0,
+            "page_faults": 0,
+            "evictions": 0,
+            "hit_rate": 1.0,
+        }
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.descriptor().nbytes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.columns()
+
+    def __enter__(self) -> "ColumnStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def create_store(
+    backend: str, arrays: Mapping[str, np.ndarray], **options
+) -> ColumnStore:
+    """Build a fresh store of ``backend`` holding ``arrays``.
+
+    ``options`` are backend-specific (the mmap backend accepts
+    ``page_bytes``, ``pool_pages`` and ``directory``); backends
+    without options reject any.
+    """
+    from repro.storage.mmapstore import MmapStore
+    from repro.storage.ram import RamStore
+    from repro.storage.shmstore import ShmStore
+
+    if backend == "ram":
+        _reject_options("ram", options)
+        return RamStore(arrays)
+    if backend == "shm":
+        _reject_options("shm", options)
+        return ShmStore.create(arrays)
+    if backend == "mmap":
+        return MmapStore.create(arrays, **options)
+    raise StorageError(
+        f"unknown storage backend {backend!r}: expected one of {BACKENDS}"
+    )
+
+
+def open_store(descriptor: StoreDescriptor, **options) -> ColumnStore:
+    """Rehydrate a store from its descriptor (typically in a worker).
+
+    The returned store never owns the backing: closing it unmaps but
+    does not unlink — the creator keeps that responsibility.
+    """
+    from repro.storage.mmapstore import MmapStore
+    from repro.storage.ram import RamStore
+    from repro.storage.shmstore import ShmStore
+
+    if descriptor.backend == "ram":
+        _reject_options("ram", options)
+        return RamStore(descriptor.arrays)
+    if descriptor.backend == "shm":
+        _reject_options("shm", options)
+        return ShmStore.attach(descriptor)
+    if descriptor.backend == "mmap":
+        return MmapStore.attach(descriptor, **options)
+    raise StorageError(
+        f"descriptor names unknown backend {descriptor.backend!r}"
+    )
+
+
+def _reject_options(backend: str, options: Mapping) -> None:
+    if options:
+        raise StorageError(
+            f"the {backend} backend takes no options, got {sorted(options)}"
+        )

@@ -1,0 +1,57 @@
+"""Typed errors for the storage substrate.
+
+Every backend raises the same exception family, so engine code can
+catch ``StorageError`` without knowing whether a column set lives in a
+dict-backed emulated disk, a shared-memory segment, or an mmap file.
+
+``MissingPageError`` doubles as a ``KeyError``: the dict-backed
+:class:`~repro.storage.pool.BufferPool` historically raised a bare
+``KeyError`` for pages that were never written, and callers (and
+tests) that catch ``KeyError`` keep working unchanged while new code
+gets the page id, the subregion chain that requested it, and the
+backend name as structured attributes.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MissingPageError", "StorageError"]
+
+
+class StorageError(RuntimeError):
+    """Base class for every storage-substrate failure."""
+
+
+class MissingPageError(StorageError, KeyError):
+    """A page was requested that the backing store never materialised.
+
+    Attributes
+    ----------
+    page_id:
+        The faulting page number.
+    backend:
+        Which store raised (``'dict'``, ``'mmap'``, ...).
+    chain:
+        Optional description of the directory chain that led to the
+        page (e.g. ``'subregion 3, page 2/5'``); ``None`` when the
+        page was addressed directly.
+    """
+
+    def __init__(
+        self,
+        page_id: int,
+        *,
+        backend: str = "dict",
+        chain: str | None = None,
+    ) -> None:
+        self.page_id = int(page_id)
+        self.backend = str(backend)
+        self.chain = chain
+        message = f"page {self.page_id} was never written"
+        if chain is not None:
+            message += f" (requested via {chain})"
+        message += f" [backend={self.backend}]"
+        super().__init__(message)
+
+    def __str__(self) -> str:
+        # KeyError.__str__ would repr() the message; report it plainly.
+        return self.args[0]

@@ -1,0 +1,146 @@
+"""Page-granular LRU buffer pool with fault/eviction accounting.
+
+Grown out of ``repro.core.storage``'s emulated disk pool (paper
+§IV-D) into the shared frame cache of the storage substrate.  Two
+modes share one accounting surface:
+
+* **dict mode** (no ``loader``) — the pool owns an in-memory "disk"
+  dict and callers ``write_page``/``read_page`` byte payloads.  This
+  is the paper's emulated page structure, unchanged.
+* **loader mode** — the pool caches frames materialised on demand by a
+  ``loader(page_id)`` callback (the mmap backend maps a real file
+  window) and releases them through ``unloader(page_id, frame)`` on
+  eviction, so the number of simultaneously mapped windows — and
+  therefore resident address space — is bounded by ``capacity_pages``.
+
+Either way ``stats`` counts logical reads, page faults, evictions and
+pages written, exactly what a disk-resident implementation would pay.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.storage.errors import MissingPageError, StorageError
+
+__all__ = ["BufferPool", "PageStats"]
+
+
+@dataclass
+class PageStats:
+    """I/O counters maintained by the buffer pool."""
+
+    logical_reads: int = 0
+    page_faults: int = 0
+    evictions: int = 0
+    pages_written: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.logical_reads == 0:
+            return 1.0
+        return 1.0 - self.page_faults / self.logical_reads
+
+    def as_dict(self) -> dict:
+        return {
+            "logical_reads": self.logical_reads,
+            "page_faults": self.page_faults,
+            "evictions": self.evictions,
+            "pages_written": self.pages_written,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class BufferPool:
+    """An LRU cache of page frames over a backing page source.
+
+    The backing source stands in for a file; the pool is the only
+    component allowed to touch it, so the stats faithfully count what
+    a disk-resident implementation would read and write.
+    """
+
+    def __init__(
+        self,
+        capacity_pages: int,
+        *,
+        backend: str = "dict",
+        loader: Callable[[int], object] | None = None,
+        unloader: Callable[[int, object], None] | None = None,
+    ) -> None:
+        if capacity_pages < 1:
+            raise ValueError("buffer pool needs at least one frame")
+        self._capacity = int(capacity_pages)
+        self._backend = str(backend)
+        self._loader = loader
+        self._unloader = unloader
+        self._disk: dict[int, bytes] | None = {} if loader is None else None
+        self._frames: OrderedDict[int, object] = OrderedDict()
+        self.stats = PageStats()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._frames)
+
+    @property
+    def pages_on_disk(self) -> int:
+        return len(self._disk) if self._disk is not None else 0
+
+    def write_page(self, page_id: int, payload: bytes) -> None:
+        """Write a fresh page through to disk (dict mode, build-time only)."""
+        if self._disk is None:
+            raise StorageError(
+                "write_page is only supported by dict-backed pools; "
+                f"this pool serves a {self._backend} loader"
+            )
+        self._disk[page_id] = payload
+        self.stats.pages_written += 1
+
+    def read_page(self, page_id: int, *, chain: str | None = None):
+        """Fetch a page via the pool, faulting it in if necessary.
+
+        ``chain`` is an optional description of the directory chain
+        that requested the page; it is attached to the
+        :class:`~repro.storage.errors.MissingPageError` raised for a
+        page the source never materialised.
+        """
+        self.stats.logical_reads += 1
+        if page_id in self._frames:
+            self._frames.move_to_end(page_id)
+            return self._frames[page_id]
+        self.stats.page_faults += 1
+        if self._disk is not None:
+            try:
+                frame = self._disk[page_id]
+            except KeyError:
+                raise MissingPageError(
+                    page_id, backend=self._backend, chain=chain
+                ) from None
+        else:
+            frame = self._loader(page_id)
+        if len(self._frames) >= self._capacity:
+            victim_id, victim = self._frames.popitem(last=False)
+            self.stats.evictions += 1
+            if self._unloader is not None:
+                self._unloader(victim_id, victim)
+        self._frames[page_id] = frame
+        return frame
+
+    def reset_stats(self) -> None:
+        self.stats = PageStats()
+
+    def drop_cache(self) -> None:
+        """Empty the frames (cold-cache measurements, store close)."""
+        if self._unloader is not None:
+            for page_id, frame in self._frames.items():
+                self._unloader(page_id, frame)
+        self._frames.clear()

@@ -1,0 +1,131 @@
+"""The shm backend: one shared-memory segment per column set.
+
+``ShmStore`` subsumes the four per-module ``to_shared``/``from_shared``
+pairs that used to call :mod:`repro.shm` directly: the low-level
+export/attach/release machinery is unchanged, but there is now exactly
+one descriptor type (:class:`~repro.storage.base.StoreDescriptor`) and
+one ownership rule (the creating store unlinks on ``close``; attached
+stores only unmap).  Views handed out by ``get``/``read`` are
+read-only zero-copy maps of the segment — the substrate-wide
+copy-on-write rule applies to every consumer.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.shm import (
+    ShmDescriptor,
+    attach_arrays,
+    export_arrays,
+    release_segment,
+)
+from repro.storage.base import ColumnStore, StoreDescriptor
+
+__all__ = ["ShmStore"]
+
+
+class ShmStore(ColumnStore):
+    backend = "shm"
+    chunked = False
+
+    def __init__(self, segment, views, descriptor, *, owner: bool) -> None:
+        self._segment = segment
+        self._views: dict[str, np.ndarray] = views
+        self._shm_descriptor: ShmDescriptor = descriptor
+        self._owner = bool(owner)
+        self._closed = False
+
+    @classmethod
+    def create(cls, arrays: Mapping[str, np.ndarray]) -> "ShmStore":
+        if not arrays:
+            raise ValueError("a column store needs at least one column")
+        segment, descriptor = export_arrays(arrays)
+        # The owner's views map the segment it already holds — no
+        # second attachment, same zero-copy read-only surface the
+        # attach path builds.
+        views: dict[str, np.ndarray] = {}
+        for field in descriptor.fields:
+            view = np.ndarray(
+                field.shape,
+                dtype=np.dtype(field.dtype),
+                buffer=segment.buf,
+                offset=field.offset,
+            )
+            view.flags.writeable = False
+            views[field.name] = view
+        return cls(segment, views, descriptor, owner=True)
+
+    @classmethod
+    def attach(cls, descriptor: StoreDescriptor | ShmDescriptor) -> "ShmStore":
+        """Map an exported segment (worker side, never unlinks)."""
+        shm_descriptor = (
+            descriptor
+            if isinstance(descriptor, ShmDescriptor)
+            else ShmDescriptor(
+                segment=descriptor.location,
+                nbytes=descriptor.nbytes,
+                fields=descriptor.fields,
+            )
+        )
+        shm, views = attach_arrays(shm_descriptor)
+        return cls(shm, views, shm_descriptor, owner=False)
+
+    # -- ColumnStore surface --------------------------------------------
+
+    def columns(self) -> tuple[str, ...]:
+        return tuple(self._views)
+
+    def shape(self, name: str) -> tuple[int, ...]:
+        return self._views[name].shape
+
+    def get(self, name: str) -> np.ndarray:
+        return self._views[name]
+
+    def read(self, name: str, start: int, stop: int) -> np.ndarray:
+        return self._views[name][start:stop]
+
+    def descriptor(self) -> StoreDescriptor:
+        return StoreDescriptor(
+            backend="shm",
+            location=self._shm_descriptor.segment,
+            nbytes=self._shm_descriptor.nbytes,
+            fields=self._shm_descriptor.fields,
+        )
+
+    def close(self) -> None:
+        """Owner: release (close + unlink) the segment.  Attacher: drop
+        views and unmap.  Pinned views held by packs keep the mapping
+        alive until they are garbage-collected (``close`` degrades to a
+        no-op unmap then); the unlink itself never waits."""
+        if self._closed:
+            return
+        self._closed = True
+        self._views = {}
+        if self._owner:
+            release_segment(self._segment)
+        else:
+            try:
+                self._segment.close()
+            except BufferError:  # pragma: no cover - views still pinned
+                pass
+
+    # -- legacy bridge ---------------------------------------------------
+
+    @property
+    def segment(self):
+        """The owning ``SharedMemory`` (legacy ``to_shared`` callers
+        release this directly; ``close`` stays idempotent after)."""
+        return self._segment
+
+    @property
+    def shm_descriptor(self) -> ShmDescriptor:
+        return self._shm_descriptor
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShmStore(segment={self._shm_descriptor.segment!r}, "
+            f"owner={self._owner})"
+        )

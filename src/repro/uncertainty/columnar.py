@@ -40,12 +40,13 @@ unchanged by the columnar rewrite:
 
 from __future__ import annotations
 
+import warnings
 from operator import attrgetter
 from typing import Sequence
 
 import numpy as np
 
-__all__ = ["DistributionPack"]
+__all__ = ["DistributionPack", "PagedDistributionPack"]
 
 #: Cap on ``|C| * n`` cells processed per internal block.  Bounds the
 #: transient integer scratch of the bincount/cumsum index recovery to a
@@ -89,6 +90,7 @@ class DistributionPack:
 
     __slots__ = (
         "_shm",
+        "_store",
         "_edges",
         "_knots",
         "_densities",
@@ -153,6 +155,10 @@ class DistributionPack:
             self._shm
         except AttributeError:
             self._shm = None  # only from_shared packs hold an attachment
+        try:
+            self._store
+        except AttributeError:
+            self._store = None  # only from_store packs pin a column store
         self._size = sizes.size
         self._offsets = np.zeros(self._size + 1, dtype=np.intp)
         np.cumsum(sizes, out=self._offsets[1:])
@@ -253,49 +259,98 @@ class DistributionPack:
         return pack
 
     # ------------------------------------------------------------------
-    # Shared-memory transport (DESIGN.md §13)
+    # Column-store transport (DESIGN.md §13/§16)
     # ------------------------------------------------------------------
 
-    def to_shared(self):
-        """Export the pack's flat columns into one shared-memory segment.
+    def to_store(self, backend: str = "shm", **options):
+        """Export the pack's columns into a fresh
+        :class:`~repro.storage.base.ColumnStore` of ``backend``.
 
-        Returns ``(segment, descriptor)`` from
-        :func:`repro.shm.export_arrays`: the caller owns the segment
-        (``release_segment`` it when every attacher is done); the
-        descriptor pickles in O(1) and rehydrates via
-        :meth:`from_shared` in any process.  Only the four flat columns
-        ship — offsets and run tables are derived metadata and are
-        rebuilt on attach.
+        Besides the four defining columns (``edges``/``knots``/
+        ``densities``/``sizes``) three small derived columns ship too
+        (``totals``/``near``/``far``) so a chunked consumer keeps its
+        O(|C|) row metadata resident without touching the flats.  The
+        caller owns the store (``close`` unlinks); the descriptor
+        rehydrates via :meth:`from_store` in any process.
         """
-        from repro.shm import export_arrays
+        from repro.storage import create_store
 
-        return export_arrays(
+        return create_store(
+            backend,
             {
                 "edges": self._edges,
                 "knots": self._knots,
                 "densities": self._densities,
-                "sizes": np.diff(self._offsets),
-            }
+                "sizes": np.asarray(np.diff(self._offsets), dtype=np.int64),
+                "totals": self._totals,
+                "near": self.near,
+                "far": self.far,
+            },
+            **options,
         )
 
     @classmethod
-    def from_shared(cls, descriptor) -> "DistributionPack":
-        """Rehydrate a pack from an exported segment, zero-copy.
+    def from_store(cls, store) -> "DistributionPack":
+        """A pack view over a column store.
 
-        The returned pack's columns are read-only views over the mapped
-        segment — no element is copied, so attaching is O(descriptor),
-        not O(data).  Kernels are bit-identical to the exporting pack's
-        (same flat columns, same derived metadata).  The pack pins its
-        attachment for its lifetime; the segment's *creator* still owns
-        the unlink.
+        Resident backends (``ram``/``shm``) rehydrate zero-copy: the
+        flat columns are read-only views, kernels are bit-identical to
+        the exporting pack's.  Chunked backends (``mmap``) return a
+        :class:`PagedDistributionPack`, which keeps only O(|C|) row
+        metadata resident and streams the flats block by block —
+        same bits, bounded memory.  Either way the pack pins the store
+        for its lifetime; the store's *creator* owns the unlink.
         """
-        from repro.shm import attach_arrays
-
-        shm, views = attach_arrays(descriptor)
+        if store.chunked:
+            return PagedDistributionPack(store)
         pack = object.__new__(cls)
-        pack._shm = shm
+        pack._store = store
         pack._finish(
-            views["edges"], views["knots"], views["densities"], views["sizes"]
+            store.get("edges"),
+            store.get("knots"),
+            store.get("densities"),
+            np.asarray(store.get("sizes"), dtype=np.intp),
+        )
+        return pack
+
+    # -- legacy shared-memory surface (deprecated, one release) ---------
+
+    def to_shared(self):
+        """Deprecated: use ``to_store('shm')``.
+
+        Returns the legacy ``(segment, descriptor)`` pair; the segment
+        is the store's and :func:`repro.shm.release_segment` still
+        releases it.
+        """
+        warnings.warn(
+            "DistributionPack.to_shared is deprecated; use "
+            "to_store('shm') (repro.storage)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        store = self.to_store("shm")
+        return store.segment, store.shm_descriptor
+
+    @classmethod
+    def from_shared(cls, descriptor) -> "DistributionPack":
+        """Deprecated: use ``from_store(open_store(descriptor))``."""
+        warnings.warn(
+            "DistributionPack.from_shared is deprecated; use "
+            "from_store(open_store(descriptor)) (repro.storage)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.storage import ShmStore
+
+        store = ShmStore.attach(descriptor)
+        pack = object.__new__(cls)
+        pack._store = store
+        pack._shm = store.segment
+        pack._finish(
+            store.get("edges"),
+            store.get("knots"),
+            store.get("densities"),
+            np.asarray(store.get("sizes"), dtype=np.intp),
         )
         return pack
 
@@ -418,6 +473,44 @@ class DistributionPack:
             raise ValueError("mass_between_many requires a <= b")
         return self.cdf_many(b_arr) - self.cdf_many(a_arr)
 
+    def ppf_many(self, u: np.ndarray) -> np.ndarray:
+        """Per-row inverse cdf: ``ppf_i(u[i])`` for a ``(|C|, T)`` input.
+
+        Row ``i`` reproduces :meth:`Histogram.ppf` on row ``i``'s knots
+        bit for bit — same range check, same clip, same ``np.interp``
+        call — so drawing ``U ~ uniform(0, 1)`` row-major and scaling
+        row ``i`` by ``totals[i]`` yields *exactly* the stream
+        ``histogram.sample(rng, T)`` would produce per row (numpy's
+        ``uniform(0, m)`` evaluates ``0 + m·u`` on the same doubles).
+        This is how the MC verifier samples through the pack instead of
+        row objects (DESIGN.md §15/§16).
+        """
+        u = np.asarray(u, dtype=float)
+        if u.ndim != 2 or u.shape[0] != self._size:
+            raise ValueError(
+                f"ppf_many expects a ({self._size}, T) matrix, got "
+                f"shape {u.shape}"
+            )
+        return self._ppf_rows(u)
+
+    def _ppf_rows(self, u: np.ndarray) -> np.ndarray:
+        offsets = self._offsets
+        totals = self._totals
+        out = np.empty_like(u)
+        for i in range(self._size):
+            row = u[i]
+            if np.any((row < -1e-12) | (row > totals[i] + 1e-12)):
+                raise ValueError(
+                    f"ppf_many argument outside [0, total_mass] in row {i}"
+                )
+            lo, hi = offsets[i], offsets[i + 1]
+            out[i] = np.interp(
+                np.clip(row, 0.0, totals[i]),
+                self._knots[lo:hi],
+                self._edges[lo:hi],
+            )
+        return out
+
     # ------------------------------------------------------------------
     # Core kernel
     # ------------------------------------------------------------------
@@ -474,3 +567,207 @@ class DistributionPack:
         # k0 — 0.0 left of the support, the total mass right of it.
         out = slope * (np.tile(xs, self._size) - e0) + k0
         return out.reshape(self._size, n)
+
+
+class PagedDistributionPack(DistributionPack):
+    """A pack view over a *chunked* column store (mmap): same kernels,
+    bounded memory.
+
+    Only O(|C|) row metadata stays resident — sizes/offsets, totals,
+    and the near/far support columns.  Every kernel walks the flat
+    columns in blocks of at most ``block_flat`` elements: each block's
+    slice of ``edges``/``knots``/``densities`` is read out of the
+    store's window pool, finished into a transient in-RAM sub-pack,
+    and evaluated with the ordinary kernels.  Because every
+    :class:`DistributionPack` kernel is row-independent and
+    bit-identical to the scalar ``np.interp`` path, the blocked
+    evaluation produces *exactly* the matrix the resident pack would —
+    the chunk boundary is invisible in the bits (property-tested).
+    """
+
+    __slots__ = ("_block_flat", "_near_col", "_far_col")
+
+    #: Required columns; ``to_store`` writes all of them.
+    REQUIRED = ("edges", "knots", "densities", "sizes", "totals", "near", "far")
+
+    def __init__(self, store, *, block_flat: int | None = None) -> None:
+        missing = [name for name in self.REQUIRED if name not in store]
+        if missing:
+            raise ValueError(
+                f"paged pack store is missing columns {missing}; export "
+                "with DistributionPack.to_store (or write the derived "
+                "metadata columns alongside the flats)"
+            )
+        self._shm = None
+        self._store = store
+        sizes = np.asarray(store.get("sizes"), dtype=np.intp)
+        self._size = sizes.size
+        offsets = np.zeros(self._size + 1, dtype=np.intp)
+        np.cumsum(sizes, out=offsets[1:])
+        self._offsets = offsets
+        self._dens_offsets = offsets - np.arange(self._size + 1, dtype=np.intp)
+        self._nbins = sizes - 1
+        self._totals = np.asarray(store.get("totals"), dtype=float)
+        self._near_col = np.asarray(store.get("near"), dtype=float)
+        self._far_col = np.asarray(store.get("far"), dtype=float)
+        for arr in (
+            self._offsets,
+            self._dens_offsets,
+            self._nbins,
+            self._totals,
+            self._near_col,
+            self._far_col,
+        ):
+            if arr.flags.writeable:
+                arr.flags.writeable = False
+        if block_flat is None:
+            page_bytes = getattr(store, "page_bytes", 1 << 20)
+            pool_pages = getattr(store, "pool_pages", 64)
+            # Budget roughly a quarter of the window pool per block so
+            # one block's three column slices never thrash their own
+            # pages back out mid-read.
+            block_flat = (page_bytes * max(1, pool_pages // 4)) // 8
+        self._block_flat = max(4096, int(block_flat))
+
+    # -- block iteration -------------------------------------------------
+
+    def _iter_blocks(self):
+        """Yield ``(r0, r1, sub_pack)`` covering all rows in order."""
+        offsets = self._offsets
+        r0 = 0
+        while r0 < self._size:
+            target = offsets[r0] + self._block_flat
+            r1 = int(np.searchsorted(offsets, target, side="right")) - 1
+            r1 = min(max(r1, r0 + 1), self._size)
+            yield r0, r1, self._materialize_rows(r0, r1)
+            r0 = r1
+
+    def _materialize_rows(self, r0: int, r1: int) -> DistributionPack:
+        """Rows ``[r0, r1)`` as a transient resident sub-pack."""
+        store = self._store
+        offsets = self._offsets
+        o0, o1 = int(offsets[r0]), int(offsets[r1])
+        sub = object.__new__(DistributionPack)
+        sub._finish(
+            store.read("edges", o0, o1),
+            store.read("knots", o0, o1),
+            store.read("densities", o0 - r0, o1 - r1),
+            np.asarray(np.diff(offsets[r0 : r1 + 1]), dtype=np.intp),
+        )
+        return sub
+
+    # -- kernels (blocked, bit-identical) --------------------------------
+
+    def cdf_many(self, xs: float | np.ndarray) -> np.ndarray:
+        arr = np.asarray(xs, dtype=float)
+        scalar = arr.ndim == 0
+        flat = np.atleast_1d(arr)
+        if flat.ndim != 1:
+            raise ValueError("evaluation points must be a scalar or 1-D array")
+        n = flat.size
+        if n == 0:
+            return np.zeros((self._size, 0))
+        out = np.empty((self._size, n))
+        for r0, r1, sub in self._iter_blocks():
+            out[r0:r1] = sub.cdf_many(flat)
+        if scalar:
+            return out[:, 0]
+        return out
+
+    def ppf_many(self, u: np.ndarray) -> np.ndarray:
+        u = np.asarray(u, dtype=float)
+        if u.ndim != 2 or u.shape[0] != self._size:
+            raise ValueError(
+                f"ppf_many expects a ({self._size}, T) matrix, got "
+                f"shape {u.shape}"
+            )
+        out = np.empty_like(u)
+        for r0, r1, sub in self._iter_blocks():
+            out[r0:r1] = sub._ppf_rows(u[r0:r1])
+        return out
+
+    def take(self, perm: np.ndarray) -> DistributionPack:
+        """Materialise rows ``perm`` into a resident pack.
+
+        Reads maximal consecutive runs of ``perm`` in single store
+        ranges; the result is an ordinary in-RAM pack (candidate sets
+        that survive filtering are assumed to fit — only the full
+        corpus is out-of-core).
+        """
+        perm = np.asarray(perm, dtype=np.intp)
+        if perm.size == 0:
+            raise ValueError("take requires at least one row")
+        edges_parts, knots_parts, dens_parts, sizes_parts = [], [], [], []
+        start = 0
+        while start < perm.size:
+            stop = start + 1
+            while stop < perm.size and perm[stop] == perm[stop - 1] + 1:
+                stop += 1
+            r0, r1 = int(perm[start]), int(perm[stop - 1]) + 1
+            sub = self._materialize_rows(r0, r1)
+            edges_parts.append(sub.edges_flat)
+            knots_parts.append(sub.knots_flat)
+            dens_parts.append(sub.densities_flat)
+            sizes_parts.append(np.diff(sub.offsets))
+            start = stop
+        pack = object.__new__(DistributionPack)
+        pack._finish(
+            np.concatenate(edges_parts),
+            np.concatenate(knots_parts),
+            np.concatenate(dens_parts),
+            np.asarray(np.concatenate(sizes_parts), dtype=np.intp),
+        )
+        return pack
+
+    # -- resident metadata / materialising columns -----------------------
+
+    @property
+    def near(self) -> np.ndarray:
+        return self._near_col
+
+    @property
+    def far(self) -> np.ndarray:
+        return self._far_col
+
+    @property
+    def edges_flat(self) -> np.ndarray:
+        """The whole column, materialised (prefer blocked kernels)."""
+        return self._store.get("edges")
+
+    @property
+    def knots_flat(self) -> np.ndarray:
+        """The whole column, materialised (prefer blocked kernels)."""
+        return self._store.get("knots")
+
+    @property
+    def densities_flat(self) -> np.ndarray:
+        """The whole column, materialised (prefer blocked kernels)."""
+        return self._store.get("densities")
+
+    @property
+    def store(self):
+        """The backing chunked column store."""
+        return self._store
+
+    def to_store(self, backend: str = "shm", **options):
+        from repro.storage import create_store
+
+        return create_store(
+            backend,
+            {
+                "edges": self._store.get("edges"),
+                "knots": self._store.get("knots"),
+                "densities": self._store.get("densities"),
+                "sizes": np.asarray(np.diff(self._offsets), dtype=np.int64),
+                "totals": self._totals,
+                "near": self._near_col,
+                "far": self._far_col,
+            },
+            **options,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PagedDistributionPack(size={self._size}, "
+            f"edges={int(self._offsets[-1])}, block_flat={self._block_flat})"
+        )

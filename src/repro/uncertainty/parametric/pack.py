@@ -15,22 +15,27 @@ byte-identical histogram replicas through the lazy ``histogram``
 property) for consumers that genuinely need breakpoints — exact
 refinement being the only one in the engine.
 
-Shared-memory transport mirrors ``DistributionPack.to_shared``:
+Column-store transport mirrors ``DistributionPack.to_store``:
 histogram columns ship as flat arrays, parametric rows ship as
 per-family parameter matrices (``pack_params`` rows) plus row-index
-columns, all in one segment.  ``from_shared`` rebuilds the pack with
-zero-copy column views — histogram rows become ``Histogram`` views
-over the mapped flats, parametric rows are reconstructed from their
-parameter rows (O(rows) scalars, no bulk copies).
+columns, all in one store.  ``from_store`` rebuilds the pack —
+zero-copy views for resident backends (``ram``/``shm``: histogram
+rows become ``Histogram`` views over the mapped flats, parametric
+rows are reconstructed from their parameter rows, O(rows) scalars
+and no bulk copies); the chunked ``mmap`` backend *materialises* the
+histogram flats on attach (mixed packs exist for candidate sets,
+which fit in RAM — only the all-histogram corpus tier streams).
+The legacy ``to_shared``/``from_shared`` pair is a deprecation shim
+over the store API, kept one release.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 import numpy as np
 
-from repro.shm import attach_arrays, export_arrays
 from repro.uncertainty.columnar import DistributionPack
 from repro.uncertainty.histogram import Histogram
 from repro.uncertainty.parametric.base import FAMILY_REGISTRY, ParametricDistance
@@ -68,6 +73,7 @@ class MixedDistributionPack:
         )
         self._index(parametric_rows, histogram_rows)
         self._shm = None
+        self._store = None
 
     def _index(self, parametric_rows, histogram_rows) -> None:
         """Derive row maps and support columns (shared with from_shared)."""
@@ -170,11 +176,13 @@ class MixedDistributionPack:
         return self._materialized_pack
 
     # ------------------------------------------------------------------
-    # Shared-memory transport (DESIGN.md §13/§15)
+    # Column-store transport (DESIGN.md §13/§15/§16)
     # ------------------------------------------------------------------
 
-    def to_shared(self):
-        """Export all columns into one segment: ``(segment, descriptor)``."""
+    def to_store(self, backend: str = "shm", **options):
+        """Export all columns into a fresh column store of ``backend``."""
+        from repro.storage import create_store
+
         arrays: dict[str, np.ndarray] = {
             "total_rows": np.array([self.size], dtype=np.int64),
             "histogram_rows": self._histogram_rows,
@@ -198,50 +206,54 @@ class MixedDistributionPack:
             arrays[f"param:{family}"] = matrix
             arrays[f"len:{family}"] = lengths
             arrays[f"rows:{family}"] = np.asarray(rows, dtype=np.int64)
-        return export_arrays(arrays)
+        return create_store(backend, arrays, **options)
 
     @classmethod
-    def from_shared(cls, descriptor) -> "MixedDistributionPack":
-        """Rehydrate from an exported segment, zero-copy.
+    def from_store(cls, store) -> "MixedDistributionPack":
+        """Rehydrate from a column store.
 
-        Histogram columns become views over the mapped segment (the
+        Histogram columns become views over resident backends (the
         inner ``DistributionPack`` is finished directly on the flats —
-        no concatenation); parametric rows rebuild their instances
-        from the mapped parameter rows.  The pack pins its attachment
-        for its lifetime; the segment's creator owns the unlink.
+        no concatenation) and copies for chunked ones; parametric rows
+        rebuild their instances from the parameter rows.  The pack
+        pins the store for its lifetime; the store's creator owns the
+        unlink.
         """
-        shm, views = attach_arrays(descriptor)
-        total = int(views["total_rows"][0])
+        get = store.get
+        total = int(get("total_rows")[0])
         slots: list = [None] * total
-        histogram_rows = [int(i) for i in views["histogram_rows"]]
+        histogram_rows = [int(i) for i in get("histogram_rows")]
         hist_pack = None
         if histogram_rows:
+            hist_edges = get("hist_edges")
+            hist_knots = get("hist_knots")
+            hist_densities = get("hist_densities")
             hist_pack = object.__new__(DistributionPack)
             hist_pack._finish(
-                views["hist_edges"],
-                views["hist_knots"],
-                views["hist_densities"],
-                np.asarray(views["hist_sizes"], dtype=np.intp),
+                hist_edges,
+                hist_knots,
+                hist_densities,
+                np.asarray(get("hist_sizes"), dtype=np.intp),
             )
             offsets = hist_pack.offsets
             dens_offsets = hist_pack.density_offsets
             for j, i in enumerate(histogram_rows):
                 row = Histogram.__new__(Histogram)
-                row._edges = views["hist_edges"][offsets[j] : offsets[j + 1]]
-                row._densities = views["hist_densities"][
+                row._edges = hist_edges[offsets[j] : offsets[j + 1]]
+                row._densities = hist_densities[
                     dens_offsets[j] : dens_offsets[j + 1]
                 ]
-                row._cdf_knots = views["hist_knots"][offsets[j] : offsets[j + 1]]
+                row._cdf_knots = hist_knots[offsets[j] : offsets[j + 1]]
                 slots[i] = row
         parametric_rows = []
-        for field in descriptor.fields:
-            if not field.name.startswith("param:"):
+        for name in store.columns():
+            if not name.startswith("param:"):
                 continue
-            family = field.name.split(":", 1)[1]
+            family = name.split(":", 1)[1]
             family_cls = FAMILY_REGISTRY[family]
-            matrix = views[field.name]
-            lengths = views[f"len:{family}"]
-            rows = views[f"rows:{family}"]
+            matrix = get(name)
+            lengths = get(f"len:{family}")
+            rows = get(f"rows:{family}")
             for j, i in enumerate(rows):
                 index = int(i)
                 slots[index] = family_cls.from_params(
@@ -252,5 +264,34 @@ class MixedDistributionPack:
         pack._distributions = tuple(slots)
         pack._histogram_pack = hist_pack
         pack._index(sorted(parametric_rows), histogram_rows)
-        pack._shm = shm
+        pack._shm = None
+        pack._store = store
+        return pack
+
+    # -- legacy shared-memory surface (deprecated, one release) ---------
+
+    def to_shared(self):
+        """Deprecated: use ``to_store('shm')``."""
+        warnings.warn(
+            "MixedDistributionPack.to_shared is deprecated; use "
+            "to_store('shm') (repro.storage)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        store = self.to_store("shm")
+        return store.segment, store.shm_descriptor
+
+    @classmethod
+    def from_shared(cls, descriptor) -> "MixedDistributionPack":
+        """Deprecated: use ``from_store(open_store(descriptor))``."""
+        warnings.warn(
+            "MixedDistributionPack.from_shared is deprecated; use "
+            "from_store(open_store(descriptor)) (repro.storage)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.storage import ShmStore
+
+        pack = cls.from_store(ShmStore.attach(descriptor))
+        pack._shm = pack._store.segment
         return pack

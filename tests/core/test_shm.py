@@ -112,6 +112,11 @@ class TestExportAttach:
 
 
 class TestDistributionPackShared:
+    # to_shared/from_shared are deprecated shims over the column-store
+    # API (one release; DESIGN.md §16) — these regression tests keep
+    # them working and opt out of the strict-deprecations CI lane.
+    pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
     def test_round_trip_matches_all_kernels(self, rng):
         objects = make_random_objects(rng, 24)
         distributions = [obj.distance_distribution(13.0) for obj in objects]
@@ -145,6 +150,9 @@ class TestDistributionPackShared:
 
 
 class TestBatchMbrFilterShared:
+    # Deprecated-shim coverage, same opt-out as above.
+    pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
     def test_round_trip_matrices_identical(self, rng):
         objects = make_random_objects(rng, 40)
         filt = BatchMbrFilter(objects)

@@ -117,6 +117,7 @@ class TestParametricPickling:
         xs = np.linspace(dist.near, dist.far, 25)
         np.testing.assert_array_equal(twin.cdf(xs), dist.cdf(xs))
 
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_mixed_pack_shm_descriptor_round_trips(self):
         rows = [
             TruncatedGaussianDistance(5.0, 2.0, 8.0, bars=24, key=0),

@@ -1,0 +1,153 @@
+"""Property: the storage backend is invisible in the answers.
+
+The column-store substrate (DESIGN.md §16) promises that
+``EngineConfig(storage=...)`` changes *where* the filter and pack
+columns live — resident arrays, a shared-memory segment, or a paged
+mmap file — and nothing else.  This suite drives a ``storage="mmap"``
+engine (with a window pool sized to thrash) and a ``storage="ram"``
+engine through identical interleaved query/mutation streams and
+demands exact equality after every probe: same answers, same records,
+same bounds.  A companion check pins the *cost* side: the mmap
+engine's pool counters must actually show out-of-core behaviour
+(faults, evictions) while residency stays inside the configured
+budget — otherwise the equivalence above is vacuous.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import EngineConfig, UncertainEngine
+from repro.core.types import CKNNQuery, CPNNQuery, CRangeQuery
+from tests.property.test_dynamic_equivalence import (
+    assert_results_identical,
+    fresh_object,
+    probe_specs,
+)
+
+#: Deliberately starved pool: 4 KiB pages, two frames.  Any filter
+#: sweep over more than a handful of objects pages and evicts.
+THRASH = {
+    "storage_page_bytes": 1 << 12,
+    "storage_pool_pages": 2,
+}
+
+
+def paired_engines(mirror, backend):
+    reference = UncertainEngine(list(mirror), EngineConfig(storage="ram"))
+    subject = UncertainEngine(
+        list(mirror), EngineConfig(storage=backend, **THRASH)
+    )
+    return reference, subject
+
+
+@st.composite
+def operation_streams(draw):
+    n_initial = draw(st.integers(min_value=2, max_value=6))
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "remove", "replace", "batch"]),
+                st.integers(min_value=0, max_value=31),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    return n_initial, ops
+
+
+@given(stream=operation_streams(), backend=st.sampled_from(["mmap", "shm"]))
+@settings(max_examples=30, deadline=None)
+def test_interleaved_stream_is_backend_invariant(stream, backend):
+    n_initial, ops = stream
+    counter = n_initial
+    mirror = [fresh_object(i, i) for i in range(n_initial)]
+    reference, subject = paired_engines(mirror, backend)
+    try:
+        for op, arg in ops:
+            if op == "insert":
+                obj = fresh_object(counter, counter)
+                counter += 1
+                reference.insert(obj)
+                subject.insert(obj)
+                mirror.append(obj)
+            elif op == "remove":
+                if mirror:
+                    index = arg % len(mirror)
+                    key = mirror[index].key
+                    assert reference.remove(key)
+                    assert subject.remove(key)
+                    del mirror[index]
+            elif op == "replace":
+                if mirror:
+                    index = arg % len(mirror)
+                    obj = fresh_object(counter, counter)
+                    counter += 1
+                    reference.replace(mirror[index].key, obj)
+                    subject.replace(mirror[index].key, obj)
+                    mirror[index] = obj
+            else:
+                specs = probe_specs(len(mirror))[: 1 + arg % 13]
+                assert_results_identical(
+                    subject.execute_batch(specs),
+                    reference.execute_batch(specs),
+                )
+
+        # Final full probe across every spec family, warm and repeated.
+        specs = probe_specs(len(mirror))
+        want = reference.execute_batch(specs)
+        assert_results_identical(subject.execute_batch(specs), want)
+        assert_results_identical(subject.execute_batch(specs), want)
+        assert subject.stats()["storage"]["backend"] == backend
+    finally:
+        subject.close()
+        reference.close()
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=10, deadline=None)
+def test_mmap_engine_thrashes_within_budget(seed):
+    """The cost side: with a starved pool the mmap engine's sweeps
+    demonstrably page (faults beyond capacity, evictions happening)
+    while resident bytes never exceed the configured frame budget."""
+    rng = np.random.default_rng(seed)
+    mirror = [fresh_object(i, int(v)) for i, v in
+              enumerate(rng.integers(0, 32, 40))]
+    engine = UncertainEngine(
+        list(mirror), EngineConfig(storage="mmap", **THRASH)
+    )
+    try:
+        specs = [
+            CPNNQuery(float(q), threshold=0.3)
+            for q in rng.uniform(0.0, 60.0, 6)
+        ]
+        specs.append(CKNNQuery(30.0, threshold=0.4, k=2))
+        specs.append(CRangeQuery(15.0, threshold=0.5, radius=6.0))
+        engine.execute_batch(specs)
+        storage = engine.stats()["storage"]
+        assert storage["backend"] == "mmap"
+        assert storage["stores"] >= 1
+        assert storage["logical_reads"] > 0
+        assert storage["page_faults"] > 0
+        budget = THRASH["storage_pool_pages"] * THRASH["storage_page_bytes"]
+        assert storage["resident_bytes"] <= budget * storage["stores"]
+        if storage["page_faults"] > THRASH["storage_pool_pages"]:
+            assert storage["evictions"] > 0
+    finally:
+        engine.close()
+
+
+def test_close_releases_stores_and_engine_stays_usable():
+    mirror = [fresh_object(i, i) for i in range(12)]
+    engine = UncertainEngine(
+        list(mirror), EngineConfig(storage="mmap", **THRASH)
+    )
+    specs = probe_specs(len(mirror))[:5]
+    want = UncertainEngine(list(mirror)).execute_batch(specs)
+    assert_results_identical(engine.execute_batch(specs), want)
+    engine.close()
+    assert engine.stats()["storage"]["stores"] == 0
+    # The store is rebuilt lazily on the next batch — same bits.
+    assert_results_identical(engine.execute_batch(specs), want)
+    engine.close()

@@ -1,0 +1,109 @@
+"""Typed storage errors: a failed page read must name what failed.
+
+Regression suite for the ``MissingPageError`` contract: the exception
+carries the page id, the backend that failed, and (when the reader
+supplied one) the requesting directory chain — and it still *is* a
+``KeyError``, so pre-existing callers that caught ``KeyError`` keep
+working unchanged.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.storage import SubregionStore
+from repro.core.subregions import SubregionTable
+from repro.storage import BufferPool, MissingPageError, StorageError
+from tests.conftest import make_random_objects
+
+
+class TestMissingPageError:
+    def test_attributes_and_message(self):
+        err = MissingPageError(7, backend="dict", chain="subregion 3, page 2/5")
+        assert err.page_id == 7
+        assert err.backend == "dict"
+        assert err.chain == "subregion 3, page 2/5"
+        text = str(err)
+        assert "7" in text
+        assert "dict" in text
+        assert "subregion 3, page 2/5" in text
+
+    def test_chain_is_optional(self):
+        err = MissingPageError(3, backend="mmap")
+        assert err.chain is None
+        assert "mmap" in str(err)
+
+    def test_is_a_key_error_and_a_storage_error(self):
+        # Legacy callers catch KeyError; new callers catch StorageError.
+        err = MissingPageError(0, backend="dict")
+        assert isinstance(err, KeyError)
+        assert isinstance(err, StorageError)
+
+
+class TestBufferPoolRaises:
+    def test_missing_page_names_page_and_backend(self):
+        pool = BufferPool(1)
+        with pytest.raises(MissingPageError) as info:
+            pool.read_page(99)
+        assert info.value.page_id == 99
+        assert info.value.backend == "dict"
+        assert info.value.chain is None
+
+    def test_missing_page_carries_the_callers_chain(self):
+        pool = BufferPool(1)
+        with pytest.raises(MissingPageError) as info:
+            pool.read_page(41, chain="subregion 0, page 1/3")
+        assert info.value.chain == "subregion 0, page 1/3"
+
+    def test_legacy_keyerror_catch_still_works(self):
+        pool = BufferPool(1)
+        with pytest.raises(KeyError):
+            pool.read_page(12)
+
+    def test_write_page_rejected_in_loader_mode(self):
+        pool = BufferPool(1, backend="test", loader=lambda pid: b"x")
+        with pytest.raises(StorageError):
+            pool.write_page(0, b"y")
+
+
+class TestSubregionStoreChain:
+    def test_scan_names_the_subregion_chain(self, rng):
+        """A page the backing never materialised surfaces as a
+        MissingPageError naming the requesting subregion chain, not a
+        bare KeyError with an integer."""
+        objects = make_random_objects(rng, 10)
+        table = SubregionTable(
+            [o.distance_distribution(30.0) for o in objects]
+        )
+        store = SubregionStore(table, page_size=24, pool_pages=2)
+        j = max(store.directory_sizes, key=store.directory_sizes.get)
+        victim = store._directory[j][0]
+        del store.pool._disk[victim]  # simulate a lost/corrupt page
+        store.pool.drop_cache()
+        with pytest.raises(MissingPageError) as info:
+            list(store.scan_subregion(j))
+        assert info.value.page_id == victim
+        assert info.value.chain is not None
+        assert f"subregion {j}" in info.value.chain
+        assert "page 1/" in info.value.chain
+
+
+class TestMmapStoreErrors:
+    def test_read_after_close_is_a_storage_error(self):
+        from repro.storage import create_store
+
+        store = create_store("mmap", {"xs": np.arange(8.0)})
+        store.close()
+        with pytest.raises(StorageError):
+            store.read("xs", 0, 4)
+
+    def test_out_of_range_rows_raise_value_error(self):
+        from repro.storage import create_store
+
+        store = create_store("mmap", {"xs": np.arange(8.0)})
+        try:
+            with pytest.raises(ValueError):
+                store.read("xs", 0, 9)
+            with pytest.raises(ValueError):
+                store.read("xs", -1, 4)
+        finally:
+            store.close()

@@ -1,0 +1,246 @@
+"""The ColumnStore contract across all three backends.
+
+One parametrised suite proves the load-bearing invariants: round-trip
+equality (create → read back), range reads matching whole-column
+slices, picklable descriptors that rehydrate in-place, read-only
+views, and owner-unlinks-attacher-unmaps lifetime semantics.  The
+backends differ only in *where* the bytes live — the suite is the
+executable statement of that.
+"""
+
+import glob
+import os
+import pickle
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.shm import SEGMENT_PREFIX
+from repro.storage import (
+    BACKENDS,
+    MmapStore,
+    StorageError,
+    create_store,
+    open_store,
+)
+from repro.storage.mmapstore import FILE_PREFIX
+
+
+def sample_arrays() -> dict:
+    rng = np.random.default_rng(99)
+    return {
+        "lows": rng.uniform(0.0, 50.0, 64),
+        "highs": rng.uniform(50.0, 90.0, 64),
+        "pairs": rng.uniform(0.0, 1.0, (32, 2)),
+        "counts": np.arange(16, dtype=np.int64),
+    }
+
+
+def leaked_backings() -> list[str]:
+    return glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*") + glob.glob(
+        os.path.join(tempfile.gettempdir(), f"{FILE_PREFIX}*")
+    )
+
+
+@pytest.fixture(autouse=True)
+def no_leaks():
+    before = set(leaked_backings())
+    yield
+    after = set(leaked_backings())
+    assert after <= before, f"leaked store backings: {after - before}"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestContract:
+    def test_round_trip_and_shapes(self, backend):
+        arrays = sample_arrays()
+        with create_store(backend, arrays) as store:
+            assert store.backend == backend
+            assert set(store.columns()) == set(arrays)
+            for name, want in arrays.items():
+                assert store.shape(name) == want.shape
+                got = store.get(name)
+                assert got.dtype == want.dtype
+                np.testing.assert_array_equal(got, want)
+                assert not got.flags.writeable
+
+    def test_range_reads_match_slices(self, backend):
+        arrays = sample_arrays()
+        with create_store(backend, arrays) as store:
+            for name, want in arrays.items():
+                n = want.shape[0]
+                for start, stop in [(0, n), (0, 0), (3, 7), (n - 2, n)]:
+                    got = store.read(name, start, stop)
+                    np.testing.assert_array_equal(got, want[start:stop])
+                    assert not got.flags.writeable
+
+    def test_descriptor_pickles_and_reopens(self, backend):
+        arrays = sample_arrays()
+        store = create_store(backend, arrays)
+        try:
+            desc = pickle.loads(pickle.dumps(store.descriptor()))
+            assert desc.backend == backend
+            twin = open_store(desc)
+            try:
+                for name, want in arrays.items():
+                    np.testing.assert_array_equal(twin.get(name), want)
+            finally:
+                twin.close()
+        finally:
+            store.close()
+
+    def test_descriptor_field_lookup(self, backend):
+        with create_store(backend, sample_arrays()) as store:
+            desc = store.descriptor()
+            assert desc.field("lows").shape == (64,)
+            with pytest.raises(KeyError):
+                desc.field("nope")
+
+    def test_contains_and_stats_shape(self, backend):
+        with create_store(backend, sample_arrays()) as store:
+            assert "lows" in store
+            assert "nope" not in store
+            stats = store.stats()
+            for key in (
+                "backend",
+                "nbytes",
+                "resident_bytes",
+                "logical_reads",
+                "page_faults",
+                "evictions",
+                "hit_rate",
+            ):
+                assert key in stats, key
+            assert stats["backend"] == backend
+            assert stats["nbytes"] > 0
+
+    def test_close_is_idempotent(self, backend):
+        store = create_store(backend, sample_arrays())
+        store.close()
+        store.close()
+
+    def test_empty_column_set_rejected(self, backend):
+        with pytest.raises((ValueError, StorageError)):
+            create_store(backend, {})
+
+
+class TestDispatch:
+    def test_unknown_backend(self):
+        with pytest.raises(StorageError):
+            create_store("tape", {"xs": np.arange(4.0)})
+
+    def test_resident_backends_reject_options(self):
+        for backend in ("ram", "shm"):
+            with pytest.raises(StorageError):
+                create_store(backend, {"xs": np.arange(4.0)}, page_bytes=4096)
+
+
+class TestOwnerSemantics:
+    def test_shm_attacher_outlives_owner_unlink(self):
+        arrays = sample_arrays()
+        store = create_store("shm", arrays)
+        twin = open_store(store.descriptor())
+        view = twin.get("lows")
+        store.close()  # owner unlinks the name...
+        np.testing.assert_array_equal(view, arrays["lows"])  # ...maps live
+        twin.close()
+
+    def test_mmap_attacher_outlives_owner_unlink(self):
+        arrays = sample_arrays()
+        store = create_store("mmap", arrays)
+        twin = open_store(store.descriptor())
+        store.close()  # owner unlinks the file (inode stays for twin)
+        assert not os.path.exists(store.path)
+        np.testing.assert_array_equal(twin.get("lows"), arrays["lows"])
+        twin.close()
+
+    def test_attacher_close_never_unlinks(self):
+        store = create_store("mmap", sample_arrays())
+        try:
+            twin = open_store(store.descriptor())
+            twin.close()
+            assert os.path.exists(store.path)
+        finally:
+            store.close()
+
+
+class TestMmapDetails:
+    def test_pool_faults_and_bounded_residency(self):
+        arrays = {"xs": np.arange(1 << 16, dtype=np.float64)}
+        store = create_store("mmap", arrays, page_bytes=1 << 12, pool_pages=2)
+        try:
+            store.reset_stats()
+            np.testing.assert_array_equal(store.get("xs"), arrays["xs"])
+            stats = store.stats()
+            assert stats["page_faults"] > stats["pool_pages"] == 2
+            assert stats["evictions"] == stats["page_faults"] - 2
+            assert stats["resident_pages"] <= 2
+        finally:
+            store.close()
+
+    def test_custom_directory(self, tmp_path):
+        store = create_store(
+            "mmap", {"xs": np.arange(8.0)}, directory=str(tmp_path)
+        )
+        try:
+            assert store.path.startswith(str(tmp_path))
+            assert os.path.exists(store.path)
+        finally:
+            store.close()
+        assert not os.path.exists(store.path)
+
+
+class TestMmapWriter:
+    SPECS = {
+        "xs": (np.float64, (10,)),
+        "tags": (np.int64, (5,)),
+    }
+
+    def test_streamed_build_round_trips(self):
+        writer = MmapStore.build(self.SPECS)
+        writer.append("xs", np.arange(6.0))
+        writer.append("xs", np.arange(6.0, 10.0))
+        writer.append("tags", np.arange(5, dtype=np.int64))
+        store = writer.finish()
+        try:
+            np.testing.assert_array_equal(store.get("xs"), np.arange(10.0))
+            np.testing.assert_array_equal(
+                store.get("tags"), np.arange(5, dtype=np.int64)
+            )
+        finally:
+            store.close()
+
+    def test_finish_rejects_short_columns(self):
+        writer = MmapStore.build(self.SPECS)
+        writer.append("xs", np.arange(10.0))
+        with pytest.raises(StorageError) as info:
+            writer.finish()
+        assert "tags" in str(info.value)
+        writer.abort()
+        assert not os.path.exists(writer.path)
+
+    def test_append_rejects_overflow_and_bad_shape(self):
+        writer = MmapStore.build({"m": (np.float64, (4, 3))})
+        try:
+            with pytest.raises(ValueError):
+                writer.append("m", np.zeros((2, 2)))  # wrong row shape
+            writer.append("m", np.zeros((3, 3)))
+            with pytest.raises(ValueError):
+                writer.append("m", np.zeros((2, 3)))  # 5 > 4 declared rows
+        finally:
+            writer.abort()
+
+    def test_finish_twice_is_an_error(self):
+        writer = MmapStore.build({"xs": (np.float64, (2,))})
+        writer.append("xs", np.arange(2.0))
+        store = writer.finish()
+        try:
+            with pytest.raises(StorageError):
+                writer.finish()
+        finally:
+            store.close()
+
+    def test_scalar_column_rejected(self):
+        with pytest.raises(ValueError):
+            MmapStore.build({"x": (np.float64, ())})
