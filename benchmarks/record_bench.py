@@ -40,6 +40,7 @@ except ModuleNotFoundError:
 import test_batch_throughput as throughput_bench  # noqa: E402
 import test_columnar_speedup as columnar_bench  # noqa: E402
 import test_dynamic_updates as dynamic_bench  # noqa: E402
+import test_moving_queries as moving_bench  # noqa: E402
 import test_out_of_core as out_of_core_bench  # noqa: E402
 import test_parametric_init as parametric_bench  # noqa: E402
 import test_service_latency as service_bench  # noqa: E402
@@ -171,6 +172,54 @@ def measure_dynamic_updates(repeats: int) -> dict:
         "incremental_s_per_tick": incremental / ticks,
         "full_rebuild_s_per_tick": replica / ticks,
         "speedup": replica / incremental,
+        **_environment("serial"),
+    }
+
+
+def measure_moving_queries(repeats: int) -> dict:
+    """Continuous monitoring fleet: safe-region ticks vs re-executing
+    all registered queries per tick (DESIGN.md §17), best-of-``repeats``.
+
+    Fresh engines/monitors per repetition replay the same
+    pre-materialised ticks; the recorded escape rate is the worst
+    measured tick's (the acceptance gate bounds it at 10%).
+    """
+    import time
+
+    from repro.continuous import ContinuousMonitor
+
+    state = moving_bench.moving_state()
+    workload = state["workload"]
+
+    def run_baseline():
+        engine = workload.make_engine()
+        moving_bench.run_baseline(engine, state["warmup"])
+        tick = time.perf_counter()
+        moving_bench.run_baseline(engine, state["measured"])
+        return time.perf_counter() - tick
+
+    def run_monitored():
+        monitor = ContinuousMonitor(workload.make_engine())
+        monitor.register_many(list(workload.specs))
+        moving_bench.run_monitored(monitor, state["warmup"])
+        tick = time.perf_counter()
+        reports = moving_bench.run_monitored(monitor, state["measured"])
+        return time.perf_counter() - tick, reports
+
+    baseline = min(run_baseline() for _ in range(repeats))
+    timed = [run_monitored() for _ in range(repeats)]
+    monitored = min(seconds for seconds, _ in timed)
+    reports = timed[0][1]
+    ticks = moving_bench.MEASURED_TICKS
+    return {
+        "objects": moving_bench.MOVING_OBJECTS,
+        "churn_per_tick": moving_bench.MOVING_CHURN,
+        "registered_queries": moving_bench.MOVING_QUERIES,
+        "measured_ticks": ticks,
+        "reexecute_all_s_per_tick": baseline / ticks,
+        "monitored_s_per_tick": monitored / ticks,
+        "speedup": baseline / monitored,
+        "max_escape_rate": max(r.escape_rate for r in reports),
         **_environment("serial"),
     }
 
@@ -312,6 +361,7 @@ def main(argv=None) -> int:
         "knn_batch_throughput": measure_knn_throughput(args.repeats),
         "range_batch_throughput": measure_range_throughput(args.repeats),
         "dynamic_updates": measure_dynamic_updates(args.repeats),
+        "moving_queries": measure_moving_queries(args.repeats),
         "sharded_parallel": measure_sharded_parallel(args.repeats),
         "process_executor": measure_process_executor(args.repeats),
         "service_latency": measure_service_latency(args.repeats),
@@ -330,6 +380,7 @@ def main(argv=None) -> int:
         f"knn batch {snapshot['knn_batch_throughput']['speedup']:.0f}x, "
         f"range batch {snapshot['range_batch_throughput']['speedup']:.2f}x, "
         f"dynamic updates {snapshot['dynamic_updates']['speedup']:.2f}x, "
+        f"moving queries {snapshot['moving_queries']['speedup']:.0f}x, "
         f"service p50 {snapshot['service_latency']['p50_speedup']:.2f}x, "
         f"parametric init {snapshot['parametric_init']['init_speedup']:.2f}x, "
         f"paged sweep {snapshot['out_of_core']['paged_slowdown']:.2f}x resident"

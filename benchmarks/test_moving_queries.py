@@ -1,0 +1,204 @@
+"""Bench: moving queries — safe-region monitoring vs re-execute-all.
+
+Continuous monitoring (Section VII outlook; DESIGN.md §17) keeps a
+fleet of registered queries current over a drifting object population.
+Before the continuous tier, every tick re-entered the query pipeline
+for all Q registered specs; only the C-PNN family could shortcut via
+the engine's memoised-result replay, while k-NN and range queries paid
+the full verifier cascade each time.  This module gates the tier on a
+mixed 64-query monitoring fleet (C-PNN + C-k-NN + C-range, one third
+each) over 1 200 moving objects at low dead-reckoning churn, with
+three acceptance criteria:
+
+* **bit-identity** — every tick, every handle's snapshot (answers,
+  fmin, full records) equals the re-execute-all baseline's result for
+  the same spec over the same objects;
+* **bounded escapes** — at low motion, ≤ 10% of the fleet escapes its
+  safe region on any measured tick (the sublinearity premise: most
+  certificates survive most mutations);
+* **≥ 3× steady-state tick throughput** over the re-execute-all
+  baseline (``MOVING_QUERIES_SPEEDUP_FLOOR`` overrides the floor; CI
+  uses a generous value because shared runners make wall-clock ratios
+  noisy).  The measured margin is ~20–60× locally: the dominance index
+  certifies most of the fleet untouched per mutation, so a tick pays
+  O(affected) re-executions instead of O(Q).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.continuous import ContinuousMonitor
+from repro.core.types import CKNNQuery, CPNNQuery, CRangeQuery
+from repro.experiments.workloads import StreamingWorkload
+
+#: Monitoring-fleet shape (acceptance: Q = 64 at low motion/churn).
+MOVING_OBJECTS = 1_200
+MOVING_CHURN = 0.002
+MOVING_QUERIES = 64
+MOVING_HALFWIDTH = 1.0
+MOVING_DRIFT = 2.0
+
+#: Warm-up ticks before the measured window (certificate steady state).
+WARMUP_TICKS = 2
+MEASURED_TICKS = 5
+
+#: Acceptance bound on per-tick safe-region escapes.
+ESCAPE_CEILING = 0.10
+
+_STATE: dict = {}
+
+
+def mixed_spec_factory():
+    """One third each of the three query families, round-robin over
+    the workload's monitoring points — k-NN and range have no
+    engine-tier replay, so the fleet exercises both the memoised and
+    the full-cascade baseline paths."""
+    counter = {"i": 0}
+
+    def factory(q: float):
+        index = counter["i"]
+        counter["i"] += 1
+        family = index % 3
+        if family == 0:
+            return CPNNQuery(q, threshold=0.3, tolerance=0.02)
+        if family == 1:
+            return CKNNQuery(q, k=4, threshold=0.3)
+        return CRangeQuery(q, radius=40.0, threshold=0.3)
+
+    return factory
+
+
+def moving_state() -> dict:
+    """Workload + pre-materialised ticks, shared across the gates."""
+    if not _STATE:
+        workload = StreamingWorkload(
+            n_objects=MOVING_OBJECTS,
+            churn=MOVING_CHURN,
+            n_queries=MOVING_QUERIES,
+            halfwidth=MOVING_HALFWIDTH,
+            drift_sigma=MOVING_DRIFT,
+            spec_factory=mixed_spec_factory(),
+        )
+        ticks = list(workload.ticks(WARMUP_TICKS + MEASURED_TICKS))
+        _STATE["workload"] = workload
+        _STATE["warmup"] = ticks[:WARMUP_TICKS]
+        _STATE["measured"] = ticks[WARMUP_TICKS:]
+    return _STATE
+
+
+def run_baseline(engine, ticks) -> list:
+    """Re-execute-all: apply each tick's reports, then push the whole
+    fleet back through ``execute_batch`` (the pre-continuous path)."""
+    results = []
+    for tick in ticks:
+        StreamingWorkload.apply(engine, tick)
+        results.append(engine.execute_batch(list(tick.specs)))
+    return results
+
+
+def run_monitored(monitor: ContinuousMonitor, ticks) -> list:
+    """Continuous tier: route the same reports through the monitor and
+    tick once per round."""
+    reports = []
+    for tick in ticks:
+        for key, obj in tick.replacements:
+            monitor.replace(key, obj)
+        reports.append(monitor.tick())
+    return reports
+
+
+def _assert_snapshots_identical(handles, batch) -> None:
+    assert len(handles) == len(batch.results)
+    for handle, want in zip(handles, batch.results):
+        got = handle.snapshot()
+        assert got.answers == want.answers
+        assert (got.fmin == want.fmin) or (
+            np.isnan(got.fmin) and np.isnan(want.fmin)
+        )
+        assert len(got.records) == len(want.records)
+        for x, y in zip(got.records, want.records):
+            assert (x.key, x.label, x.lower, x.upper, x.exact) == (
+                y.key,
+                y.label,
+                y.lower,
+                y.upper,
+                y.exact,
+            )
+
+
+def test_moving_queries_identical_every_tick():
+    """Acceptance (a): every tick, every handle snapshot is bit-identical
+    to full re-execution — a transiently wrong replay cannot hide."""
+    state = moving_state()
+    workload = state["workload"]
+    baseline = workload.make_engine()
+    monitor = ContinuousMonitor(workload.make_engine())
+    handles = monitor.register_many(list(workload.specs))
+    for tick in state["warmup"] + state["measured"]:
+        (batch,) = run_baseline(baseline, [tick])
+        run_monitored(monitor, [tick])
+        _assert_snapshots_identical(handles, batch)
+
+
+def test_moving_queries_speedup_over_reexecute_all():
+    """Acceptance (b, c): ≥ 3× steady-state tick throughput over the
+    re-execute-all baseline with ≤ 10% of the fleet escaping its safe
+    region on any measured tick.  ``MOVING_QUERIES_SPEEDUP_FLOOR``
+    overrides the floor (generous in CI)."""
+    state = moving_state()
+    workload = state["workload"]
+    baseline = workload.make_engine()
+    monitor = ContinuousMonitor(workload.make_engine())
+    monitor.register_many(list(workload.specs))
+    run_baseline(baseline, state["warmup"])
+    run_monitored(monitor, state["warmup"])
+
+    tick0 = time.perf_counter()
+    run_baseline(baseline, state["measured"])
+    baseline_s = time.perf_counter() - tick0
+    tick0 = time.perf_counter()
+    reports = run_monitored(monitor, state["measured"])
+    monitored_s = time.perf_counter() - tick0
+
+    escape = max(report.escape_rate for report in reports)
+    assert escape <= ESCAPE_CEILING, (
+        f"low-motion fleet must stay within its safe regions, got "
+        f"{escape:.1%} escapes on a measured tick"
+    )
+    assert sum(report.replayed for report in reports) > 0
+
+    floor = float(os.environ.get("MOVING_QUERIES_SPEEDUP_FLOOR", "3.0"))
+    speedup = baseline_s / monitored_s
+    assert speedup >= floor, (
+        f"monitored ticks must be ≥{floor:.1f}x the re-execute-all "
+        f"baseline at steady state, got {speedup:.2f}x (monitored "
+        f"{monitored_s * 1e3:.1f} ms, baseline {baseline_s * 1e3:.1f} ms "
+        f"over {MEASURED_TICKS} ticks)"
+    )
+
+
+def test_moving_tick_benchmark(benchmark):
+    """pytest-benchmark view of one steady-state monitored tick."""
+    state = moving_state()
+    workload = state["workload"]
+    monitor = ContinuousMonitor(workload.make_engine())
+    monitor.register_many(list(workload.specs))
+    run_monitored(monitor, state["warmup"] + state["measured"])
+    ticks = state["measured"]
+    index = [0]
+
+    def one_tick():
+        tick = ticks[index[0] % len(ticks)]
+        index[0] += 1
+        for key, obj in tick.replacements:
+            monitor.replace(key, obj)
+        return monitor.tick()
+
+    benchmark.group = "moving queries"
+    benchmark.name = (
+        f"monitored tick ({MOVING_OBJECTS} obj, {MOVING_QUERIES} specs, "
+        f"{MOVING_CHURN:.1%} churn)"
+    )
+    benchmark(one_tick)

@@ -1,0 +1,25 @@
+"""Continuous-query tier: safe regions + dominance-index invalidation.
+
+``register(spec)`` installs a monitoring query once; every
+:meth:`~repro.continuous.monitor.ContinuousMonitor.tick` re-enters the
+full pipeline only for queries whose point moved or whose **safe
+region** a mutation invalidated — everything else replays its memoised
+:class:`~repro.core.types.QueryResult` snapshot for free, bit-identical
+to full re-execution (DESIGN.md §17).
+"""
+
+from repro.continuous.index import DominanceIndex
+from repro.continuous.monitor import (
+    ContinuousHandle,
+    ContinuousMonitor,
+    TickReport,
+)
+from repro.continuous.region import SafeRegion
+
+__all__ = [
+    "ContinuousHandle",
+    "ContinuousMonitor",
+    "DominanceIndex",
+    "SafeRegion",
+    "TickReport",
+]

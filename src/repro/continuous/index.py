@@ -1,0 +1,191 @@
+"""Coarse probabilistic-Voronoi dominance index over safe regions.
+
+A probabilistic Voronoi diagram assigns each region of space the set of
+queries an object there could influence; maintaining one exactly is as
+expensive as the queries it would save.  This index keeps the useful
+half at grouped-MBR precision: registered certificates (center +
+radius, :class:`~repro.continuous.region.SafeRegion`) are sorted by
+center and chunked into small groups, each summarised by the bounding
+box of its centers and the maximum radius it contains.  A mutation MBR
+then tests *groups* first — one vectorised sweep over all group
+summaries — and descends to exact per-handle distance tests only inside
+groups it can possibly touch, so invalidation work scales with the
+queries a mutation can actually affect, not with every registered
+query.
+
+Both tiers use the ``TableCache.invalidate_boxes`` arithmetic (per-axis
+clamped gap, Euclidean norm, ``<= radius``), so the index can prune but
+never miss: ``mindist(box, center) >= mindist(box, center-bbox)``, and
+a group's max radius dominates every member's — a group that fails the
+coarse test contains no handle that could pass the exact one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DominanceIndex"]
+
+
+class DominanceIndex:
+    """Grouped certificate index: mutation MBR → affected handle ids.
+
+    Parameters
+    ----------
+    group_size:
+        Handles per group.  Small groups descend precisely but pay more
+        group tests; the default suits tens-to-thousands of handles.
+    """
+
+    def __init__(self, group_size: int = 32) -> None:
+        if group_size < 1:
+            raise ValueError("group_size must be positive")
+        self._group_size = int(group_size)
+        #: handle id -> (center vector, radius, structural flag)
+        self._entries: dict[int, tuple[np.ndarray, float, bool]] = {}
+        self._structural: set[int] = set()
+        self._groups: dict[int, dict] | None = None  # dim -> partition, rebuilt lazily
+        # Observability: exact vs. coarse test volume.
+        self.group_tests = 0
+        self.handle_tests = 0
+        self.groups_pruned = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def put(self, handle_id: int, center: np.ndarray, radius: float, structural: bool) -> None:
+        """Install or refresh one handle's certificate."""
+        self._entries[handle_id] = (np.asarray(center, dtype=float), float(radius), structural)
+        if structural:
+            self._structural.add(handle_id)
+        else:
+            self._structural.discard(handle_id)
+        self._groups = None
+
+    def discard(self, handle_id: int) -> None:
+        """Drop a handle's certificate (no-op when absent)."""
+        if self._entries.pop(handle_id, None) is not None:
+            self._structural.discard(handle_id)
+            self._groups = None
+
+    def structural_ids(self) -> set[int]:
+        """Handles invalidated by any census change (k-NN / range)."""
+        return set(self._structural)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _rebuild(self) -> dict[int, dict]:
+        """Sort certificates by center, chunk, summarise each chunk.
+
+        Handles are partitioned by dimensionality first (a drained and
+        refilled engine can change the world's dimensionality under
+        long-lived registrations); each partition is sorted
+        lexicographically by center so groups cover compact slabs, and
+        every partition's group summaries are stacked into one
+        ``(G, d)`` bbox matrix so the coarse sweep is a single
+        vectorised pass per partition — the tick-path hot loop.
+        """
+        by_dim: dict[int, list[int]] = {}
+        for handle_id, (center, _, _) in self._entries.items():
+            by_dim.setdefault(center.shape[0], []).append(handle_id)
+        partitions: dict[int, dict] = {}
+        for dim, ids in by_dim.items():
+            ids.sort(key=lambda h: tuple(self._entries[h][0]))
+            groups: list[dict] = []
+            for start in range(0, len(ids), self._group_size):
+                chunk = ids[start : start + self._group_size]
+                centers = np.stack([self._entries[h][0] for h in chunk])
+                radii = np.array([self._entries[h][1] for h in chunk])
+                groups.append(
+                    {
+                        "ids": chunk,
+                        "centers": centers,
+                        "radii": radii,
+                    }
+                )
+            partitions[dim] = {
+                "groups": groups,
+                "lows": np.stack(
+                    [g["centers"].min(axis=0) for g in groups]
+                ),  # (G, d)
+                "highs": np.stack([g["centers"].max(axis=0) for g in groups]),
+                "max_radii": np.array(
+                    [float(g["radii"].max()) for g in groups]
+                ),
+            }
+        self._groups = partitions
+        return partitions
+
+    def hit_by_boxes(self, lows: np.ndarray, highs: np.ndarray) -> set[int]:
+        """Handle ids whose certificate ball any box ``[lows, highs]``
+        touches.
+
+        ``lows``/``highs`` are ``(m, d)`` arrays of mutation MBRs (one
+        row per box).  All group summaries of the matching partition
+        are swept in one vectorised pass; only groups a box can reach
+        pay exact per-handle tests.  Handles registered at a different
+        dimensionality than the boxes are returned as hits
+        (conservative; re-execution surfaces the mismatch).
+        """
+        partitions = self._groups if self._groups is not None else self._rebuild()
+        if not partitions:
+            return set()
+        lows = np.atleast_2d(np.asarray(lows, dtype=float))
+        highs = np.atleast_2d(np.asarray(highs, dtype=float))
+        m, dim = lows.shape
+        hit: set[int] = set()
+        for part_dim, part in partitions.items():
+            groups = part["groups"]
+            if part_dim != dim:
+                for group in groups:
+                    hit.update(group["ids"])
+                continue
+            n_groups = len(groups)
+            self.group_tests += m * n_groups
+            # mindist(box, center-bbox) for every (box, group) pair in
+            # one (m, G, d) pass — a lower bound on the distance from
+            # the box to any member center of that group.
+            gap = np.maximum(
+                lows[:, None, :] - part["highs"][None, :, :],
+                part["lows"][None, :, :] - highs[:, None, :],
+            )
+            np.maximum(gap, 0.0, out=gap)
+            reachable = (
+                np.sqrt(np.sum(gap * gap, axis=2)) <= part["max_radii"][None, :]
+            ).any(axis=0)  # (G,)
+            self.groups_pruned += n_groups - int(reachable.sum())
+            for g in np.flatnonzero(reachable):
+                group = groups[int(g)]
+                centers = group["centers"]  # (s, d)
+                self.handle_tests += m * centers.shape[0]
+                gap = np.maximum(
+                    lows[:, None, :] - centers[None, :, :],
+                    centers[None, :, :] - highs[:, None, :],
+                )
+                np.maximum(gap, 0.0, out=gap)
+                mindist = np.sqrt(np.sum(gap * gap, axis=2))  # (m, s)
+                members = (mindist <= group["radii"][None, :]).any(axis=0)
+                for j in np.flatnonzero(members):
+                    hit.add(group["ids"][int(j)])
+        return hit
+
+    def stats(self) -> dict:
+        """Counter snapshot for ``stats()["continuous"]["index"]``."""
+        partitions = (
+            self._groups if self._groups is not None else self._rebuild()
+        )
+        return {
+            "handles": len(self._entries),
+            "structural": len(self._structural),
+            "groups": sum(len(p["groups"]) for p in partitions.values()),
+            "group_size": self._group_size,
+            "group_tests": self.group_tests,
+            "handle_tests": self.handle_tests,
+            "groups_pruned": self.groups_pruned,
+        }

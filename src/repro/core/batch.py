@@ -382,6 +382,12 @@ class BatchResult:
         strict subset of ``table_hits``): the whole pipeline —
         filtering, initialisation, verification, refinement — was
         skipped for those specs (DESIGN.md §11).
+    replayed:
+        The input positions behind ``result_hits`` — which specs of
+        this batch were answered by snapshot replay (ascending input
+        order).  Lets monitoring callers report *which* queries were
+        re-executed vs. replayed instead of inferring it from timings
+        (``StreamingWorkload.drive``'s tick reports ride this).
     """
 
     results: list[QueryResult] = field(default_factory=list)
@@ -391,6 +397,7 @@ class BatchResult:
     table_hits: int = 0
     table_misses: int = 0
     result_hits: int = 0
+    replayed: list[int] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.results)

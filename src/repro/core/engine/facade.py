@@ -58,6 +58,13 @@ class QueryFacadeMixin(SpecDispatchMixin):
     #: No active deadline by default; ``deadline()`` swaps a scope in.
     _cancel_scope: CancelScope | None = None
 
+    #: The attached continuous-query tier, if any — a
+    #: :class:`~repro.continuous.monitor.ContinuousMonitor` installs
+    #: itself here so ``stats()["continuous"]`` and ``explain()``
+    #: report registered/invalidated/replayed counts and the
+    #: safe-region hit rate (DESIGN.md §17).
+    _continuous = None
+
     #: Canonical failure-counter keys every ``stats()["executor"]`` /
     #: ``explain().executor`` dict carries (missing ones read 0, so
     #: monitoring code never branches on the backend).
@@ -123,7 +130,19 @@ class QueryFacadeMixin(SpecDispatchMixin):
         plan = self._explain(spec, strategy)
         plan.executor = self._executor_diagnostics()
         plan.storage = self._storage_stats()
+        plan.continuous = self._continuous_stats()
         return plan
+
+    def _continuous_stats(self) -> dict:
+        """The continuous tier's story for ``stats()`` / ``explain()``.
+
+        ``{"attached": False}`` when no monitor is registered; else the
+        monitor's counters under ``attached: True`` — one stable shape,
+        shared by both engines.
+        """
+        if self._continuous is None:
+            return {"attached": False}
+        return {"attached": True, **self._continuous.stats()}
 
     @staticmethod
     def _family_of(spec) -> str:
@@ -278,6 +297,7 @@ class QueryFacadeMixin(SpecDispatchMixin):
             batch.table_hits += sub.table_hits
             batch.table_misses += sub.table_misses
             batch.result_hits += sub.result_hits
+            batch.replayed.extend(sorted(pnn_idx[j] for j in sub.replayed))
         for indices, runner in ((knn_idx, self._knn_group), (range_idx, self._range_group)):
             if not indices:
                 continue
@@ -497,6 +517,7 @@ class UncertainEngine(
             "pending_invalidations": len(self._pending_invalidation),
             "caches": self._cache_stats(),
             "storage": self._storage_stats(),
+            "continuous": self._continuous_stats(),
             "mc": {
                 "enabled": self._config.mc_tier,
                 "trials": self._config.mc_trials,

@@ -18,7 +18,7 @@ import time
 import numpy as np
 
 from repro.core.batch import distributions_for
-from repro.core.knn import knn_routed_eval
+from repro.core.knn import knn_analytic_eval, knn_routed_eval
 from repro.core.types import (
     AnswerRecord,
     CKNNQuery,
@@ -85,10 +85,40 @@ class KnnExecutorMixin:
                 )
                 continue
             survivors, fmin_k = filtered[b]
+            candidates = [self._objects[i] for i in survivors]
+            if (
+                self._config.parametric_fast_path
+                and candidates
+                and all(hasattr(obj, "parametric_distance") for obj in candidates)
+            ):
+                # The k-NN leg of the parametric fast path: when every
+                # survivor has a closed-form distance law, one analytic
+                # cdf sweep can settle the whole spec without building
+                # a single histogram.  Undecided survivors fall through
+                # to the standard (histogram-certified) pipeline below.
+                tick = time.perf_counter()
+                distances = [obj.parametric_distance(spec.q) for obj in candidates]
+                settled = knn_analytic_eval(
+                    distances, survivors, keys, k, spec.threshold, n
+                )
+                if settled is not None:
+                    answers, records = settled
+                    timings.verification = time.perf_counter() - tick
+                    results.append(
+                        QueryResult(
+                            answers=answers,
+                            records=records,
+                            fmin=fmin_k,
+                            timings=timings,
+                            finished_after_verification=True,
+                            refined_objects=0,
+                            spec=spec,
+                        )
+                    )
+                    continue
             hits_before = cache.hits if cache is not None else 0
             misses_before = cache.misses if cache is not None else 0
             tick = time.perf_counter()
-            candidates = [self._objects[i] for i in survivors]
             distributions = distributions_for(candidates, spec.q, cache)
             timings.initialization = time.perf_counter() - tick
             tick = time.perf_counter()

@@ -218,6 +218,7 @@ class PnnExecutorMixin:
                         slots[b] = _replay_result(snapshot)
                         batch.table_hits += 1
                         batch.result_hits += 1
+                        batch.replayed.append(b)
                         continue
                 live.append(b)
         else:

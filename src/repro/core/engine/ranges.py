@@ -51,9 +51,19 @@ class RangeExecutorMixin:
 
             def provider(objs, _q=spec.q, _built=built, _secs=build_seconds):
                 inner = time.perf_counter()
-                distributions = distributions_for(objs, _q, cache)
+                if self._config.parametric_fast_path and all(
+                    hasattr(obj, "parametric_distance") for obj in objs
+                ):
+                    # The range leg of the parametric fast path: hand
+                    # the kernel closed-form distance laws — cdf(radius)
+                    # evaluates analytically, no histograms, no cache
+                    # traffic.  Mixed candidate sets keep the histogram
+                    # route (all-or-nothing, like the C-PNN fast path).
+                    distributions = [obj.parametric_distance(_q) for obj in objs]
+                else:
+                    distributions = distributions_for(objs, _q, cache)
+                    _built.append(len(objs))
                 _secs[0] += time.perf_counter() - inner
-                _built.append(len(objs))
                 return distributions
 
             answers, records, n_evaluated = range_routed_eval(

@@ -155,6 +155,17 @@ class ObjectRegistryMixin(InvalidationQueueMixin):
             self._key_index = {k: i for i, k in enumerate(self._key_list)}
         return self._key_index[key]
 
+    def object_for(self, key: Hashable):
+        """The resident object identified by ``key``, or ``None``.
+
+        O(1) via the lazy key→position map.  The continuous tier uses
+        this to capture an object's MBR before forwarding a mutation
+        (:class:`~repro.continuous.monitor.ContinuousMonitor`); it is
+        equally useful to any caller that tracks objects by key.
+        """
+        index = self._position_of(key)
+        return None if index is None else self._objects[index]
+
     # ------------------------------------------------------------------
     # Dynamic updates
     # ------------------------------------------------------------------

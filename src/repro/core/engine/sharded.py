@@ -557,6 +557,8 @@ class ShardedEngine(
             batch.table_hits += sub.table_hits
             batch.table_misses += sub.table_misses
             batch.result_hits += sub.result_hits
+            batch.replayed.extend(item.indices[j] for j in sub.replayed)
+        batch.replayed.sort()
         batch.results = slots
         wall = time.perf_counter() - wall_tick
         if fell_back:
@@ -791,6 +793,7 @@ class ShardedEngine(
             ),
             "caches": self._cache_stats(),
             "storage": self._storage_stats(),
+            "continuous": self._continuous_stats(),
             "shards": self._shard_stats(),
             "executor": self._executor_stats(),
         }

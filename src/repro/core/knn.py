@@ -38,9 +38,11 @@ from repro.numerics.poisson_binomial import prob_at_most_vectorized
 from repro.numerics.quadrature import gauss_legendre_nodes, nodes_for_degree
 from repro.uncertainty.columnar import DistributionPack
 from repro.uncertainty.distance import DistanceDistribution
+from repro.uncertainty.parametric.pack import MixedDistributionPack
 
 __all__ = [
     "CKNNEngine",
+    "knn_analytic_eval",
     "knn_probability_bounds",
     "knn_qualification_probabilities",
     "knn_routed_eval",
@@ -216,6 +218,94 @@ def _routed_exact(
                 total_p += half * float(ws @ (density[sl] * at_most[sl]))
         out[i] = min(max(total_p, 0.0), 1.0)
     return out
+
+
+def knn_analytic_eval(
+    distances: Sequence,
+    survivor_indices: np.ndarray,
+    keys: Sequence[Hashable],
+    k: int,
+    threshold: float,
+    total: int,
+) -> tuple[tuple, list[AnswerRecord]] | None:
+    """Histogram-free constrained k-NN over closed-form distance laws.
+
+    The analytic sibling of :func:`knn_routed_eval` for candidate sets
+    whose every member carries a
+    :class:`~repro.uncertainty.parametric.base.ParametricDistance`
+    (the k-NN leg of the parametric fast path, DESIGN.md §15/§17):
+    the RS-style bound pair —
+
+    * upper: ``p_i(k) ≤ D_i(f_min^k)`` (beyond the k-th smallest far
+      point, at least ``k`` objects are certainly closer), and
+    * lower: ``p_i(k) ≥ D_i(n^k_{-i})`` (below the k-th smallest
+      *other* near point, at most ``k−1`` others can be closer)
+
+    — holds for the **exact** distance cdfs just as it does for their
+    histogram approximations, so one
+    :class:`~repro.uncertainty.parametric.pack.MixedDistributionPack`
+    cdf sweep settles objects without materialising a single histogram.
+    Bounds (and hence classifications) are with respect to the true
+    model, like every analytic-tier answer.
+
+    Returns ``(answers, records)`` when the bounds decide **every**
+    survivor, else ``None``: the exact-integration tier
+    (:func:`_routed_exact`) is certified only for piecewise-polynomial
+    histogram pdfs, so undecided survivors fall back to the standard
+    histogram pipeline — same records, histogram-certified exact
+    values.  Deterministic either way, which is what the continuous
+    tier's replay contract needs.
+    """
+    m = len(distances)
+    pack = MixedDistributionPack(distances)
+    fmin_k = float(np.sort(pack.far)[k - 1])
+    upper = np.asarray(pack.cdf_many(fmin_k), dtype=float)
+    nears = pack.near
+    if m >= k + 1:
+        # The same cut selection as knn_routed_eval: an object whose own
+        # near point is among the k smallest drops it, shifting its
+        # "k-th smallest other" one slot up.
+        sorted_nears = np.sort(nears)
+        cut_low = float(sorted_nears[k - 1])
+        cut_high = float(sorted_nears[k])
+        at_low = np.asarray(pack.cdf_many(cut_low), dtype=float)
+        at_high = np.asarray(pack.cdf_many(cut_high), dtype=float)
+        first_idx = np.searchsorted(sorted_nears, nears, side="left")
+        lower = np.where(first_idx <= k - 1, at_high, at_low)
+        lower = np.minimum(lower, upper)
+    else:
+        lower = upper.copy()
+
+    fail = upper < threshold
+    satisfy = ~fail & (lower >= threshold)
+    if not bool(np.all(fail | satisfy)):
+        return None
+
+    position = {int(g): i for i, g in enumerate(survivor_indices)}
+    answers: list[Hashable] = []
+    records: list[AnswerRecord] = []
+    for j in range(total):
+        i = position.get(j)
+        if i is None:
+            records.append(
+                AnswerRecord(
+                    key=keys[j], label=Label.FAIL, lower=0.0, upper=0.0, exact=None
+                )
+            )
+            continue
+        label = Label.SATISFY if satisfy[i] else Label.FAIL
+        records.append(
+            AnswerRecord(
+                key=keys[j],
+                label=label,
+                lower=float(lower[i]),
+                upper=float(upper[i]),
+                exact=None,
+            )
+        )
+        if label is Label.SATISFY:
+            answers.append(keys[j])
+    return tuple(answers), records
 
 
 def knn_routed_eval(

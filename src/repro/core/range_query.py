@@ -31,6 +31,8 @@ import numpy as np
 
 from repro.core.types import AnswerRecord, Label
 from repro.uncertainty.columnar import DistributionPack
+from repro.uncertainty.parametric.base import ParametricDistance
+from repro.uncertainty.parametric.pack import MixedDistributionPack
 
 __all__ = ["constrained_range_query", "range_probabilities", "range_routed_eval"]
 
@@ -141,9 +143,16 @@ def range_routed_eval(
             pending.append((j, obj))
     if pending:
         distributions = distribution_provider([obj for _, obj in pending])
-        evaluated = np.asarray(
-            DistributionPack(distributions).cdf_many(float(radius)), dtype=float
-        )
+        # The provider may hand back closed-form distance laws (the
+        # range leg of the parametric fast path): the mixed pack
+        # evaluates those rows analytically — the probability is the
+        # exact model's, no histogram ever built — and is a drop-in
+        # replacement for the all-histogram kernel otherwise.
+        if any(isinstance(d, ParametricDistance) for d in distributions):
+            pack = MixedDistributionPack(distributions)
+        else:
+            pack = DistributionPack(distributions)
+        evaluated = np.asarray(pack.cdf_many(float(radius)), dtype=float)
         for (j, _), p in zip(pending, evaluated):
             probability[j] = p
             exact[j] = float(p)

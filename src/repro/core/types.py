@@ -321,6 +321,12 @@ class QueryPlan:
         (logical reads, page faults, evictions, resident bytes,
         hit rate) over every engine-owned store — structurally
         all-zero/all-hit for ``ram`` engines.
+    continuous:
+        The continuous-query tier at plan time (DESIGN.md §17):
+        ``{"attached": False}`` when no monitor is registered, else
+        registered/replayed/invalidated counters and the safe-region
+        hit rate of the attached
+        :class:`~repro.continuous.monitor.ContinuousMonitor`.
     """
 
     spec: QuerySpec
@@ -336,6 +342,7 @@ class QueryPlan:
     shards: dict = field(default_factory=dict)
     executor: dict = field(default_factory=dict)
     storage: dict = field(default_factory=dict)
+    continuous: dict = field(default_factory=dict)
 
     def describe(self) -> str:
         """A printable multi-line summary of the plan."""
@@ -376,5 +383,13 @@ class QueryPlan:
                 f"(configured {self.executor.get('configured')}, "
                 f"breaker {breaker.get('state', 'disabled')}, "
                 f"{self.executor.get('worker_failures', 0)} worker failures)"
+            )
+        if self.continuous.get("attached"):
+            lines.append(
+                f"  continuous: {self.continuous.get('registered', 0)} registered, "
+                f"{self.continuous.get('ticks', 0)} ticks, "
+                f"hit rate {self.continuous.get('hit_rate', 1.0):.3f} "
+                f"({self.continuous.get('replayed', 0)} replayed / "
+                f"{self.continuous.get('reexecuted', 0)} re-executed)"
             )
         return "\n".join(lines)

@@ -24,6 +24,7 @@ from typing import Callable, Hashable, Iterator, Sequence
 
 import numpy as np
 
+from repro.continuous import ContinuousMonitor, TickReport
 from repro.core.batch import BatchResult
 from repro.core.engine import EngineConfig, ShardedEngine, UncertainEngine
 from repro.core.types import CPNNQuery, QuerySpec
@@ -283,13 +284,48 @@ class StreamingWorkload:
         n_ticks: int,
         start: int = 0,
         specs: Sequence[QuerySpec] | None = None,
-    ) -> list[BatchResult]:
+        *,
+        continuous: bool = False,
+        on_tick: Callable[[TickReport], None] | None = None,
+    ) -> list[BatchResult] | list[TickReport]:
         """Run ``n_ticks`` ticks against ``engine``: updates, then the
-        monitoring batch.  Returns one :class:`BatchResult` per tick.
+        monitoring step.
+
+        In the default (batch) mode every tick re-submits the full
+        monitoring batch and the return value is one
+        :class:`BatchResult` per tick.  With ``continuous=True`` the
+        specs are registered once on a
+        :class:`~repro.continuous.ContinuousMonitor` (reusing a monitor
+        already attached to the engine, else creating one), each tick's
+        dead-reckoning reports flow through :meth:`ContinuousMonitor.replace`
+        so their MBRs certify the safe regions, and the monitoring step
+        is one :meth:`ContinuousMonitor.tick` — only invalidated
+        handles re-enter the pipeline.  The return value is then one
+        :class:`~repro.continuous.TickReport` per tick (counts plus the
+        handle ids re-executed vs replayed; fresh snapshots only for
+        what actually ran).  ``on_tick``, when given, observes each
+        report as it is produced — the streaming side-channel.
         """
-        results = []
         spec_list = list(self._specs if specs is None else specs)
+        if not continuous:
+            if on_tick is not None:
+                raise ValueError("on_tick requires continuous=True")
+            results: list[BatchResult] = []
+            for tick in self.ticks(n_ticks, start=start):
+                self.apply(engine, tick)
+                results.append(engine.execute_batch(spec_list))
+            return results
+        monitor = getattr(engine, "_continuous", None)
+        if not isinstance(monitor, ContinuousMonitor):
+            monitor = ContinuousMonitor(engine)
+        if not len(monitor):
+            monitor.register_many(spec_list)
+        reports: list[TickReport] = []
         for tick in self.ticks(n_ticks, start=start):
-            self.apply(engine, tick)
-            results.append(engine.execute_batch(spec_list))
-        return results
+            for key, obj in tick.replacements:
+                monitor.replace(key, obj)
+            report = monitor.tick()
+            if on_tick is not None:
+                on_tick(report)
+            reports.append(report)
+        return reports

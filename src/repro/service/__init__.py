@@ -32,7 +32,7 @@ from repro.service.errors import (
     ServiceError,
 )
 from repro.service.faults import FaultPlan
-from repro.service.service import QueryService, ServiceReply
+from repro.service.service import QueryService, ServiceReply, Subscription
 
 __all__ = [
     "Coalescer",
@@ -46,4 +46,5 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "ServiceReply",
+    "Subscription",
 ]

@@ -20,6 +20,11 @@ asyncio front end (DESIGN.md §14):
 * **Retries** — a failed engine dispatch is retried with exponential
   backoff; persistent failure surfaces as
   :class:`~repro.service.errors.RequestFailed`, never a wrong answer.
+* **Subscriptions** — :meth:`QueryService.subscribe` installs a spec
+  on a service-owned :class:`~repro.continuous.ContinuousMonitor`;
+  every mutation barrier then ticks the monitor and pushes fresh
+  snapshots *only* to subscriptions whose answer actually changed
+  (DESIGN.md §17).
 * **ε-early answers** — a request that opts in (``epsilon > 0``) and
   misses its deadline is re-answered with the tolerance widened to ε:
   still bound-certified by the C-PNN contract
@@ -52,7 +57,7 @@ from repro.service.errors import (
     ServiceClosed,
 )
 
-__all__ = ["QueryService", "ServiceReply"]
+__all__ = ["QueryService", "ServiceReply", "Subscription"]
 
 
 @dataclass
@@ -74,6 +79,24 @@ class ServiceReply:
     latency_s: float = 0.0
 
 
+@dataclass(eq=False)  # identity semantics, like the handle it fronts
+class Subscription:
+    """A streaming continuous query (:meth:`QueryService.subscribe`).
+
+    ``initial`` is the registration-time answer; every subsequent
+    mutation barrier whose monitor tick *changes* this query's answer
+    tuple pushes a fresh :class:`~repro.core.types.QueryResult`
+    snapshot onto ``updates`` (unbounded; unchanged ticks push
+    nothing).  Consume with ``await sub.updates.get()`` and stop with
+    :meth:`QueryService.unsubscribe`.
+    """
+
+    spec: object
+    handle_id: int
+    initial: QueryResult
+    updates: "asyncio.Queue[QueryResult]"
+
+
 @dataclass
 class _Counters:
     submitted: int = 0
@@ -85,6 +108,8 @@ class _Counters:
     failed: int = 0
     deadline_misses: int = 0
     approximate: int = 0
+    subscriptions: int = 0
+    notifications: int = 0
 
 
 class QueryService:
@@ -113,6 +138,11 @@ class QueryService:
         self._task: asyncio.Task | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._closing = False
+        #: Lazy continuous tier (created on first subscribe).  All
+        #: monitor traffic rides the mutation-barrier path, so the
+        #: single-flight invariant covers it without extra locking.
+        self._monitor = None
+        self._subscriptions: dict[int, Subscription] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -223,6 +253,37 @@ class QueryService:
         """Replace the object with ``key`` by ``obj``."""
         await self._mutate(("replace", key, obj))
 
+    async def subscribe(self, spec) -> Subscription:
+        """Register ``spec`` as a continuous query and stream changes.
+
+        The spec is installed on a service-owned
+        :class:`~repro.continuous.ContinuousMonitor` (created lazily on
+        first subscribe) and executed once; the registration answer is
+        the subscription's ``initial`` result.  After every mutation
+        barrier the monitor ticks, and only subscriptions whose answer
+        tuple actually changed receive a fresh snapshot on their
+        ``updates`` queue — the safe-region certificates make unchanged
+        answers free.  Registration rides the barrier path, so a
+        subscription observes every mutation submitted before it.
+        """
+        assert self._loop is not None, "service not started"
+        spec = self._engine._as_spec(spec)
+        handle = await self._mutate(("subscribe", spec))
+        subscription = Subscription(
+            spec=spec,
+            handle_id=handle.id,
+            initial=handle.snapshot(),
+            updates=asyncio.Queue(),
+        )
+        self._subscriptions[handle.id] = subscription
+        self._counters.subscriptions += 1
+        return subscription
+
+    async def unsubscribe(self, subscription: Subscription) -> bool:
+        """Tear down a subscription; ``True`` when it was live."""
+        self._subscriptions.pop(subscription.handle_id, None)
+        return await self._mutate(("unsubscribe", subscription.handle_id))
+
     # ------------------------------------------------------------------
     # Dispatcher
     # ------------------------------------------------------------------
@@ -241,28 +302,60 @@ class QueryService:
         assert self._loop is not None
         return await self._loop.run_in_executor(None, fn)
 
+    def _ensure_monitor(self):
+        if self._monitor is None:
+            from repro.continuous import ContinuousMonitor
+
+            self._monitor = ContinuousMonitor(self._engine)
+        return self._monitor
+
     async def _serve_mutation(self, request: Request) -> None:
+        """One barrier op: a mutation, or continuous-tier maintenance.
+
+        When subscriptions are live, mutations flow through the monitor
+        (so their MBRs certify the safe regions) and the barrier ends
+        with a monitor tick; changed answers fan out to subscriber
+        queues before the barrier's future resolves.
+        """
         op = request.op
         engine = self._engine
         assert op is not None
 
         def run():
+            if op[0] == "subscribe":
+                return self._ensure_monitor().register(op[1]), None
+            if op[0] == "unsubscribe":
+                monitor = self._monitor
+                return (
+                    monitor.unregister(op[1]) if monitor is not None else False
+                ), None
+            monitor = self._monitor if self._subscriptions else None
+            front = monitor if monitor is not None else engine
             if op[0] == "insert":
-                return engine.insert(op[1])
-            if op[0] == "remove":
-                return engine.remove(op[1])
-            return engine.replace(op[1], op[2])
+                value = front.insert(op[1])
+            elif op[0] == "remove":
+                value = front.remove(op[1])
+            else:
+                value = front.replace(op[1], op[2])
+            report = monitor.tick() if monitor is not None else None
+            return value, report
 
         try:
-            value = await self._engine_call(run)
+            value, report = await self._engine_call(run)
         except Exception as exc:
             if not request.future.cancelled():
                 request.future.set_exception(
                     RequestFailed(exc, attempts=1)
                 )
-        else:
-            if not request.future.cancelled():
-                request.future.set_result(value)
+            return
+        if report is not None:
+            for handle_id, snapshot in report.changed.items():
+                subscription = self._subscriptions.get(handle_id)
+                if subscription is not None:
+                    subscription.updates.put_nowait(snapshot)
+                    self._counters.notifications += 1
+        if not request.future.cancelled():
+            request.future.set_result(value)
 
     async def _serve_queries(self, requests: list[Request]) -> None:
         """Answer one coalesced micro-batch, chunking when deadlines
@@ -433,5 +526,7 @@ class QueryService:
             "failed": counters.failed,
             "deadline_misses": counters.deadline_misses,
             "approximate": counters.approximate,
+            "subscriptions": len(self._subscriptions),
+            "notifications": counters.notifications,
             "executor": self._engine.stats()["executor"],
         }

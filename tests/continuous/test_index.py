@@ -1,0 +1,125 @@
+"""Unit tests for the grouped dominance index.
+
+The contract: :meth:`DominanceIndex.hit_by_boxes` may prune whole
+groups but may never miss a handle whose exact
+(:meth:`SafeRegion.hit_by`) test would fire — the group summary's
+mindist is a lower bound and its max radius dominates every member.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.continuous.index import DominanceIndex
+from repro.continuous.region import SafeRegion
+
+
+def exact_hits(entries, lows, highs):
+    """Brute-force reference: per-handle SafeRegion tests."""
+    hits = set()
+    for handle_id, (center, radius, structural) in entries.items():
+        region = SafeRegion(
+            center=np.asarray(center, dtype=float),
+            radius=radius,
+            structural=structural,
+        )
+        for lo, hi in zip(lows, highs):
+            if region.hit_by(lo, hi):
+                hits.add(handle_id)
+                break
+    return hits
+
+
+class TestMaintenance:
+    def test_put_discard_and_structural_ids(self):
+        index = DominanceIndex(group_size=2)
+        index.put(1, [0.0], 1.0, False)
+        index.put(2, [5.0], 1.0, True)
+        index.put(3, [9.0], 1.0, True)
+        assert len(index) == 3
+        assert index.structural_ids() == {2, 3}
+        index.put(2, [5.0], 1.0, False)  # refresh flips the flag
+        assert index.structural_ids() == {3}
+        index.discard(3)
+        index.discard(3)  # idempotent
+        assert len(index) == 2
+        assert index.structural_ids() == set()
+
+    def test_group_size_validation(self):
+        try:
+            DominanceIndex(group_size=0)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("group_size=0 must be rejected")
+
+
+class TestQueries:
+    def test_empty_index(self):
+        index = DominanceIndex()
+        assert index.hit_by_boxes(np.array([[0.0]]), np.array([[1.0]])) == set()
+
+    def test_exact_boundary_agreement(self):
+        index = DominanceIndex(group_size=2)
+        index.put(1, [10.0], 3.0, False)
+        index.put(2, [20.0], 3.0, False)
+        # Box at gap exactly 3 from handle 1, far from handle 2.
+        hits = index.hit_by_boxes(np.array([[13.0]]), np.array([[14.0]]))
+        assert hits == {1}
+
+    def test_group_pruning_counts(self):
+        index = DominanceIndex(group_size=4)
+        for i in range(16):
+            index.put(i, [float(100 * i)], 1.0, False)
+        index.hit_by_boxes(np.array([[0.0]]), np.array([[0.5]]))
+        stats = index.stats()
+        assert stats["groups"] == 4
+        assert stats["groups_pruned"] >= 3  # only handle 0's group descends
+        assert stats["handle_tests"] <= 4
+
+    def test_dimension_mismatch_returns_group_as_hits(self):
+        index = DominanceIndex()
+        index.put(1, [0.0], 0.5, False)
+        index.put(2, [0.0, 0.0], 0.5, False)
+        hits = index.hit_by_boxes(np.array([[50.0]]), np.array([[51.0]]))
+        assert 2 in hits  # 2-D handle vs 1-D box: conservative hit
+        assert 1 not in hits
+
+    def test_infinite_radius_always_hits(self):
+        index = DominanceIndex()
+        index.put(1, [0.0], float("inf"), True)
+        hits = index.hit_by_boxes(np.array([[1e15]]), np.array([[1e15 + 1]]))
+        assert hits == {1}
+
+
+@given(
+    entries=st.lists(
+        st.tuples(
+            st.floats(min_value=-50.0, max_value=50.0),
+            st.floats(min_value=0.0, max_value=20.0),
+        ),
+        min_size=0,
+        max_size=40,
+    ),
+    boxes=st.lists(
+        st.tuples(
+            st.floats(min_value=-60.0, max_value=60.0),
+            st.floats(min_value=0.0, max_value=10.0),
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    group_size=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=80, deadline=None)
+def test_never_misses_an_exact_hit(entries, boxes, group_size):
+    """Property: the grouped sweep equals the brute-force per-handle
+    test exactly — pruning is invisible in the result set."""
+    index = DominanceIndex(group_size=group_size)
+    table = {}
+    for handle_id, (center, radius) in enumerate(entries):
+        index.put(handle_id, [center], radius, False)
+        table[handle_id] = (np.array([center]), radius, False)
+    lows = np.array([[lo] for lo, _ in boxes])
+    highs = np.array([[lo + width] for lo, width in boxes])
+    assert index.hit_by_boxes(lows, highs) == exact_hits(table, lows, highs)

@@ -1,0 +1,131 @@
+"""`StreamingWorkload.drive(continuous=True)`: the monitored stream.
+
+The continuous drive must answer exactly like the batch drive over the
+same memoised stream — the replay tier is invisible in the answers —
+while reporting per-tick what it re-executed vs replayed.
+"""
+
+import pytest
+
+from repro.continuous import ContinuousMonitor, TickReport
+from repro.core.types import CKNNQuery, CRangeQuery
+from repro.experiments.workloads import StreamingWorkload
+
+
+def make_workload(**overrides):
+    params = dict(
+        n_objects=120,
+        churn=0.05,
+        n_queries=6,
+        domain=(0.0, 400.0),
+        halfwidth=2.0,
+        drift_sigma=1.0,
+        threshold=0.3,
+        seed=97,
+    )
+    params.update(overrides)
+    return StreamingWorkload(**params)
+
+
+def test_continuous_drive_returns_tick_reports():
+    workload = make_workload()
+    engine = workload.make_engine()
+    reports = workload.drive(engine, 4, continuous=True)
+    assert len(reports) == 4
+    assert all(isinstance(r, TickReport) for r in reports)
+    assert [r.index for r in reports] == [1, 2, 3, 4]
+    for report in reports:
+        assert report.registered == 6
+        assert len(report.reexecuted) + report.replayed == 6
+
+
+def test_continuous_drive_matches_batch_drive_every_tick():
+    workload = make_workload()
+    continuous_engine = workload.make_engine()
+    batch_engine = workload.make_engine()
+    n_ticks = 5
+    workload.drive(continuous_engine, n_ticks, continuous=True)
+    batches = workload.drive(batch_engine, n_ticks)
+    # Replay the stream once more on a third engine, checking answers
+    # after *every* tick (the final-state check above would miss a
+    # transiently wrong replay).
+    check_engine = workload.make_engine()
+    monitor = ContinuousMonitor(check_engine)
+    handles = monitor.register_many(list(workload.specs))
+    for tick_index in range(n_ticks):
+        tick = workload.tick(tick_index)
+        for key, obj in tick.replacements:
+            monitor.replace(key, obj)
+        monitor.tick()
+        want = [result.answers for result in batches[tick_index].results]
+        assert [handle.answers for handle in handles] == want
+
+
+def test_on_tick_hook_observes_each_report():
+    workload = make_workload()
+    engine = workload.make_engine()
+    seen = []
+    reports = workload.drive(
+        engine, 3, continuous=True, on_tick=lambda r: seen.append(r)
+    )
+    assert seen == reports
+
+
+def test_on_tick_requires_continuous():
+    workload = make_workload()
+    engine = workload.make_engine()
+    with pytest.raises(ValueError):
+        workload.drive(engine, 1, on_tick=lambda r: None)
+
+
+def test_continuous_drive_reuses_attached_monitor():
+    workload = make_workload()
+    engine = workload.make_engine()
+    monitor = ContinuousMonitor(engine)
+    monitor.register_many(list(workload.specs))
+    workload.drive(engine, 2, continuous=True)
+    # Driving again continues the same registrations (no duplicates).
+    workload.drive(engine, 2, start=2, continuous=True)
+    assert len(monitor) == len(workload.specs)
+    assert monitor.stats()["ticks"] == 4
+
+
+def test_continuous_drive_with_structural_spec_families():
+    def factory(q):
+        return CKNNQuery(q, k=2, threshold=0.3)
+
+    workload = make_workload(spec_factory=factory, n_queries=4)
+    continuous_engine = workload.make_engine()
+    batch_engine = workload.make_engine()
+    workload.drive(continuous_engine, 3, continuous=True)
+    batches = workload.drive(batch_engine, 3)
+    monitor = continuous_engine._continuous
+    want = [result.answers for result in batches[-1].results]
+    assert [handle.answers for handle in monitor.handles] == want
+
+
+def test_continuous_drive_range_specs():
+    def factory(q):
+        return CRangeQuery(q, radius=6.0, threshold=0.4)
+
+    workload = make_workload(spec_factory=factory, n_queries=4)
+    continuous_engine = workload.make_engine()
+    batch_engine = workload.make_engine()
+    workload.drive(continuous_engine, 3, continuous=True)
+    batches = workload.drive(batch_engine, 3)
+    monitor = continuous_engine._continuous
+    want = [result.answers for result in batches[-1].results]
+    assert [handle.answers for handle in monitor.handles] == want
+
+
+def test_low_churn_ticks_are_sublinear():
+    # Rare, small reports over a wide domain: most certificates are
+    # never touched, so most queries replay.
+    workload = make_workload(
+        n_objects=400, churn=0.01, n_queries=16, domain=(0.0, 4000.0)
+    )
+    engine = workload.make_engine()
+    reports = workload.drive(engine, 6, continuous=True)
+    replayed = sum(r.replayed for r in reports)
+    opportunities = sum(r.registered for r in reports)
+    assert replayed / opportunities > 0.5
